@@ -1,0 +1,36 @@
+"""E10 — Theorem 6/7 and Corollary 1 gadget gaps."""
+
+import numpy as np
+
+from repro.analysis import experiment_e10_hardness
+from repro.hardness import (
+    conflict_gadget_from_3dm,
+    feasible_conflict_assignment,
+    gadget_from_3dm,
+    exact_gap_min_makespan,
+    planted_yes_instance,
+)
+
+
+def test_e10_table(benchmark, show_report):
+    report = benchmark.pedantic(
+        experiment_e10_hardness, rounds=1, iterations=1
+    )
+    show_report(report)
+    assert all(row[-1] for row in report.rows), "a gadget was inconsistent"
+
+
+def test_gap_gadget_kernel(benchmark):
+    rng = np.random.default_rng(15)
+    tdm = planted_yes_instance(3, 4, rng)
+    gap, budget = gadget_from_3dm(tdm)
+    makespan, _ = benchmark(exact_gap_min_makespan, gap, budget)
+    assert makespan == 2.0
+
+
+def test_conflict_gadget_kernel(benchmark):
+    rng = np.random.default_rng(16)
+    tdm = planted_yes_instance(4, 5, rng)
+    gadget = conflict_gadget_from_3dm(tdm)
+    mapping = benchmark(feasible_conflict_assignment, gadget)
+    assert mapping is not None

@@ -1,0 +1,41 @@
+"""E11 — theorem guarantees certified at 50k-job scale."""
+
+import numpy as np
+
+from repro.analysis import experiment_e11_scale_oracles
+from repro.core import Instance, greedy_rebalance, m_partition_rebalance
+from repro.core.unit_jobs import unit_rebalance_exact
+
+
+def test_e11_table(benchmark, show_report):
+    report = benchmark.pedantic(
+        experiment_e11_scale_oracles, rounds=1, iterations=1
+    )
+    show_report(report)
+    assert all(row[-1] for row in report.rows), "a certificate failed at scale"
+
+
+def _unit_instance(n: int = 50_000, m: int = 64, seed: int = 21):
+    rng = np.random.default_rng(seed)
+    return Instance(
+        sizes=np.ones(n), costs=np.ones(n), num_processors=m,
+        initial=rng.integers(0, m, n),
+    )
+
+
+def test_unit_oracle_kernel_n50k(benchmark):
+    inst = _unit_instance()
+    result = benchmark(unit_rebalance_exact, inst, 2500)
+    assert result.meta["optimal"]
+
+
+def test_greedy_kernel_n50k(benchmark):
+    inst = _unit_instance(seed=22)
+    result = benchmark(greedy_rebalance, inst, 2500)
+    assert result.num_moves <= 2500
+
+
+def test_m_partition_kernel_n50k(benchmark):
+    inst = _unit_instance(seed=23)
+    result = benchmark(m_partition_rebalance, inst, 2500)
+    assert result.num_moves <= 2500

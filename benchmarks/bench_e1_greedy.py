@@ -1,0 +1,32 @@
+"""E1 — GREEDY's tight (2 - 1/m) approximation (Theorem 1).
+
+Regenerates the E1 table (tightness family + random families vs exact)
+and micro-benchmarks the GREEDY kernel at realistic scale.
+"""
+
+import numpy as np
+
+from repro.analysis import experiment_e1_greedy
+from repro.core import greedy_rebalance
+from repro.workloads import greedy_tight_instance, random_instance
+
+
+def test_e1_table(benchmark, show_report):
+    report = benchmark.pedantic(
+        experiment_e1_greedy, rounds=1, iterations=1
+    )
+    show_report(report)
+    assert all(row[-1] for row in report.rows), "a ratio exceeded 2 - 1/m"
+
+
+def test_greedy_kernel_n4096(benchmark):
+    rng = np.random.default_rng(0)
+    inst = random_instance(4096, 16, rng)
+    result = benchmark(greedy_rebalance, inst, 400)
+    assert result.num_moves <= 400
+
+
+def test_greedy_kernel_tight_family(benchmark):
+    inst, k, opt = greedy_tight_instance(32)
+    result = benchmark(greedy_rebalance, inst, k, "ascending")
+    assert result.makespan <= (2 - 1 / 32) * opt + 1e-9

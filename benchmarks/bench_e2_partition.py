@@ -1,0 +1,30 @@
+"""E2 — (M-)PARTITION's tight 1.5 approximation (Theorems 2-3)."""
+
+import numpy as np
+
+from repro.analysis import experiment_e2_partition
+from repro.core import m_partition_rebalance
+from repro.workloads import random_instance
+
+
+def test_e2_table(benchmark, show_report):
+    report = benchmark.pedantic(
+        experiment_e2_partition, rounds=1, iterations=1
+    )
+    show_report(report)
+    assert all(row[-1] for row in report.rows), "a ratio exceeded 1.5"
+
+
+def test_m_partition_kernel_n4096(benchmark):
+    rng = np.random.default_rng(1)
+    inst = random_instance(4096, 16, rng)
+    result = benchmark(m_partition_rebalance, inst, 400)
+    assert result.num_moves <= 400
+
+
+def test_m_partition_kernel_skewed(benchmark):
+    rng = np.random.default_rng(2)
+    inst = random_instance(2048, 8, rng, placement="skewed",
+                           size_family="zipf")
+    result = benchmark(m_partition_rebalance, inst, 200)
+    assert result.num_moves <= 200

@@ -1,0 +1,34 @@
+"""E3 — O(n log n) runtime scaling (Theorems 1 and 3)."""
+
+import numpy as np
+
+from repro.analysis import experiment_e3_scaling
+from repro.core import build_tables, greedy_rebalance, m_partition_rebalance
+from repro.workloads import random_instance
+
+
+def test_e3_table(benchmark, show_report):
+    report = benchmark.pedantic(
+        experiment_e3_scaling, rounds=1, iterations=1
+    )
+    show_report(report)
+    slopes = [row[2] for row in report.rows]
+    assert all(s < 1.7 for s in slopes), f"super-quasi-linear slopes: {slopes}"
+
+
+def test_greedy_scaling_point_n16384(benchmark):
+    rng = np.random.default_rng(3)
+    inst = random_instance(16384, 16, rng)
+    benchmark(greedy_rebalance, inst, 1600)
+
+
+def test_m_partition_scaling_point_n16384(benchmark):
+    rng = np.random.default_rng(4)
+    inst = random_instance(16384, 16, rng)
+    benchmark(m_partition_rebalance, inst, 1600)
+
+
+def test_threshold_table_build_n16384(benchmark):
+    rng = np.random.default_rng(5)
+    inst = random_instance(16384, 16, rng)
+    benchmark(build_tables, inst)

@@ -1,0 +1,31 @@
+"""E4 — PTAS quality/runtime trade-off (Theorem 4)."""
+
+import numpy as np
+
+from repro.analysis import experiment_e4_ptas
+from repro.core import ptas_rebalance
+from repro.workloads import random_instance
+
+
+def test_e4_table(benchmark, show_report):
+    report = benchmark.pedantic(experiment_e4_ptas, rounds=1, iterations=1)
+    show_report(report)
+    for eps, bound, mean_r, worst_r, budget_ok, _ in report.rows:
+        assert budget_ok, f"budget violated at eps={eps}"
+        assert worst_r <= bound + 1e-9, f"ratio {worst_r} > {bound} at eps={eps}"
+
+
+def test_ptas_kernel_eps1(benchmark):
+    rng = np.random.default_rng(6)
+    inst = random_instance(7, 3, rng, cost_family="random", integer_sizes=True)
+    budget = float(inst.costs.sum()) / 2
+    result = benchmark(ptas_rebalance, inst, budget, 1.0)
+    assert result.relocation_cost <= budget + 1e-9
+
+
+def test_ptas_kernel_eps05(benchmark):
+    rng = np.random.default_rng(7)
+    inst = random_instance(6, 3, rng, cost_family="random", integer_sizes=True)
+    budget = float(inst.costs.sum()) / 2
+    result = benchmark(ptas_rebalance, inst, budget, 0.5)
+    assert result.relocation_cost <= budget + 1e-9

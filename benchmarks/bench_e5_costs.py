@@ -1,0 +1,32 @@
+"""E5 — weighted rebalancing: Section 3.2 vs Shmoys-Tardos LP."""
+
+import numpy as np
+
+from repro.analysis import experiment_e5_costs
+from repro.baselines import shmoys_tardos_rebalance
+from repro.core import cost_partition_rebalance
+from repro.workloads import random_instance
+
+
+def test_e5_table(benchmark, show_report):
+    report = benchmark.pedantic(experiment_e5_costs, rounds=1, iterations=1)
+    show_report(report)
+    assert all(row[-1] for row in report.rows), "a budget was violated"
+
+
+def _case(seed: int, n: int = 64, m: int = 6):
+    rng = np.random.default_rng(seed)
+    inst = random_instance(n, m, rng, cost_family="random")
+    return inst, float(inst.costs.sum()) / 4
+
+
+def test_cost_partition_kernel(benchmark):
+    inst, budget = _case(8)
+    result = benchmark(cost_partition_rebalance, inst, budget)
+    assert result.relocation_cost <= budget + 1e-6
+
+
+def test_shmoys_tardos_kernel(benchmark):
+    inst, budget = _case(9, n=40, m=4)
+    result = benchmark(shmoys_tardos_rebalance, inst, budget)
+    assert result.relocation_cost <= budget + 1e-5

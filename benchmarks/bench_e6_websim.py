@@ -1,0 +1,39 @@
+"""E6 — web-cluster rebalancing simulation (Section 1 motivation)."""
+
+import numpy as np
+
+from repro.analysis import experiment_e6_websim
+from repro.websim import (
+    ComposedTraffic,
+    DiurnalTraffic,
+    FlashCrowdTraffic,
+    MPartitionPolicy,
+    Simulation,
+    build_cluster,
+)
+
+
+def test_e6_table(benchmark, show_report):
+    report = benchmark.pedantic(experiment_e6_websim, rounds=1, iterations=1)
+    show_report(report)
+    rows = {row[0]: row for row in report.rows}
+    # Bounded rebalancing must beat doing nothing...
+    assert rows["m-partition"][1] < rows["none"][1]
+    # ...and full repack needs far more migrations than bounded policies.
+    assert rows["full-repack"][4] > 5 * rows["m-partition"][4]
+
+
+def test_simulation_epoch_kernel(benchmark):
+    def run():
+        cluster = build_cluster(100, 8, np.random.default_rng(10))
+        traffic = ComposedTraffic(
+            (DiurnalTraffic(), FlashCrowdTraffic(probability=0.1))
+        )
+        sim = Simulation(
+            cluster=cluster, traffic=traffic, policy=MPartitionPolicy(k=4),
+            seed=11,
+        )
+        return sim.run(20)
+
+    result = benchmark(run)
+    assert len(result.records) == 20

@@ -1,0 +1,28 @@
+"""E7 — move minimization hardness gadgets (Theorem 5)."""
+
+import numpy as np
+
+from repro.analysis import experiment_e7_movemin
+from repro.hardness import (
+    min_moves_exact,
+    random_yes_instance,
+    reduction_from_partition,
+)
+
+
+def test_e7_table(benchmark, show_report):
+    report = benchmark.pedantic(experiment_e7_movemin, rounds=1, iterations=1)
+    show_report(report)
+    yes_rows = [r for r in report.rows if r[0].startswith("yes")]
+    no_rows = [r for r in report.rows if r[0].startswith("no")]
+    assert all(r[1] for r in yes_rows), "a yes-gadget was not achievable"
+    assert not any(r[1] for r in no_rows), "a no-gadget was achievable"
+    assert all(r[-1] for r in report.rows), "greedy was unsound"
+
+
+def test_min_moves_exact_kernel(benchmark):
+    rng = np.random.default_rng(12)
+    part = random_yes_instance(10, rng)
+    inst, bound = reduction_from_partition(part)
+    result = benchmark(min_moves_exact, inst, bound)
+    assert result.achievable

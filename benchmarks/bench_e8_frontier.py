@@ -1,0 +1,32 @@
+"""E8 — the makespan-vs-k frontier on the planted-imbalance family."""
+
+import numpy as np
+
+from repro.analysis import experiment_e8_frontier
+from repro.core import m_partition_rebalance
+from repro.workloads import planted_imbalance_instance
+
+
+def test_e8_table(benchmark, show_report):
+    report = benchmark.pedantic(experiment_e8_frontier, rounds=1, iterations=1)
+    show_report(report)
+    mp = [row[3] for row in report.rows]
+    lb = [row[1] for row in report.rows]
+    # The frontier never goes below the Lemma-1 lower bound and the
+    # final point is within 1.5x of it.
+    assert all(v >= b - 1e-9 for v, b in zip(mp, lb))
+    assert mp[-1] <= 1.5 * lb[-1] + 1e-9
+
+
+def test_frontier_sweep_kernel(benchmark):
+    rng = np.random.default_rng(13)
+    instance, k_star, opt = planted_imbalance_instance(8, 40, 60, rng)
+
+    def sweep():
+        return [
+            m_partition_rebalance(instance, k).makespan
+            for k in range(0, k_star + 1, 10)
+        ]
+
+    values = benchmark(sweep)
+    assert values[-1] <= 1.5 * opt + 1e-9

@@ -1,0 +1,24 @@
+"""E9 — head-to-head: GREEDY / M-PARTITION / baselines vs exact."""
+
+import numpy as np
+
+from repro.analysis import experiment_e9_headtohead
+from repro.baselines import hill_climb_rebalance
+from repro.workloads import random_instance
+
+
+def test_e9_table(benchmark, show_report):
+    report = benchmark.pedantic(
+        experiment_e9_headtohead, rounds=1, iterations=1
+    )
+    show_report(report)
+    worst = {row[0]: row[3] for row in report.rows}
+    assert worst["m-partition"] <= 1.5 + 1e-9
+    assert worst["greedy"] <= 2.0 + 1e-9
+
+
+def test_hill_climb_kernel_n1024(benchmark):
+    rng = np.random.default_rng(14)
+    inst = random_instance(1024, 8, rng, placement="skewed")
+    result = benchmark(hill_climb_rebalance, inst, 50)
+    assert result.num_moves <= 50

@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_eN_*.py`` file pairs kernel micro-benchmarks (timed by
+pytest-benchmark) with a ``test_*_table`` entry that regenerates the
+corresponding experiment table from DESIGN.md section 3 and prints it
+to the terminal (bypassing capture), so::
+
+    pytest benchmarks/ --benchmark-only
+
+reproduces the full result set of EXPERIMENTS.md in one run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def show_report(capsys):
+    """Print an ExperimentReport to the real terminal."""
+
+    def _show(report):
+        with capsys.disabled():
+            print()
+            print(report.render())
+
+    return _show

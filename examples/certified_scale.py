@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Certified rebalancing at 100,000 jobs.
+
+Exact solvers top out around a dozen jobs, yet the paper's guarantees
+are worth the most precisely where exhaustive checking is impossible.
+Two tools close the gap:
+
+* **oracles** — instance families with *known* optima at any scale:
+  unit-size jobs (closed form; the Rudolph et al. model of Section 1)
+  and planted-imbalance instances (the Lemma-1 lower bound is tight by
+  construction);
+* **certificates** — `repro.core.certify` re-derives loads, budgets and
+  a proven approximation ratio from scratch, trusting nothing the
+  algorithm reported.
+
+Run:  python examples/certified_scale.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import (
+    Instance,
+    certify,
+    greedy_rebalance,
+    m_partition_rebalance,
+    unit_rebalance_exact,
+)
+from repro.core.partition_incremental import m_partition_rebalance_incremental
+from repro.workloads import planted_imbalance_instance
+
+N, M, K = 100_000, 128, 5_000
+rng = np.random.default_rng(7)
+
+# ----------------------------------------------------------------------
+print(f"-- unit-size oracle: n={N}, m={M}, k={K}")
+inst = Instance(
+    sizes=np.ones(N), costs=np.ones(N), num_processors=M,
+    initial=rng.integers(0, M, N),
+)
+t0 = time.perf_counter()
+oracle = unit_rebalance_exact(inst, K)
+t_oracle = time.perf_counter() - t0
+print(f"closed-form optimum  : {oracle.makespan:.0f}   ({t_oracle * 1e3:.0f} ms)")
+
+for name, fn in (
+    ("greedy", greedy_rebalance),
+    ("m-partition", m_partition_rebalance),
+    ("m-partition-incr", m_partition_rebalance_incremental),
+):
+    t0 = time.perf_counter()
+    res = fn(inst, K)
+    elapsed = time.perf_counter() - t0
+    cert = certify(res, k=K)
+    cert.require()
+    print(
+        f"{name:>17}: makespan {res.makespan:.0f}  "
+        f"ratio vs oracle {res.makespan / oracle.makespan:.4f}  "
+        f"moves {res.num_moves}  certified={cert.valid}  "
+        f"({elapsed * 1e3:.0f} ms)"
+    )
+
+# ----------------------------------------------------------------------
+print(f"\n-- planted-imbalance oracle: m=64, 1000 jobs/processor")
+inst2, k2, opt2 = planted_imbalance_instance(64, 1000, 800, rng)
+print(f"planted optimum      : {opt2:.1f}  (k = {k2})")
+for name, fn in (
+    ("greedy", greedy_rebalance),
+    ("m-partition", m_partition_rebalance),
+):
+    res = fn(inst2, k2)
+    cert = certify(res, k=k2)
+    bound = 1.5 if name == "m-partition" else 2.0 - 1.0 / 64
+    cert.require(max_ratio=bound)
+    print(
+        f"{name:>17}: ratio {res.makespan / opt2:.4f}  "
+        f"(theorem bound {bound:.3f})  proven by certificate: "
+        f"{cert.proven_ratio:.4f} <= {bound:.3f}"
+    )
+
+print(
+    "\nEvery number above was re-derived by an independent certificate —\n"
+    "the theorems hold at a scale no exact solver could audit."
+)

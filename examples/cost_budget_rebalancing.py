@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Weighted migration costs: the Section 3.2 algorithm and the PTAS.
+
+Migrating a website is not free — a large media site costs far more to
+move than a static page.  The weighted problem (Definition 1, second
+form) bounds the *total relocation cost* by a budget B instead of the
+move count.
+
+This example builds a cluster where the overloaded server hosts one
+huge, expensive site and several small, cheap ones, then sweeps the
+budget and shows how each algorithm spends it:
+
+* cost-partition — the paper's Section 3.2 extension (knapsack-based);
+* ptas           — the Section 4 scheme, (1 + eps)-optimal;
+* shmoys-tardos  — the known LP-based 2-approximation (Section 2);
+* exact          — branch-and-bound ground truth.
+
+Run:  python examples/cost_budget_rebalancing.py
+"""
+
+from repro import make_instance
+from repro.baselines import shmoys_tardos_rebalance
+from repro.core import cost_partition_rebalance, exact_rebalance, ptas_rebalance
+
+# Server 0: one huge expensive site (size 10, cost 20) + small cheap ones.
+instance = make_instance(
+    sizes=[10, 4, 4, 3, 3, 2, 6, 5],
+    initial=[0, 0, 0, 0, 0, 0, 1, 2],
+    num_processors=3,
+    costs=[20, 2, 2, 1, 1, 1, 3, 3],
+)
+
+print(f"initial loads    : {instance.initial_loads.tolist()}")
+print(f"initial makespan : {instance.initial_makespan}")
+print(f"moving the big site costs 20; the small ones cost 1-2 each\n")
+
+print(f"{'budget':>6} | {'exact':>6} | {'cost-part':>9} | {'ptas(0.75)':>10} | "
+      f"{'shmoys-tardos':>13}")
+print("-" * 58)
+for budget in (0.0, 2.0, 4.0, 7.0, 12.0, 33.0):
+    opt = exact_rebalance(instance, budget=budget)
+    cp = cost_partition_rebalance(instance, budget)
+    pt = ptas_rebalance(instance, budget, eps=0.75)
+    st = shmoys_tardos_rebalance(instance, budget=budget)
+    for res in (cp, pt, st):
+        assert res.relocation_cost <= budget + 1e-6, "budget violated!"
+    print(
+        f"{budget:6.1f} | {opt.makespan:6.1f} | {cp.makespan:9.1f} | "
+        f"{pt.makespan:10.1f} | {st.makespan:13.1f}"
+    )
+
+print(
+    "\nNote the shape: small budgets move only the cheap small sites\n"
+    "(knapsack in action); the big site moves only once the budget\n"
+    "affords its cost-20 migration — and the PTAS tracks the exact\n"
+    "frontier within its (1 + eps) guarantee."
+)

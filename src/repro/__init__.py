@@ -1,0 +1,57 @@
+"""repro — a reproduction of "The Load Rebalancing Problem" (SPAA 2003).
+
+Given jobs already assigned to processors, relocate at most ``k`` of
+them (or a set of total relocation cost at most ``B``) to minimize the
+makespan.  This library implements every algorithm in the paper —
+GREEDY (tight ``2 - 1/m``), PARTITION / M-PARTITION (1.5), the
+arbitrary-cost extension, and the PTAS — together with exact solvers,
+classical baselines, the Section-5 hardness gadgets, a web-cluster
+rebalancing simulator, workload generators and an experiment harness.
+
+Quickstart::
+
+    import repro
+
+    inst = repro.make_instance(
+        sizes=[5, 3, 3, 2, 2, 1], initial=[0, 0, 0, 0, 1, 1],
+        num_processors=3,
+    )
+    result = repro.rebalance(inst, algorithm="m-partition", k=2)
+    print(result.makespan, result.num_moves)
+"""
+
+from .core import (
+    Assignment,
+    Instance,
+    Job,
+    RebalanceResult,
+    available_algorithms,
+    cost_partition_rebalance,
+    exact_rebalance,
+    greedy_rebalance,
+    m_partition_rebalance,
+    make_instance,
+    partition_rebalance,
+    ptas_rebalance,
+    rebalance,
+)
+from . import baselines  # noqa: E402  (registers baseline algorithms)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Assignment",
+    "Instance",
+    "Job",
+    "RebalanceResult",
+    "available_algorithms",
+    "cost_partition_rebalance",
+    "exact_rebalance",
+    "greedy_rebalance",
+    "m_partition_rebalance",
+    "make_instance",
+    "partition_rebalance",
+    "ptas_rebalance",
+    "rebalance",
+    "__version__",
+]

@@ -1,0 +1,85 @@
+"""Approximation-ratio measurement against exact optima.
+
+The paper's theorems bound each algorithm's makespan against ``OPT``;
+these helpers compute the measured ratio distributions over instance
+families (experiments E1, E2, E4, E5, E9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.exact import exact_rebalance
+from ..core.instance import Instance
+from ..core.result import RebalanceResult
+
+__all__ = ["RatioStats", "measure_ratios"]
+
+
+@dataclass(frozen=True)
+class RatioStats:
+    """Summary of makespan ratios (algorithm / optimum) over a family."""
+
+    algorithm: str
+    count: int
+    mean: float
+    p95: float
+    worst: float
+    mean_moves: float
+    mean_runtime_ms: float
+
+    @classmethod
+    def from_samples(
+        cls,
+        algorithm: str,
+        ratios: Sequence[float],
+        moves: Sequence[int],
+        runtimes: Sequence[float],
+    ) -> "RatioStats":
+        arr = np.asarray(ratios, dtype=np.float64)
+        return cls(
+            algorithm=algorithm,
+            count=int(arr.shape[0]),
+            mean=float(arr.mean()),
+            p95=float(np.percentile(arr, 95)),
+            worst=float(arr.max()),
+            mean_moves=float(np.mean(moves)),
+            mean_runtime_ms=float(np.mean(runtimes) * 1e3),
+        )
+
+
+def measure_ratios(
+    instances: Sequence[tuple[Instance, int]],
+    algorithms: dict[str, Callable[[Instance, int], RebalanceResult]],
+    opt_values: Sequence[float] | None = None,
+) -> dict[str, RatioStats]:
+    """Run every algorithm on every ``(instance, k)`` pair and compare
+    to the exact optimum.
+
+    ``opt_values`` may supply known optima (planted families); when
+    ``None`` the branch-and-bound exact solver computes them.
+    """
+    import time
+
+    per_alg: dict[str, tuple[list[float], list[int], list[float]]] = {
+        name: ([], [], []) for name in algorithms
+    }
+    for idx, (instance, k) in enumerate(instances):
+        if opt_values is not None:
+            opt = float(opt_values[idx])
+        else:
+            opt = exact_rebalance(instance, k=k).makespan
+        for name, fn in algorithms.items():
+            start = time.perf_counter()
+            result = fn(instance, k)
+            elapsed = time.perf_counter() - start
+            ratios, moves, runtimes = per_alg[name]
+            ratios.append(result.makespan / opt if opt > 0 else 1.0)
+            moves.append(result.num_moves)
+            runtimes.append(elapsed)
+    return {
+        name: RatioStats.from_samples(name, *per_alg[name]) for name in algorithms
+    }

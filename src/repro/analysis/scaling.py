@@ -1,0 +1,60 @@
+"""Runtime scaling measurement (experiment E3).
+
+Theorems 1 and 3 claim ``O(n log n)`` running time for GREEDY and
+M-PARTITION.  These helpers time an algorithm over a size sweep and fit
+the log–log slope: quasi-linear algorithms land near slope 1 (the
+``log n`` factor nudges it slightly above).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["ScalingPoint", "measure_scaling", "loglog_slope"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One timed size point."""
+
+    n: int
+    seconds: float
+
+
+def measure_scaling(
+    make_input: Callable[[int], object],
+    run: Callable[[object], object],
+    sizes: Sequence[int],
+    repeats: int = 3,
+) -> list[ScalingPoint]:
+    """Time ``run(make_input(n))`` for each ``n``; best of ``repeats``.
+
+    Input construction is excluded from the timing.
+    """
+    points = []
+    for n in sizes:
+        payload = make_input(n)
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            run(payload)
+            best = min(best, time.perf_counter() - start)
+        points.append(ScalingPoint(n=int(n), seconds=best))
+    return points
+
+
+def loglog_slope(points: Sequence[ScalingPoint]) -> float:
+    """Least-squares slope of ``log(seconds)`` against ``log(n)``.
+
+    ~1.0 = linear / quasi-linear, ~2.0 = quadratic.
+    """
+    if len(points) < 2:
+        raise ValueError("need at least two points")
+    x = np.log([p.n for p in points])
+    y = np.log([max(p.seconds, 1e-9) for p in points])
+    slope, _ = np.polyfit(x, y, 1)
+    return float(slope)

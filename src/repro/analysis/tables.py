@@ -1,0 +1,73 @@
+"""Fixed-width ASCII tables for experiment reports.
+
+The benchmark harness prints every experiment's table through these
+helpers, so ``pytest benchmarks/ --benchmark-only`` regenerates the
+full result set in a uniform format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = ["ExperimentReport", "render_table"]
+
+
+@dataclass
+class ExperimentReport:
+    """A rendered experiment: identity, tabular data and prose notes."""
+
+    experiment_id: str
+    title: str
+    columns: tuple[str, ...]
+    rows: list[tuple[Any, ...]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.columns)} columns"
+            )
+        self.rows.append(tuple(values))
+
+    def render(self) -> str:
+        return render_table(
+            title=f"[{self.experiment_id}] {self.title}",
+            columns=self.columns,
+            rows=self.rows,
+            notes=self.notes,
+        )
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        if abs(value) >= 1000:
+            return f"{value:.1f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    notes: Sequence[str] = (),
+) -> str:
+    """Render a titled fixed-width table with optional footnotes."""
+    cells = [[_format_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells)) if cells else len(col)
+        for i, col in enumerate(columns)
+    ]
+    sep = "+".join("-" * (w + 2) for w in widths)
+    header = " | ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines = [title, "=" * max(len(title), len(header)), header, sep]
+    for row in cells:
+        lines.append(" | ".join(v.rjust(w) for v, w in zip(row, widths)))
+    for note in notes:
+        lines.append(f"  * {note}")
+    return "\n".join(lines)

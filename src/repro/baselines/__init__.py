@@ -1,0 +1,53 @@
+"""Baselines the paper positions its algorithms against.
+
+* :mod:`repro.baselines.graham` — Graham list scheduling / LPT from
+  scratch (classical load balancing; unbounded moves);
+* :mod:`repro.baselines.shmoys_tardos` — the known 2-approximation for
+  the GAP reduction of Section 2 (LP + slot rounding);
+* :mod:`repro.baselines.local_search` — best-improvement hill climbing
+  under a move budget (the natural engineering baseline);
+* :mod:`repro.baselines.random_moves` — random relocation control;
+* :mod:`repro.baselines.diffusion` — diffusive balancing on a proximity
+  graph (Hu et al., related work in Section 1).
+
+Importing this package registers every baseline with
+:func:`repro.core.rebalance` under the names ``"lpt-full"``,
+``"shmoys-tardos"``, ``"hill-climb"``, ``"random"`` and
+``"diffusion"``.
+"""
+
+from ..core.solvers import register_algorithm
+from .diffusion import default_topology, diffusive_rebalance
+from .graham import list_schedule, lpt_rebalance, lpt_schedule
+from .local_search import hill_climb_rebalance
+from .random_moves import random_rebalance
+from .shmoys_tardos import (
+    round_fractional,
+    shmoys_tardos_rebalance,
+    solve_fractional_lp,
+)
+
+for _name, _fn in [
+    ("lpt-full", lpt_rebalance),
+    ("shmoys-tardos", shmoys_tardos_rebalance),
+    ("hill-climb", hill_climb_rebalance),
+    ("random", random_rebalance),
+    ("diffusion", diffusive_rebalance),
+]:
+    try:
+        register_algorithm(_name, _fn)
+    except ValueError:
+        pass  # idempotent re-import
+
+__all__ = [
+    "default_topology",
+    "diffusive_rebalance",
+    "hill_climb_rebalance",
+    "list_schedule",
+    "lpt_rebalance",
+    "lpt_schedule",
+    "random_rebalance",
+    "round_fractional",
+    "shmoys_tardos_rebalance",
+    "solve_fractional_lp",
+]

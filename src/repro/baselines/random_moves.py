@@ -1,0 +1,59 @@
+"""Random-relocation control baseline.
+
+Moves ``k`` uniformly random jobs to uniformly random other processors.
+Useful as the null hypothesis in the head-to-head experiment: any
+algorithm worth running must beat it decisively.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.assignment import Assignment
+from ..core.instance import Instance
+from ..core.result import RebalanceResult
+
+__all__ = ["random_rebalance"]
+
+
+def random_rebalance(
+    instance: Instance,
+    k: int | None = None,
+    budget: float | None = None,
+    seed: int = 0,
+    **_: object,
+) -> RebalanceResult:
+    """Relocate up to ``k`` random jobs (or as many fit in ``budget``).
+
+    Deterministic given ``seed``.
+    """
+    rng = np.random.default_rng(seed)
+    mapping = np.array(instance.initial, dtype=np.int64)
+    n = instance.num_jobs
+    m = instance.num_processors
+    if n == 0 or m < 2:
+        assignment = Assignment(instance=instance, mapping=mapping)
+        return RebalanceResult(assignment=assignment, algorithm="random")
+    limit = k if k is not None else n
+    order = rng.permutation(n)
+    moves = 0
+    cost = 0.0
+    for j in order:
+        if moves >= limit:
+            break
+        if budget is not None and cost + instance.costs[j] > budget + 1e-12:
+            continue
+        target = int(rng.integers(0, m - 1))
+        if target >= mapping[j]:
+            target += 1  # uniform over the other m-1 processors
+        mapping[j] = target
+        moves += 1
+        cost += float(instance.costs[j])
+    assignment = Assignment(instance=instance, mapping=mapping)
+    assignment.validate(max_moves=k, budget=budget)
+    return RebalanceResult(
+        assignment=assignment,
+        algorithm="random",
+        planned_moves=moves,
+        meta={"seed": seed},
+    )

@@ -1,0 +1,57 @@
+"""Command-line entry point: ``python -m repro [experiment ...]``.
+
+Runs the named experiments (default: all of E1–E10) and prints their
+tables.  ``python -m repro --list`` shows what is available.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .analysis.ablations import ALL_ABLATIONS
+from .analysis.experiments import ALL_EXPERIMENTS
+
+ALL_RUNNABLE = {**ALL_EXPERIMENTS, **ALL_ABLATIONS}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the load-rebalancing reproduction experiments.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiment ids (E1..E11, A1..A3); default: all",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiments and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for key, fn in ALL_RUNNABLE.items():
+            doc = (fn.__doc__ or "").strip().splitlines()
+            print(f"{key}: {doc[0] if doc else fn.__name__}")
+        return 0
+
+    chosen = args.experiments or list(ALL_RUNNABLE)
+    unknown = [e for e in chosen if e.upper() not in ALL_RUNNABLE]
+    if unknown:
+        parser.error(f"unknown experiments {unknown}; try --list")
+
+    for key in chosen:
+        fn = ALL_RUNNABLE[key.upper()]
+        start = time.perf_counter()
+        report = fn()
+        elapsed = time.perf_counter() - start
+        print(report.render())
+        print(f"  ({elapsed:.2f}s)\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,153 @@
+"""Exact optimal rebalancing for small instances.
+
+The load rebalancing problem is NP-complete (Section 2: set ``k = n``
+and it contains multiprocessor scheduling), so exact solutions are only
+tractable for small instances — which is precisely what the benchmark
+harness needs them for: the theorems bound ratios *against the optimum*,
+and these solvers provide that denominator.
+
+:func:`exact_rebalance` is a depth-first branch-and-bound over complete
+assignments: jobs are placed in non-increasing size order, keeping each
+job's home processor as the first branch (a free move), pruning on the
+incumbent makespan and on the move/cost budget.
+
+:mod:`repro.core.milp` provides an independent MILP formulation used to
+cross-check this solver in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .assignment import Assignment
+from .greedy import greedy_rebalance
+from .instance import Instance
+from .result import RebalanceResult
+
+__all__ = ["exact_rebalance"]
+
+
+def exact_rebalance(
+    instance: Instance,
+    k: int | None = None,
+    budget: float | None = None,
+    upper_bound: float | None = None,
+    node_limit: int = 50_000_000,
+) -> RebalanceResult:
+    """Compute an optimal rebalancing by branch-and-bound.
+
+    Parameters
+    ----------
+    instance:
+        The problem instance.
+    k:
+        Move-count budget (``None`` = unconstrained).
+    budget:
+        Relocation-cost budget ``B`` (``None`` = unconstrained).
+    upper_bound:
+        Optional incumbent makespan to start from; defaults to the
+        better of the initial makespan and (for the unit-cost case)
+        GREEDY's result, which tightens pruning considerably.
+    node_limit:
+        Safety valve on the number of branch-and-bound nodes.
+
+    Returns
+    -------
+    RebalanceResult
+        With ``meta["nodes"]`` recording the search size and
+        ``meta["optimal"] = True``.
+
+    Raises
+    ------
+    RuntimeError
+        If ``node_limit`` is exhausted (the answer would be unproven).
+    """
+    n = instance.num_jobs
+    m = instance.num_processors
+    sizes = instance.sizes
+    costs = instance.costs
+    home = instance.initial
+
+    # Order jobs by non-increasing size: big decisions first.
+    order = sorted(range(n), key=lambda j: (-sizes[j], j))
+
+    # Suffix sums of remaining size: lower bound on what must still land.
+    suffix = np.zeros(n + 1)
+    for pos in range(n - 1, -1, -1):
+        suffix[pos] = suffix[pos + 1] + sizes[order[pos]]
+    avg_bound = instance.total_size / m
+
+    # Incumbent.
+    best_mapping = np.array(home, dtype=np.int64)
+    best_makespan = instance.initial_makespan
+    if upper_bound is not None:
+        best_makespan = min(best_makespan, upper_bound)
+    if k is not None:
+        seed = greedy_rebalance(instance, k)
+        if seed.makespan < best_makespan and (
+            budget is None or seed.relocation_cost <= budget
+        ):
+            best_makespan = seed.makespan
+            best_mapping = np.array(seed.assignment.mapping)
+
+    loads = [0.0] * m
+    mapping = np.empty(n, dtype=np.int64)
+    nodes = 0
+    eps = 1e-12 * max(1.0, instance.total_size)
+
+    def lower_bound(pos: int, cur_max: float) -> float:
+        # Remaining work must fit somewhere; the average is a bound on
+        # the final maximum regardless of placement.
+        return max(cur_max, avg_bound, sizes[order[pos]] if pos < n else 0.0)
+
+    def dfs(pos: int, cur_max: float, moves: int, cost: float) -> None:
+        nonlocal nodes, best_makespan, best_mapping
+        nodes += 1
+        if nodes > node_limit:
+            raise RuntimeError(
+                f"exact_rebalance exceeded node_limit={node_limit}; "
+                "instance too large for exact search"
+            )
+        if pos == n:
+            if cur_max < best_makespan - eps:
+                best_makespan = cur_max
+                best_mapping = mapping.copy()
+            return
+        if lower_bound(pos, cur_max) >= best_makespan - eps:
+            return
+        j = order[pos]
+        h = int(home[j])
+        # Home first: free.  Then the other processors, cheapest load
+        # first (finds good incumbents early).
+        others = sorted(
+            (p for p in range(m) if p != h), key=lambda p: loads[p]
+        )
+        for p in [h] + others:
+            if p != h:
+                if k is not None and moves + 1 > k:
+                    continue
+                if budget is not None and cost + costs[j] > budget + eps:
+                    continue
+            new_load = loads[p] + sizes[j]
+            if new_load >= best_makespan - eps and new_load > cur_max:
+                continue
+            loads[p] = new_load
+            mapping[j] = p
+            dfs(
+                pos + 1,
+                max(cur_max, new_load),
+                moves + (0 if p == h else 1),
+                cost + (0.0 if p == h else float(costs[j])),
+            )
+            loads[p] = new_load - sizes[j]
+
+    dfs(0, 0.0, 0, 0.0)
+    assignment = Assignment(instance=instance, mapping=best_mapping)
+    assignment.validate(max_moves=k, budget=budget)
+    return RebalanceResult(
+        assignment=assignment,
+        algorithm="exact",
+        planned_moves=assignment.num_moves,
+        planned_cost=assignment.relocation_cost,
+        meta={"nodes": nodes, "optimal": True},
+    )

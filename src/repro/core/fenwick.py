@@ -1,0 +1,81 @@
+"""Order-statistic Fenwick tree over a bounded integer value domain.
+
+Theorem 3's running-time argument needs, per threshold, the sum of the
+``L_T`` smallest ``c_i`` values under insertions and deletions in
+"constant time" (the paper exploits that each threshold changes one
+integral ``c_i`` by one).  This structure supports the required
+operations in ``O(log n)``, which preserves the overall
+``O(n log n)`` bound:
+
+* ``add(value, +1/-1)`` — insert/remove one occurrence of ``value``;
+* ``sum_smallest(count)`` — total of the ``count`` smallest stored
+  values (ties are interchangeable: only the sum matters for
+  ``k-hat``, not which tied processor is selected).
+"""
+
+from __future__ import annotations
+
+__all__ = ["ValueMultisetFenwick"]
+
+
+class ValueMultisetFenwick:
+    """Multiset of integers in ``[lo, hi]`` with order-statistic sums."""
+
+    def __init__(self, lo: int, hi: int) -> None:
+        if hi < lo:
+            raise ValueError("empty value domain")
+        self._lo = lo
+        self._size = hi - lo + 1
+        self._counts = [0] * (self._size + 1)  # 1-based Fenwick arrays
+        self._sums = [0] * (self._size + 1)
+        self._total = 0
+
+    def __len__(self) -> int:
+        return self._total
+
+    def add(self, value: int, delta: int = 1) -> None:
+        """Insert (``delta > 0``) or remove occurrences of ``value``."""
+        idx = value - self._lo + 1
+        if not 1 <= idx <= self._size:
+            raise ValueError(f"value {value} outside domain")
+        self._total += delta
+        if self._total < 0:
+            raise ValueError("removed more values than stored")
+        while idx <= self._size:
+            self._counts[idx] += delta
+            self._sums[idx] += delta * value
+            idx += idx & (-idx)
+
+    def remove(self, value: int) -> None:
+        """Remove one occurrence of ``value``."""
+        self.add(value, -1)
+
+    def sum_smallest(self, count: int) -> int:
+        """Sum of the ``count`` smallest stored values.
+
+        Fenwick binary descent: walk down the implicit tree keeping the
+        running count; values sharing a bucket are identical, so the
+        partial take at the boundary bucket is exact.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count > self._total:
+            raise ValueError(f"only {self._total} values stored, need {count}")
+        if count == 0:
+            return 0
+        idx = 0
+        remaining = count
+        acc = 0
+        bit = 1
+        while bit * 2 <= self._size:
+            bit *= 2
+        while bit:
+            nxt = idx + bit
+            if nxt <= self._size and self._counts[nxt] < remaining:
+                idx = nxt
+                remaining -= self._counts[nxt]
+                acc += self._sums[nxt]
+            bit //= 2
+        # Bucket idx+1 holds the boundary value (domain offset back).
+        boundary_value = self._lo + idx
+        return acc + remaining * boundary_value

@@ -1,0 +1,252 @@
+"""Problem instance model for load rebalancing.
+
+An :class:`Instance` bundles the static data of Definition 1 of the
+paper: ``n`` job sizes, ``m`` processors, an initial assignment of jobs
+to processors, and (for the weighted variant) per-job relocation costs.
+
+Instances are immutable; algorithms produce new
+:class:`~repro.core.assignment.Assignment` objects instead of mutating
+the instance.  All array attributes are numpy arrays with write access
+disabled, so they can be shared freely between algorithm internals
+without defensive copies.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .job import Job
+
+__all__ = ["Instance", "make_instance"]
+
+
+def _as_readonly_f64(values: Sequence[float] | np.ndarray, name: str) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.float64).copy()
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    arr.setflags(write=False)
+    return arr
+
+
+def _as_readonly_i64(values: Sequence[int] | np.ndarray, name: str) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.int64).copy()
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    arr.setflags(write=False)
+    return arr
+
+
+@dataclass(frozen=True)
+class Instance:
+    """An immutable load rebalancing instance.
+
+    Attributes
+    ----------
+    sizes:
+        Array of ``n`` strictly positive job sizes.
+    costs:
+        Array of ``n`` non-negative relocation costs (all ones for the
+        unit-cost problem).
+    num_processors:
+        ``m``, the number of processors.
+    initial:
+        Array of ``n`` processor indices in ``[0, m)``: the initial
+        (possibly suboptimal) assignment the rebalancer starts from.
+    """
+
+    sizes: np.ndarray
+    costs: np.ndarray
+    num_processors: int
+    initial: np.ndarray
+    _loads: np.ndarray = field(repr=False, compare=False, default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sizes", _as_readonly_f64(self.sizes, "sizes"))
+        object.__setattr__(self, "costs", _as_readonly_f64(self.costs, "costs"))
+        object.__setattr__(self, "initial", _as_readonly_i64(self.initial, "initial"))
+        if self.num_processors <= 0:
+            raise ValueError("num_processors must be positive")
+        n = self.sizes.shape[0]
+        if self.costs.shape[0] != n:
+            raise ValueError(
+                f"costs has length {self.costs.shape[0]} but there are {n} jobs"
+            )
+        if self.initial.shape[0] != n:
+            raise ValueError(
+                f"initial assignment has length {self.initial.shape[0]} "
+                f"but there are {n} jobs"
+            )
+        if n and self.sizes.min() <= 0:
+            raise ValueError("all job sizes must be strictly positive")
+        if n and self.costs.min() < 0:
+            raise ValueError("all relocation costs must be non-negative")
+        if n and (self.initial.min() < 0 or self.initial.max() >= self.num_processors):
+            raise ValueError(
+                "initial assignment refers to processors outside "
+                f"[0, {self.num_processors})"
+            )
+        loads = np.zeros(self.num_processors, dtype=np.float64)
+        np.add.at(loads, self.initial, self.sizes)
+        loads.setflags(write=False)
+        object.__setattr__(self, "_loads", loads)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_jobs(self) -> int:
+        """``n``, the number of jobs."""
+        return int(self.sizes.shape[0])
+
+    @property
+    def initial_loads(self) -> np.ndarray:
+        """Per-processor load of the initial assignment (read-only)."""
+        return self._loads
+
+    @property
+    def initial_makespan(self) -> float:
+        """Makespan (maximum load) of the initial assignment."""
+        if self.num_processors == 0:
+            return 0.0
+        return float(self._loads.max())
+
+    @property
+    def total_size(self) -> float:
+        """Sum of all job sizes."""
+        return float(self.sizes.sum())
+
+    @property
+    def average_load(self) -> float:
+        """Total size divided by the number of processors.
+
+        A universal lower bound on the makespan of *any* assignment,
+        used by M-PARTITION as its starting guess (Section 3.1).
+        """
+        return self.total_size / self.num_processors
+
+    @property
+    def max_size(self) -> float:
+        """The largest job size; a lower bound on any makespan."""
+        return float(self.sizes.max()) if self.num_jobs else 0.0
+
+    @property
+    def is_unit_cost(self) -> bool:
+        """True when every relocation cost is exactly one."""
+        return bool(np.all(self.costs == 1.0))
+
+    def job(self, index: int) -> Job:
+        """Materialize job ``index`` as a :class:`Job` value."""
+        return Job(
+            size=float(self.sizes[index]),
+            cost=float(self.costs[index]),
+            index=index,
+        )
+
+    def jobs(self) -> list[Job]:
+        """Materialize all jobs, in index order."""
+        return [self.job(i) for i in range(self.num_jobs)]
+
+    def jobs_on(self, processor: int) -> np.ndarray:
+        """Indices of jobs initially on ``processor`` (ascending)."""
+        return np.flatnonzero(self.initial == processor)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-dict form suitable for JSON round-tripping."""
+        return {
+            "sizes": self.sizes.tolist(),
+            "costs": self.costs.tolist(),
+            "num_processors": self.num_processors,
+            "initial": self.initial.tolist(),
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON encoding of this instance."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Instance":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            sizes=np.asarray(data["sizes"], dtype=np.float64),
+            costs=np.asarray(data["costs"], dtype=np.float64),
+            num_processors=int(data["num_processors"]),
+            initial=np.asarray(data["initial"], dtype=np.int64),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Instance":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    # Derived instances
+    # ------------------------------------------------------------------
+    def with_unit_costs(self) -> "Instance":
+        """Copy of this instance with all relocation costs set to 1."""
+        return Instance(
+            sizes=self.sizes,
+            costs=np.ones(self.num_jobs),
+            num_processors=self.num_processors,
+            initial=self.initial,
+        )
+
+    def with_initial(self, initial: Sequence[int] | np.ndarray) -> "Instance":
+        """Copy of this instance with a different initial assignment."""
+        return Instance(
+            sizes=self.sizes,
+            costs=self.costs,
+            num_processors=self.num_processors,
+            initial=np.asarray(initial, dtype=np.int64),
+        )
+
+    def scaled(self, factor: float) -> "Instance":
+        """Copy with every job size multiplied by ``factor > 0``.
+
+        Rebalancing is scale-invariant (Definition 1 constrains move
+        count / cost, not load); this helper supports property tests of
+        that invariance.
+        """
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return Instance(
+            sizes=self.sizes * factor,
+            costs=self.costs,
+            num_processors=self.num_processors,
+            initial=self.initial,
+        )
+
+
+def make_instance(
+    sizes: Iterable[float],
+    initial: Iterable[int],
+    num_processors: int | None = None,
+    costs: Iterable[float] | None = None,
+) -> Instance:
+    """Convenience constructor.
+
+    ``num_processors`` defaults to ``max(initial) + 1``; ``costs``
+    defaults to unit costs.
+    """
+    sizes_arr = np.asarray(list(sizes), dtype=np.float64)
+    initial_arr = np.asarray(list(initial), dtype=np.int64)
+    if num_processors is None:
+        if initial_arr.size == 0:
+            raise ValueError("num_processors required for an empty instance")
+        num_processors = int(initial_arr.max()) + 1
+    if costs is None:
+        costs_arr = np.ones(sizes_arr.shape[0], dtype=np.float64)
+    else:
+        costs_arr = np.asarray(list(costs), dtype=np.float64)
+    return Instance(
+        sizes=sizes_arr,
+        costs=costs_arr,
+        num_processors=num_processors,
+        initial=initial_arr,
+    )

@@ -1,0 +1,56 @@
+"""Job value type for the load rebalancing problem.
+
+A job has a positive size (processing requirement) and a non-negative
+relocation cost.  In the unit-cost variant of the problem (Definition 1
+of the paper, first form) every job has relocation cost 1 and the budget
+is the move count ``k``.  In the weighted variant (Definition 1, second
+form) job ``i`` has an arbitrary relocation cost ``c_i`` and the budget
+is a total cost ``B``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Job:
+    """A single job.
+
+    Ordering is by ``(size, cost, index)`` so that sorted containers of
+    jobs behave deterministically; the paper indexes jobs in
+    non-increasing order of size (``s_1 >= s_2 >= ... >= s_n``).
+
+    Attributes
+    ----------
+    size:
+        Processing requirement; strictly positive.
+    cost:
+        Relocation cost ``c_i``; non-negative.  ``1.0`` for the
+        unit-cost problem.
+    index:
+        Position of the job in the owning
+        :class:`~repro.core.instance.Instance`.  Unique per instance.
+    """
+
+    size: float
+    cost: float
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"job size must be positive, got {self.size!r}")
+        if self.cost < 0:
+            raise ValueError(f"job cost must be non-negative, got {self.cost!r}")
+        if self.index < 0:
+            raise ValueError(f"job index must be non-negative, got {self.index!r}")
+
+    def is_large(self, threshold: float) -> bool:
+        """Return True if this job is *large* relative to ``threshold``.
+
+        Definition 1 of Section 3 classifies jobs of size strictly
+        greater than ``OPT / 2`` as large; the caller passes the
+        appropriate threshold (``OPT / 2`` for PARTITION,
+        ``delta * OPT`` for the PTAS of Section 4).
+        """
+        return self.size > threshold

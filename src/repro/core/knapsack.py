@@ -1,0 +1,250 @@
+"""Knapsack subroutines for the arbitrary-cost variant (Section 3.2).
+
+The weighted version of PARTITION needs, per processor, the *cheapest*
+set of jobs to remove so that the remaining jobs fit under a capacity.
+Equivalently (and how the paper phrases it): find the set of jobs to
+**keep** with total size at most the capacity and total relocation cost
+as **high** as possible; the removal cost is the complementary cost.
+
+This module provides the two solvers the paper calls for:
+
+* :func:`keep_max_cost_exact` — exact dynamic program over discretized
+  sizes ("If the maximum relocation cost or the job sizes are
+  polynomially bounded, then we can solve the knapsack problems
+  exactly");
+* :func:`keep_max_cost_fptas` — the classical cost-scaling FPTAS
+  ("Otherwise, one can use a PTAS in the place of the knapsack
+  routine"), which keeps a set of total size at most the capacity whose
+  kept cost is at least ``(1 - eps)`` of the best.
+
+Both return the kept index set, so callers can derive the removal plan.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "KnapsackSolution",
+    "keep_max_cost_exact",
+    "keep_max_cost_fptas",
+    "keep_max_cost",
+    "min_removal_cost",
+]
+
+
+@dataclass(frozen=True)
+class KnapsackSolution:
+    """A kept-set solution of the keep-max-cost knapsack."""
+
+    keep: tuple[int, ...]  # indices into the input arrays
+    kept_cost: float
+    kept_size: float
+
+    def removed(self, n: int) -> tuple[int, ...]:
+        """Complement of :attr:`keep` within ``range(n)``."""
+        kept = set(self.keep)
+        return tuple(i for i in range(n) if i not in kept)
+
+
+def _as_arrays(
+    sizes: Sequence[float], costs: Sequence[float]
+) -> tuple[np.ndarray, np.ndarray]:
+    s = np.asarray(sizes, dtype=np.float64)
+    c = np.asarray(costs, dtype=np.float64)
+    if s.shape != c.shape or s.ndim != 1:
+        raise ValueError("sizes and costs must be 1-d arrays of equal length")
+    if s.size and s.min() <= 0:
+        raise ValueError("sizes must be positive")
+    if c.size and c.min() < 0:
+        raise ValueError("costs must be non-negative")
+    return s, c
+
+
+def keep_max_cost_exact(
+    sizes: Sequence[float],
+    costs: Sequence[float],
+    capacity: float,
+    resolution: int = 4096,
+) -> KnapsackSolution:
+    """Exact (up to size discretization) keep-max-cost knapsack.
+
+    Sizes are scaled onto an integer grid of at most ``resolution``
+    units; sizes are rounded **up** so the kept set always truly fits
+    under ``capacity``.  When the input sizes are already integers of
+    modest magnitude the grid is exact and so is the solution; otherwise
+    the rounding forgoes at most the cost of items within one grid unit
+    of the boundary (the same conservative direction the paper uses for
+    its discretizations).
+
+    ``O(n * resolution)`` time and memory.
+    """
+    s, c = _as_arrays(sizes, costs)
+    n = s.size
+    if n == 0 or capacity <= 0:
+        if n and capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        return KnapsackSolution(keep=(), kept_cost=0.0, kept_size=0.0)
+
+    # Integer grid.  If sizes are small integers, use them directly with
+    # the capacity floored — exact, because integer sizes fit under a
+    # real capacity iff they fit under its floor.  Otherwise scale
+    # up-rounded onto the grid (conservative: never overpacks).
+    if np.all(s == np.round(s)) and np.floor(capacity + 1e-9) <= resolution:
+        ws = s.astype(np.int64)
+        cap = int(np.floor(capacity + 1e-9))
+    else:
+        unit = capacity / resolution
+        ws = np.ceil(s / unit - 1e-12).astype(np.int64)
+        cap = resolution
+    ws = np.maximum(ws, 1)
+
+    # DP over capacities: best[v] = max kept cost using first i items at
+    # total grid-size exactly <= v; choice[i][v] = keep item i at v?
+    best = np.full(cap + 1, 0.0)
+    take = np.zeros((n, cap + 1), dtype=bool)
+    for i in range(n):
+        w = int(ws[i])
+        if w > cap:
+            continue
+        cand = np.full(cap + 1, -np.inf)
+        cand[w:] = best[: cap + 1 - w] + c[i]
+        better = cand > best
+        take[i] = better
+        best = np.where(better, cand, best)
+
+    # Trace back the kept set.
+    keep: list[int] = []
+    v = int(np.argmax(best))
+    for i in range(n - 1, -1, -1):
+        if take[i, v]:
+            keep.append(i)
+            v -= int(ws[i])
+    keep.reverse()
+    kept_cost = float(c[keep].sum()) if keep else 0.0
+    kept_size = float(s[keep].sum()) if keep else 0.0
+    return KnapsackSolution(keep=tuple(keep), kept_cost=kept_cost, kept_size=kept_size)
+
+
+def keep_max_cost_fptas(
+    sizes: Sequence[float],
+    costs: Sequence[float],
+    capacity: float,
+    eps: float = 0.1,
+) -> KnapsackSolution:
+    """FPTAS for keep-max-cost: kept cost >= (1 - eps) * optimum.
+
+    Classical cost scaling: round costs down to multiples of
+    ``eps * c_max / n`` and run the exact DP over *cost* (O(n^2/eps)
+    states), tracking the minimum size achieving each scaled cost.
+    The kept set always fits under ``capacity`` exactly (sizes are not
+    rounded), so feasibility is unconditional.
+    """
+    if not 0 < eps < 1:
+        raise ValueError("eps must be in (0, 1)")
+    s, c = _as_arrays(sizes, costs)
+    n = s.size
+    if n == 0 or capacity <= 0:
+        return KnapsackSolution(keep=(), kept_cost=0.0, kept_size=0.0)
+    c_max = float(c.max())
+    if c_max == 0.0:
+        # All-zero costs: keep greedily by size (any feasible set is optimal).
+        order = np.argsort(s, kind="stable")
+        keep: list[int] = []
+        total = 0.0
+        for i in order:
+            if total + s[i] <= capacity:
+                keep.append(int(i))
+                total += float(s[i])
+        return KnapsackSolution(keep=tuple(sorted(keep)), kept_cost=0.0, kept_size=total)
+
+    mu = eps * c_max / n
+    scaled = np.floor(c / mu).astype(np.int64)
+    max_total = int(scaled.sum())
+    # min_size[v] = smallest total size achieving scaled cost exactly v.
+    min_size = np.full(max_total + 1, np.inf)
+    min_size[0] = 0.0
+    take = np.zeros((n, max_total + 1), dtype=bool)
+    for i in range(n):
+        v = int(scaled[i])
+        if v == 0:
+            # Zero scaled cost: item only matters through its size; skip
+            # in the DP and reconsider greedily below.
+            continue
+        cand = np.full(max_total + 1, np.inf)
+        cand[v:] = min_size[: max_total + 1 - v] + s[i]
+        better = cand < min_size
+        take[i] = better
+        min_size = np.where(better, cand, min_size)
+
+    feasible = np.flatnonzero(min_size <= capacity)
+    v = int(feasible[-1]) if feasible.size else 0
+    keep = []
+    vv = v
+    for i in range(n - 1, -1, -1):
+        if take[i, vv]:
+            keep.append(i)
+            vv -= int(scaled[i])
+    keep.reverse()
+    kept = set(keep)
+    # Greedily add zero-scaled-cost items that still fit (they can only help).
+    total = float(s[keep].sum()) if keep else 0.0
+    zero_items = [int(i) for i in np.flatnonzero(scaled == 0)]
+    zero_items.sort(key=lambda i: (s[i], -c[i]))
+    for i in zero_items:
+        if i not in kept and total + s[i] <= capacity:
+            kept.add(i)
+            total += float(s[i])
+    keep_t = tuple(sorted(kept))
+    return KnapsackSolution(
+        keep=keep_t,
+        kept_cost=float(c[list(keep_t)].sum()) if keep_t else 0.0,
+        kept_size=float(s[list(keep_t)].sum()) if keep_t else 0.0,
+    )
+
+
+def keep_max_cost(
+    sizes: Sequence[float],
+    costs: Sequence[float],
+    capacity: float,
+    method: str = "auto",
+    eps: float = 0.05,
+    resolution: int = 4096,
+) -> KnapsackSolution:
+    """Dispatch between the exact DP and the FPTAS.
+
+    ``"auto"`` uses the exact DP for small inputs and the FPTAS
+    otherwise, mirroring the paper's "exact when polynomially bounded,
+    PTAS otherwise" guidance.
+    """
+    if method == "exact":
+        return keep_max_cost_exact(sizes, costs, capacity, resolution=resolution)
+    if method == "fptas":
+        return keep_max_cost_fptas(sizes, costs, capacity, eps=eps)
+    if method == "auto":
+        n = len(sizes)
+        if n <= 64:
+            return keep_max_cost_exact(sizes, costs, capacity, resolution=resolution)
+        return keep_max_cost_fptas(sizes, costs, capacity, eps=eps)
+    raise ValueError(f"unknown method {method!r}")
+
+
+def min_removal_cost(
+    sizes: Sequence[float],
+    costs: Sequence[float],
+    capacity: float,
+    **kwargs,
+) -> tuple[float, tuple[int, ...]]:
+    """Minimum cost of a removal set whose complement fits ``capacity``.
+
+    Returns ``(removal_cost, removed_indices)``; the paper's ``a_i`` and
+    ``b_i`` for the weighted problem are instances of this.
+    """
+    sol = keep_max_cost(sizes, costs, capacity, **kwargs)
+    total = float(np.asarray(costs, dtype=np.float64).sum())
+    removed = sol.removed(len(sizes))
+    return total - sol.kept_cost, removed

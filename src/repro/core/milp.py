@@ -1,0 +1,126 @@
+"""Exact rebalancing via mixed-integer programming (optional backend).
+
+An independent formulation used to cross-check
+:func:`repro.core.exact.exact_rebalance` in the test suite, built on
+``scipy.optimize.milp`` (HiGHS).  Feature-detected: callers should
+consult :data:`HAS_MILP` and fall back to the branch-and-bound solver
+when scipy's MILP interface is unavailable.
+
+Formulation::
+
+    minimize    T
+    subject to  sum_p x[j,p]            == 1        for every job j
+                sum_j s_j x[j,p] - T    <= 0        for every processor p
+                sum_{j,p != home_j} x[j,p]          <= k       (if given)
+                sum_{j,p != home_j} c_j x[j,p]      <= B       (if given)
+                x binary, T >= max_j s_j
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .assignment import Assignment
+from .instance import Instance
+from .result import RebalanceResult
+
+try:  # pragma: no cover - import guard
+    from scipy.optimize import Bounds, LinearConstraint, milp
+
+    HAS_MILP = True
+except ImportError:  # pragma: no cover
+    HAS_MILP = False
+
+__all__ = ["HAS_MILP", "milp_rebalance"]
+
+
+def milp_rebalance(
+    instance: Instance,
+    k: int | None = None,
+    budget: float | None = None,
+    time_limit: float | None = 60.0,
+) -> RebalanceResult:
+    """Solve the instance to optimality with HiGHS.
+
+    Variables are laid out as ``x[j * m + p]`` followed by the makespan
+    variable ``T``.  Raises ``RuntimeError`` if scipy's MILP interface
+    is missing or the solver fails.
+    """
+    if not HAS_MILP:  # pragma: no cover
+        raise RuntimeError("scipy.optimize.milp is unavailable")
+    n = instance.num_jobs
+    m = instance.num_processors
+    nv = n * m + 1  # + makespan variable T
+    t_col = n * m
+
+    c = np.zeros(nv)
+    c[t_col] = 1.0  # minimize T
+
+    constraints = []
+
+    # Each job on exactly one processor.
+    a_assign = np.zeros((n, nv))
+    for j in range(n):
+        a_assign[j, j * m : (j + 1) * m] = 1.0
+    constraints.append(LinearConstraint(a_assign, 1.0, 1.0))
+
+    # Loads below T.
+    a_load = np.zeros((m, nv))
+    for p in range(m):
+        for j in range(n):
+            a_load[p, j * m + p] = instance.sizes[j]
+        a_load[p, t_col] = -1.0
+    constraints.append(LinearConstraint(a_load, -np.inf, 0.0))
+
+    # Move-count budget.
+    if k is not None:
+        row = np.zeros(nv)
+        for j in range(n):
+            h = int(instance.initial[j])
+            for p in range(m):
+                if p != h:
+                    row[j * m + p] = 1.0
+        constraints.append(LinearConstraint(row[None, :], -np.inf, float(k)))
+
+    # Relocation-cost budget.
+    if budget is not None:
+        row = np.zeros(nv)
+        for j in range(n):
+            h = int(instance.initial[j])
+            for p in range(m):
+                if p != h:
+                    row[j * m + p] = instance.costs[j]
+        constraints.append(LinearConstraint(row[None, :], -np.inf, float(budget)))
+
+    integrality = np.ones(nv)
+    integrality[t_col] = 0.0
+    lb = np.zeros(nv)
+    ub = np.ones(nv)
+    lb[t_col] = instance.max_size
+    ub[t_col] = np.inf
+
+    options = {}
+    if time_limit is not None:
+        options["time_limit"] = time_limit
+    res = milp(
+        c=c,
+        constraints=constraints,
+        integrality=integrality,
+        bounds=Bounds(lb, ub),
+        options=options,
+    )
+    if res.x is None:  # pragma: no cover - solver failure
+        raise RuntimeError(f"MILP solver failed: {res.message}")
+
+    x = res.x[: n * m].reshape(n, m)
+    mapping = np.argmax(x, axis=1).astype(np.int64)
+    assignment = Assignment(instance=instance, mapping=mapping)
+    assignment.validate(max_moves=k, budget=budget)
+    return RebalanceResult(
+        assignment=assignment,
+        algorithm="milp",
+        planned_moves=assignment.num_moves,
+        planned_cost=assignment.relocation_cost,
+        meta={"status": res.status, "mip_gap": getattr(res, "mip_gap", None),
+              "optimal": res.status == 0},
+    )

@@ -1,0 +1,170 @@
+"""M-PARTITION with the paper's incremental threshold scan (Theorem 3).
+
+:func:`repro.core.partition.m_partition_rebalance` re-derives
+``(L_T, a_i, b_i, c_i)`` from scratch at every threshold — simple and
+robust, but ``O(m log n)`` per threshold.  Theorem 3's running-time
+claim rests on a sharper observation: *between consecutive thresholds,
+at most a constant number of the per-processor values change*, so the
+scan can maintain
+
+* the affected processors' ``a_i`` / ``b_i`` / ``c_i``,
+* the running total ``sum_i b_i``,
+* the multiset of ``c_i`` values with order-statistic sums
+  (:class:`~repro.core.fenwick.ValueMultisetFenwick`), giving the
+  Step-3 selection total ``sum of the L_T smallest c_i`` in
+  ``O(log n)``
+
+and evaluate ``k-hat = L_E + sum_i b_i + sum-smallest(L_T)`` at each
+threshold in logarithmic time.  (Ties in ``c_i`` do not affect the
+*sum*, so the tie-breaking rule — which matters for the final
+construction — can be deferred to the single construction call at the
+stopping threshold.)
+
+The module exposes :func:`m_partition_rebalance_incremental`, which
+produces the *identical* result to the rescan version (same stopping
+threshold, hence the same construction); the equivalence is enforced by
+differential property tests.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from .assignment import Assignment
+from .fenwick import ValueMultisetFenwick
+from .instance import Instance
+from .partition import _construct, evaluate_guess
+from .result import RebalanceResult
+from .thresholds import ThresholdTables, build_tables, candidate_guesses
+
+__all__ = ["m_partition_rebalance_incremental"]
+
+
+class _IncrementalState:
+    """Live ``(L_T, m_L, a, b, c)`` state advanced threshold by threshold."""
+
+    def __init__(self, tables: ThresholdTables, start_guess: float) -> None:
+        self.tables = tables
+        m = len(tables.processors)
+        n = int(tables.sizes_asc.shape[0])
+        self.a = np.empty(m, dtype=np.int64)
+        self.b = np.empty(m, dtype=np.int64)
+        self.c = np.empty(m, dtype=np.int64)
+        self.has_large = np.empty(m, dtype=bool)
+        self.sum_b = 0
+        self.fenwick = ValueMultisetFenwick(-n - 1, n + 1)
+        self.num_large_procs = 0
+        for i, proc in enumerate(tables.processors):
+            self.a[i] = proc.a_value(start_guess)
+            self.b[i] = proc.b_value(start_guess)
+            self.c[i] = self.a[i] - self.b[i]
+            self.has_large[i] = proc.has_large(start_guess)
+            self.sum_b += int(self.b[i])
+            self.fenwick.add(int(self.c[i]))
+            self.num_large_procs += bool(self.has_large[i])
+
+    def refresh(self, proc_index: int, guess: float) -> None:
+        """Recompute one processor's values at ``guess`` and patch the
+        aggregates (the paper's 'constant time incremental change')."""
+        proc = self.tables.processors[proc_index]
+        new_a = proc.a_value(guess)
+        new_b = proc.b_value(guess)
+        new_c = new_a - new_b
+        new_large = proc.has_large(guess)
+        self.sum_b += new_b - int(self.b[proc_index])
+        if new_c != self.c[proc_index]:
+            self.fenwick.remove(int(self.c[proc_index]))
+            self.fenwick.add(int(new_c))
+        self.num_large_procs += int(new_large) - int(self.has_large[proc_index])
+        self.a[proc_index] = new_a
+        self.b[proc_index] = new_b
+        self.c[proc_index] = new_c
+        self.has_large[proc_index] = new_large
+
+    def planned_moves(self, guess: float) -> tuple[bool, int]:
+        """``(feasible, k-hat)`` at ``guess`` using the aggregates."""
+        total_large = self.tables.total_large(guess)
+        m = len(self.tables.processors)
+        if total_large > m:
+            return False, -1
+        extra_large = total_large - self.num_large_procs
+        k_hat = (
+            extra_large + self.sum_b + self.fenwick.sum_smallest(total_large)
+        )
+        return True, int(k_hat)
+
+
+def _events_by_threshold(
+    tables: ThresholdTables,
+) -> dict[float, set[int]]:
+    """Map each threshold value to the processors whose values can
+    change there (Lemma 5's change points, attributed per processor)."""
+    events: dict[float, set[int]] = defaultdict(set)
+    for i, proc in enumerate(tables.processors):
+        for size in proc.sizes_asc:
+            events[float(2.0 * size)].add(i)  # large/small flip
+        for prefix in proc.prefix[1:]:
+            events[float(prefix)].add(i)  # b_i decrement
+            events[float(2.0 * prefix)].add(i)  # a_i decrement
+    return dict(events)
+
+
+def m_partition_rebalance_incremental(
+    instance: Instance, k: int
+) -> RebalanceResult:
+    """Theorem 3's scan with incremental aggregate maintenance.
+
+    Semantically identical to
+    :func:`repro.core.partition.m_partition_rebalance`; asymptotically
+    ``O(n log n)`` regardless of how many thresholds the scan crosses,
+    because each threshold touches only its own processors' values.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    tables = build_tables(instance)
+    if instance.num_jobs == 0:
+        return RebalanceResult(
+            assignment=Assignment.initial(instance),
+            algorithm="m-partition-incremental",
+            guessed_opt=0.0,
+            planned_moves=0,
+        )
+    candidates = candidate_guesses(tables)
+    events = _events_by_threshold(tables)
+    start = int(np.searchsorted(candidates, instance.average_load, side="right")) - 1
+    start = max(start, 0)
+
+    state = _IncrementalState(tables, float(candidates[start]))
+    tried = 0
+    for idx in range(start, candidates.shape[0]):
+        guess = float(candidates[idx])
+        if idx > start:
+            for proc_index in events.get(guess, ()):
+                state.refresh(proc_index, guess)
+        tried += 1
+        feasible, k_hat = state.planned_moves(guess)
+        if feasible and k_hat <= k:
+            # Single full evaluation at the stopping threshold to apply
+            # the tie-breaking selection and build the assignment.
+            ev = evaluate_guess(tables, guess)
+            assert ev.planned_moves == k_hat, (
+                f"incremental k-hat {k_hat} disagrees with rescan "
+                f"{ev.planned_moves} at guess {guess}"
+            )
+            assignment = _construct(instance, tables, ev)
+            assignment.validate(max_moves=k)
+            return RebalanceResult(
+                assignment=assignment,
+                algorithm="m-partition-incremental",
+                guessed_opt=guess,
+                planned_moves=ev.planned_moves,
+                meta={
+                    "L_T": ev.total_large,
+                    "m_L": ev.large_processors,
+                    "L_E": ev.extra_large,
+                    "thresholds_tried": tried,
+                },
+            )
+    raise RuntimeError("no feasible threshold found")  # pragma: no cover

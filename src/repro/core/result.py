@@ -1,0 +1,72 @@
+"""Algorithm output record.
+
+Every rebalancing algorithm in :mod:`repro.core` and
+:mod:`repro.baselines` returns a :class:`RebalanceResult`, so harness
+code can treat them interchangeably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .assignment import Assignment
+
+__all__ = ["RebalanceResult"]
+
+
+@dataclass(frozen=True)
+class RebalanceResult:
+    """Outcome of one rebalancing run.
+
+    Attributes
+    ----------
+    assignment:
+        The final assignment produced by the algorithm.
+    algorithm:
+        Short identifier, e.g. ``"greedy"`` or ``"m-partition"``.
+    guessed_opt:
+        For algorithms that guess/search the optimal makespan
+        (PARTITION, the Section 3.2 variant, the PTAS), the final guess
+        used; ``None`` otherwise.
+    planned_moves:
+        The algorithm's *internal* move accounting (removals), an upper
+        bound on :attr:`Assignment.num_moves`.  ``None`` when the
+        algorithm does not plan removals (e.g. GREEDY counts directly).
+    planned_cost:
+        Internal cost accounting (sum of removal costs), an upper bound
+        on :attr:`Assignment.relocation_cost`.
+    meta:
+        Free-form diagnostic data (iteration counts, thresholds tried,
+        LP statistics, ...).
+    """
+
+    assignment: Assignment
+    algorithm: str
+    guessed_opt: float | None = None
+    planned_moves: int | None = None
+    planned_cost: float | None = None
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> float:
+        """Makespan of the final assignment."""
+        return self.assignment.makespan
+
+    @property
+    def num_moves(self) -> int:
+        """Actual relocations performed."""
+        return self.assignment.num_moves
+
+    @property
+    def relocation_cost(self) -> float:
+        """Actual relocation cost incurred."""
+        return self.assignment.relocation_cost
+
+    def summary(self) -> dict:
+        """Headline numbers plus algorithm identity."""
+        out = self.assignment.summary()
+        out["algorithm"] = self.algorithm
+        if self.guessed_opt is not None:
+            out["guessed_opt"] = self.guessed_opt
+        return out

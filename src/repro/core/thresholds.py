@@ -1,0 +1,151 @@
+"""Threshold enumeration for M-PARTITION (Section 3.1, Lemma 5).
+
+PARTITION needs to classify jobs as large (size strictly greater than
+``OPT/2``) and to compute, per processor ``i``,
+
+* ``a_i`` — the minimum number of small jobs to remove so that the
+  remaining small jobs total at most ``OPT/2``;
+* ``b_i`` — the minimum number of jobs (including the kept large job,
+  if any) to remove so that the remaining jobs total at most ``OPT``.
+
+As the guess ``A`` for ``OPT`` increases, these quantities change only
+when ``A`` crosses one of a discrete set of *threshold values*
+(Lemma 5):
+
+* ``2 * p_j`` for every job ``j`` — where the large/small status of
+  job ``j`` flips (large iff ``p_j > A/2``, i.e. iff ``A < 2 p_j``);
+* the prefix sums ``P_{i,l}`` of each processor's jobs sorted in
+  increasing size order — where ``b_i`` decrements (keeping the ``l``
+  smallest jobs is feasible iff ``P_{i,l} <= A``);
+* twice those prefix sums — where ``a_i`` decrements (keeping the
+  ``l`` smallest small jobs is feasible iff ``P_{i,l} <= A/2``).
+
+Because the small jobs on a processor are always a *prefix* of its
+ascending size order, the prefix sums of the all-jobs ascending order
+cover every small-set prefix sum for every classification regime, so
+the union above is a complete threshold set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .instance import Instance
+
+__all__ = ["ProcessorTable", "ThresholdTables", "build_tables", "candidate_guesses"]
+
+
+@dataclass(frozen=True)
+class ProcessorTable:
+    """Precomputed per-processor data for guess evaluation.
+
+    Attributes
+    ----------
+    jobs_asc:
+        Job indices on this processor, sorted ascending by
+        ``(size, index)``.
+    sizes_asc:
+        The corresponding sizes (ascending).
+    prefix:
+        ``prefix[l]`` = total size of the ``l`` smallest jobs
+        (``prefix[0] == 0.0``).
+    """
+
+    jobs_asc: np.ndarray
+    sizes_asc: np.ndarray
+    prefix: np.ndarray
+
+    @property
+    def num_jobs(self) -> int:
+        return int(self.sizes_asc.shape[0])
+
+    def small_count(self, guess: float) -> int:
+        """Number of jobs of size at most ``guess / 2`` (the smalls)."""
+        return int(np.searchsorted(self.sizes_asc, guess / 2.0, side="right"))
+
+    def a_value(self, guess: float) -> int:
+        """``a_i``: removals so the remaining smalls total <= guess/2.
+
+        Removing the largest smalls first is optimal for minimizing the
+        removal count, so ``a_i = s_cnt - max{l : P_l <= guess/2}``.
+        """
+        s_cnt = self.small_count(guess)
+        keep = int(
+            np.searchsorted(self.prefix[: s_cnt + 1], guess / 2.0, side="right") - 1
+        )
+        return s_cnt - keep
+
+    def b_value(self, guess: float) -> int:
+        """``b_i``: removals so the remaining jobs total <= guess.
+
+        Computed on the *post-Step-1* configuration: all small jobs plus
+        the smallest large job (if any) — which is exactly the first
+        ``min(s_cnt + 1, n_i)`` jobs in ascending order.
+        """
+        s_cnt = self.small_count(guess)
+        q = self.num_jobs if s_cnt == self.num_jobs else s_cnt + 1
+        keep = int(np.searchsorted(self.prefix[: q + 1], guess, side="right") - 1)
+        return q - keep
+
+    def has_large(self, guess: float) -> bool:
+        """True if the processor initially holds at least one large job."""
+        return self.small_count(guess) < self.num_jobs
+
+
+@dataclass(frozen=True)
+class ThresholdTables:
+    """All precomputed data needed to evaluate guesses quickly."""
+
+    instance: Instance
+    processors: tuple[ProcessorTable, ...]
+    sizes_asc: np.ndarray  # all job sizes, ascending
+
+    def total_large(self, guess: float) -> int:
+        """``L_T``: total number of large jobs at this guess."""
+        small = int(np.searchsorted(self.sizes_asc, guess / 2.0, side="right"))
+        return int(self.sizes_asc.shape[0]) - small
+
+
+def build_tables(instance: Instance) -> ThresholdTables:
+    """Sort each processor's jobs and build prefix sums.
+
+    ``O(n log n)`` total, matching the first-run cost in Theorem 3.
+    """
+    order = np.lexsort((np.arange(instance.num_jobs), instance.sizes))
+    # Bucket the globally sorted jobs by processor; each bucket stays
+    # sorted ascending by (size, index).
+    buckets: list[list[int]] = [[] for _ in range(instance.num_processors)]
+    for j in order:
+        buckets[int(instance.initial[j])].append(int(j))
+    processors = []
+    for bucket in buckets:
+        jobs_asc = np.asarray(bucket, dtype=np.int64)
+        sizes_asc = instance.sizes[jobs_asc] if bucket else np.empty(0)
+        prefix = np.concatenate(([0.0], np.cumsum(sizes_asc)))
+        processors.append(
+            ProcessorTable(jobs_asc=jobs_asc, sizes_asc=sizes_asc, prefix=prefix)
+        )
+    return ThresholdTables(
+        instance=instance,
+        processors=tuple(processors),
+        sizes_asc=np.sort(instance.sizes),
+    )
+
+
+def candidate_guesses(tables: ThresholdTables) -> np.ndarray:
+    """All threshold values for the guess ``A``, sorted ascending.
+
+    Per Lemma 5 the tuple ``(L_T, a_1..a_m, b_1..b_m)`` is constant for
+    ``A`` between consecutive values of this set, so M-PARTITION only
+    ever needs to try these ``O(n)`` guesses.
+    """
+    parts: list[np.ndarray] = [2.0 * tables.sizes_asc]
+    for proc in tables.processors:
+        if proc.num_jobs:
+            parts.append(proc.prefix[1:])
+            parts.append(2.0 * proc.prefix[1:])
+    if not parts:
+        return np.empty(0)
+    return np.unique(np.concatenate(parts))

@@ -1,0 +1,85 @@
+"""Section-5 hardness constructions, built and observable.
+
+The paper's negative results are constructive reductions; this package
+implements the gadget generators together with the exact solvers needed
+to watch the hardness gaps appear:
+
+* :mod:`repro.hardness.partition_problem` — PARTITION instances/solver;
+* :mod:`repro.hardness.move_minimization` — Theorem 5 (move
+  minimization is inapproximable);
+* :mod:`repro.hardness.three_dim_matching` — 3DM instances/solver;
+* :mod:`repro.hardness.gap_costs` — Theorem 6 (two-valued-cost GAP has
+  no sub-1.5 approximation);
+* :mod:`repro.hardness.constrained` — Corollary 1 (Constrained Load
+  Rebalancing, same bound);
+* :mod:`repro.hardness.conflict` — Theorem 7 (Conflict Scheduling is
+  inapproximable within any ratio).
+"""
+
+from .conflict import (
+    ConflictInstance,
+    conflict_gadget_from_3dm,
+    exact_conflict_makespan,
+    feasible_conflict_assignment,
+)
+from .constrained import (
+    ConstrainedInstance,
+    constrained_gadget_from_3dm,
+    constrained_shmoys_tardos,
+    exact_constrained,
+    greedy_constrained,
+)
+from .gap_costs import (
+    GAPInstance,
+    exact_gap_min_makespan,
+    gadget_from_3dm,
+    gap_shmoys_tardos,
+    verify_gadget_gap,
+)
+from .move_minimization import (
+    MoveMinimizationResult,
+    min_moves_exact,
+    min_moves_greedy,
+    reduction_from_partition,
+)
+from .partition_problem import (
+    PartitionInstance,
+    random_no_instance,
+    random_yes_instance,
+    solve_partition,
+)
+from .three_dim_matching import (
+    ThreeDMInstance,
+    planted_yes_instance,
+    solve_3dm,
+    verified_no_instance,
+)
+
+__all__ = [
+    "ConflictInstance",
+    "ConstrainedInstance",
+    "GAPInstance",
+    "MoveMinimizationResult",
+    "PartitionInstance",
+    "ThreeDMInstance",
+    "conflict_gadget_from_3dm",
+    "constrained_gadget_from_3dm",
+    "constrained_shmoys_tardos",
+    "exact_conflict_makespan",
+    "exact_constrained",
+    "exact_gap_min_makespan",
+    "feasible_conflict_assignment",
+    "gadget_from_3dm",
+    "gap_shmoys_tardos",
+    "greedy_constrained",
+    "min_moves_exact",
+    "min_moves_greedy",
+    "planted_yes_instance",
+    "random_no_instance",
+    "random_yes_instance",
+    "reduction_from_partition",
+    "solve_3dm",
+    "solve_partition",
+    "verified_no_instance",
+    "verify_gadget_gap",
+]

@@ -1,0 +1,220 @@
+"""Constrained Load Rebalancing (Section 5, Corollary 1).
+
+The Constrained Load Rebalancing problem adds the restriction that each
+job may only be reassigned to a specified subset of machines.
+Corollary 1: the problem cannot be approximated below 1.5 in polynomial
+time (the Theorem-6 gadget re-expressed with allowed-sets instead of
+two-valued costs); the best known upper bound remains Shmoys–Tardos'
+2-approximation, and closing the gap is the paper's stated open
+question.
+
+This module models the constrained problem, solves small instances
+exactly, provides a constrained greedy heuristic, and builds the
+Corollary-1 gadget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.instance import Instance, make_instance
+from .three_dim_matching import ThreeDMInstance
+
+__all__ = [
+    "ConstrainedInstance",
+    "exact_constrained",
+    "greedy_constrained",
+    "constrained_gadget_from_3dm",
+    "constrained_shmoys_tardos",
+]
+
+
+@dataclass(frozen=True)
+class ConstrainedInstance:
+    """A rebalancing instance plus per-job allowed machine sets.
+
+    ``allowed[i]`` always contains the job's home machine (staying put
+    is always permitted).
+    """
+
+    instance: Instance
+    allowed: tuple[frozenset[int], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.allowed) != self.instance.num_jobs:
+            raise ValueError("one allowed-set per job required")
+        for i, s in enumerate(self.allowed):
+            if int(self.instance.initial[i]) not in s:
+                raise ValueError(f"allowed[{i}] must contain the home machine")
+            if any(not 0 <= p < self.instance.num_processors for p in s):
+                raise ValueError(f"allowed[{i}] refers to unknown machines")
+
+
+def exact_constrained(
+    cinst: ConstrainedInstance,
+    k: int | None = None,
+    node_limit: int = 20_000_000,
+) -> tuple[float, np.ndarray]:
+    """Optimal constrained rebalancing by branch-and-bound.
+
+    Returns ``(makespan, mapping)``.
+    """
+    inst = cinst.instance
+    n, m = inst.num_jobs, inst.num_processors
+    order = sorted(range(n), key=lambda j: (-inst.sizes[j], j))
+    best_makespan = inst.initial_makespan
+    best_mapping = np.array(inst.initial, dtype=np.int64)
+    loads = [0.0] * m
+    mapping = np.full(n, -1, dtype=np.int64)
+    nodes = 0
+    eps = 1e-9
+
+    def dfs(pos: int, cur_max: float, moves: int) -> None:
+        nonlocal nodes, best_makespan, best_mapping
+        nodes += 1
+        if nodes > node_limit:
+            raise RuntimeError("constrained exact search exceeded node limit")
+        if cur_max >= best_makespan - eps:
+            return
+        if pos == n:
+            best_makespan = cur_max
+            best_mapping = mapping.copy()
+            return
+        j = order[pos]
+        h = int(inst.initial[j])
+        targets = sorted(cinst.allowed[j], key=lambda p: (p != h, loads[p]))
+        for p in targets:
+            if p != h and k is not None and moves + 1 > k:
+                continue
+            new_load = loads[p] + inst.sizes[j]
+            if new_load >= best_makespan - eps and new_load > cur_max:
+                continue
+            loads[p] = new_load
+            mapping[j] = p
+            dfs(pos + 1, max(cur_max, new_load), moves + (p != h))
+            loads[p] = new_load - inst.sizes[j]
+            mapping[j] = -1
+
+    dfs(0, 0.0, 0)
+    return best_makespan, best_mapping
+
+
+def greedy_constrained(
+    cinst: ConstrainedInstance, k: int
+) -> tuple[float, np.ndarray]:
+    """GREEDY restricted to allowed-sets.
+
+    Repeat up to ``k`` times: take the largest job on the most loaded
+    machine that has a lighter allowed target, and move it to its
+    least-loaded allowed machine.  A heuristic only — Corollary 1 rules
+    out sub-1.5 guarantees for any polynomial algorithm.
+    """
+    inst = cinst.instance
+    mapping = np.array(inst.initial, dtype=np.int64)
+    loads = np.array(inst.initial_loads, dtype=np.float64)
+    for _ in range(k):
+        best_move: tuple[float, int, int] | None = None
+        donors = np.argsort(-loads, kind="stable")
+        for d in donors:
+            jobs = sorted(
+                np.flatnonzero(mapping == d),
+                key=lambda j: (-inst.sizes[j], j),
+            )
+            for j in jobs:
+                for p in sorted(cinst.allowed[j], key=lambda q: loads[q]):
+                    if p == d:
+                        continue
+                    new_peak = max(
+                        float(loads[p] + inst.sizes[j]),
+                        float(np.delete(loads, [d, p]).max(initial=0.0)),
+                        float(loads[d] - inst.sizes[j]),
+                    )
+                    if new_peak < loads.max() - 1e-12 and (
+                        best_move is None or new_peak < best_move[0]
+                    ):
+                        best_move = (new_peak, int(j), int(p))
+                    break
+        if best_move is None:
+            break
+        _, j, p = best_move
+        loads[int(mapping[j])] -= inst.sizes[j]
+        loads[p] += inst.sizes[j]
+        mapping[j] = p
+    return float(loads.max()), mapping
+
+
+def constrained_shmoys_tardos(
+    cinst: ConstrainedInstance, budget: float
+) -> tuple[float, np.ndarray]:
+    """The best known upper bound for Constrained Load Rebalancing:
+    Shmoys–Tardos LP rounding with forbidden pairs priced out.
+
+    Corollary 1 places the problem's approximability in [1.5, 2]; this
+    is the ``2`` side.  Returns ``(makespan, mapping)``; every job
+    lands inside its allowed set (asserted).
+    """
+    from ..baselines.shmoys_tardos import shmoys_tardos_rebalance
+
+    result = shmoys_tardos_rebalance(
+        cinst.instance, budget=budget, allowed=cinst.allowed
+    )
+    mapping = result.assignment.mapping
+    for j, p in enumerate(mapping):
+        assert int(p) in cinst.allowed[j], (
+            f"rounding placed job {j} outside its allowed set"
+        )
+    return result.makespan, np.array(mapping)
+
+
+def constrained_gadget_from_3dm(
+    tdm: ThreeDMInstance,
+) -> tuple[ConstrainedInstance, float]:
+    """Corollary 1's gadget: the Theorem-6 construction with allowed
+    sets in place of cost classes.
+
+    Jobs and machines are as in :func:`repro.hardness.gap_costs.gadget_from_3dm`;
+    each job's allowed set is exactly the machines where Theorem 6
+    charges ``p``.  The initial assignment places every job on its
+    first allowed machine.  With the move budget ``k = num jobs``,
+    the optimal constrained makespan is 2 iff the 3DM instance has a
+    perfect matching (else at least 3), so any sub-1.5 approximation
+    would decide 3DM.
+
+    Returns ``(constrained instance, yes_makespan=2.0)``.
+    """
+    n = tdm.n
+    m = tdm.num_triples
+    sizes: list[float] = []
+    allowed: list[frozenset[int]] = []
+
+    for b in range(n):
+        machines = frozenset(
+            t for t, (_, tb, _) in enumerate(tdm.triples) if tb == b
+        )
+        if not machines:
+            raise ValueError(f"element b={b} appears in no triple")
+        sizes.append(1.0)
+        allowed.append(machines)
+    for c in range(n):
+        machines = frozenset(
+            t for t, (_, _, tc) in enumerate(tdm.triples) if tc == c
+        )
+        if not machines:
+            raise ValueError(f"element c={c} appears in no triple")
+        sizes.append(1.0)
+        allowed.append(machines)
+    for j, count in enumerate(tdm.type_counts()):
+        machines = frozenset(
+            t for t, (ta, _, _) in enumerate(tdm.triples) if ta == j
+        )
+        for _ in range(max(count - 1, 0)):
+            sizes.append(2.0)
+            allowed.append(machines)
+
+    initial = [min(s) for s in allowed]
+    instance = make_instance(
+        sizes=sizes, initial=initial, num_processors=m
+    )
+    return ConstrainedInstance(instance=instance, allowed=tuple(allowed)), 2.0

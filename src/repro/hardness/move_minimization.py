@@ -1,0 +1,135 @@
+"""Move minimization and its inapproximability (Section 5, Theorem 5).
+
+The *move minimization* problem inverts the paper's main question:
+given a load bound ``L``, find the fewest relocations achieving
+makespan at most ``L`` (reporting infinity when ``L`` is unachievable).
+
+Theorem 5: no polynomial-time approximation algorithm of **any** factor
+exists unless P = NP, by reduction from PARTITION — an approximation
+algorithm must at least distinguish "achievable" from "not achievable",
+and with the gadget below that distinction solves PARTITION.
+
+This module provides the exact solver (for small instances), a greedy
+heuristic (which necessarily fails on some gadgets — that is the
+theorem's point, demonstrated in experiment E7), and the reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.exact import exact_rebalance
+from ..core.instance import Instance, make_instance
+from .partition_problem import PartitionInstance
+
+__all__ = [
+    "min_moves_exact",
+    "min_moves_greedy",
+    "reduction_from_partition",
+    "MoveMinimizationResult",
+]
+
+
+@dataclass(frozen=True)
+class MoveMinimizationResult:
+    """Outcome of a move-minimization query."""
+
+    achievable: bool
+    moves: int | None  # None when unachievable
+    mapping: np.ndarray | None
+
+
+def min_moves_exact(
+    instance: Instance, load_bound: float, node_limit: int = 5_000_000
+) -> MoveMinimizationResult:
+    """Exact minimum number of moves to reach makespan <= ``load_bound``.
+
+    Binary-searches the move budget ``k`` (feasibility is monotone in
+    ``k``) against the branch-and-bound optimizer.  Exponential in the
+    worst case — Theorem 5 says it must be.
+    """
+    # Quick unachievability checks.
+    if instance.max_size > load_bound + 1e-12:
+        return MoveMinimizationResult(achievable=False, moves=None, mapping=None)
+    full = exact_rebalance(instance, k=instance.num_jobs, node_limit=node_limit)
+    if full.makespan > load_bound + 1e-12:
+        return MoveMinimizationResult(achievable=False, moves=None, mapping=None)
+
+    lo, hi = 0, instance.num_jobs
+    best_mapping = np.array(full.assignment.mapping)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        res = exact_rebalance(instance, k=mid, node_limit=node_limit)
+        if res.makespan <= load_bound + 1e-12:
+            hi = mid
+            best_mapping = np.array(res.assignment.mapping)
+        else:
+            lo = mid + 1
+    return MoveMinimizationResult(achievable=True, moves=lo, mapping=best_mapping)
+
+
+def min_moves_greedy(
+    instance: Instance, load_bound: float
+) -> MoveMinimizationResult:
+    """Greedy heuristic: repeatedly move the largest job of an
+    overloaded processor to the least-loaded processor that can take it
+    without itself exceeding the bound.
+
+    Sound but incomplete: when it reports unachievable, the bound may
+    in fact be achievable (Theorem 5 says every polynomial heuristic
+    has such failures unless P = NP).
+    """
+    mapping = np.array(instance.initial, dtype=np.int64)
+    loads = np.array(instance.initial_loads, dtype=np.float64)
+    if instance.max_size > load_bound + 1e-12:
+        return MoveMinimizationResult(achievable=False, moves=None, mapping=None)
+    moves = 0
+    guard = 0
+    while loads.max() > load_bound + 1e-12:
+        guard += 1
+        if guard > 4 * instance.num_jobs + 4:
+            return MoveMinimizationResult(achievable=False, moves=None, mapping=None)
+        donor = int(np.argmax(loads))
+        jobs = np.flatnonzero(mapping == donor)
+        jobs = sorted(jobs, key=lambda j: (-instance.sizes[j], j))
+        placed = False
+        for j in jobs:
+            size = float(instance.sizes[j])
+            order = np.argsort(loads, kind="stable")
+            for p in order:
+                if p == donor:
+                    continue
+                if loads[p] + size <= load_bound + 1e-12:
+                    loads[donor] -= size
+                    loads[p] += size
+                    mapping[j] = p
+                    moves += 1
+                    placed = True
+                    break
+            if placed:
+                break
+        if not placed:
+            return MoveMinimizationResult(achievable=False, moves=None, mapping=None)
+    return MoveMinimizationResult(achievable=True, moves=moves, mapping=mapping)
+
+
+def reduction_from_partition(
+    partition: PartitionInstance,
+) -> tuple[Instance, float]:
+    """Theorem 5's gadget: PARTITION -> move minimization.
+
+    All values become jobs on processor 0 of a 2-processor system, and
+    the load bound is half the total.  The bound is achievable (by any
+    number of moves) **iff** the PARTITION instance is a yes-instance,
+    so *any* finite-factor approximation of the minimum move count
+    decides PARTITION.
+    """
+    values = partition.values
+    instance = make_instance(
+        sizes=[float(v) for v in values],
+        initial=[0] * len(values),
+        num_processors=2,
+    )
+    return instance, partition.total / 2.0

@@ -1,0 +1,112 @@
+"""The PARTITION problem (number partitioning).
+
+Theorem 5 reduces PARTITION to move minimization, so the reproduction
+needs PARTITION instances (planted yes-instances and certified
+no-instances) and an exact decision procedure.
+
+PARTITION: given positive integers ``v_1..v_n``, is there a subset with
+sum exactly ``sum(v) / 2``?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "PartitionInstance",
+    "solve_partition",
+    "random_yes_instance",
+    "random_no_instance",
+]
+
+
+@dataclass(frozen=True)
+class PartitionInstance:
+    """A number-partitioning instance."""
+
+    values: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if any(v <= 0 for v in self.values):
+            raise ValueError("values must be positive integers")
+
+    @property
+    def total(self) -> int:
+        return sum(self.values)
+
+    @property
+    def half(self) -> int:
+        return self.total // 2
+
+
+def solve_partition(values: Sequence[int]) -> tuple[int, ...] | None:
+    """Exact PARTITION via subset-sum dynamic programming.
+
+    Returns the indices of one side of a perfect partition, or ``None``
+    when no perfect partition exists.  ``O(n * total)`` time — fine for
+    the gadget sizes the experiments use.
+    """
+    values = [int(v) for v in values]
+    total = sum(values)
+    if total % 2:
+        return None
+    target = total // 2
+    # reachable[s] = index of the last value used to first reach sum s.
+    reachable = np.full(target + 1, -2, dtype=np.int64)
+    reachable[0] = -1
+    for idx, v in enumerate(values):
+        if v > target:
+            return None
+        hit = np.flatnonzero(reachable[: target + 1 - v] != -2)
+        newly = hit + v
+        fresh = newly[reachable[newly] == -2]
+        reachable[fresh] = idx
+    if reachable[target] == -2:
+        return None
+    # Reconstruct: walk back through the "first reached via" markers.
+    subset: list[int] = []
+    s = target
+    while s > 0:
+        idx = int(reachable[s])
+        assert idx >= 0
+        subset.append(idx)
+        s -= values[idx]
+    return tuple(sorted(subset))
+
+
+def random_yes_instance(
+    n: int, rng: np.random.Generator, max_value: int = 50
+) -> PartitionInstance:
+    """A PARTITION instance with a planted perfect partition.
+
+    Generates one side at random and mirrors its sum on the other side
+    (padding with a balancing element), so a perfect partition is
+    guaranteed by construction.
+    """
+    if n < 2:
+        raise ValueError("need at least two values")
+    body = [int(rng.integers(1, max_value + 1)) for _ in range(n - 2)]
+    side = rng.integers(0, 2, size=n - 2).astype(bool)
+    gap = sum(v for v, s in zip(body, side) if s) - sum(
+        v for v, s in zip(body, side) if not s
+    )
+    # Two balancing elements, one per side, absorb the gap.
+    x = int(rng.integers(1, max_value + 1))
+    values = body + [x + max(-gap, 0), x + max(gap, 0)]
+    rng.shuffle(values)
+    inst = PartitionInstance(values=tuple(values))
+    assert solve_partition(inst.values) is not None
+    return inst
+
+
+def random_no_instance(
+    n: int, rng: np.random.Generator, max_value: int = 50
+) -> PartitionInstance:
+    """A PARTITION no-instance: an odd total guarantees no solution."""
+    values = [2 * int(rng.integers(1, max_value // 2 + 1)) for _ in range(n - 1)]
+    values.append(2 * int(rng.integers(1, max_value // 2 + 1)) + 1)  # odd total
+    rng.shuffle(values)
+    return PartitionInstance(values=tuple(values))

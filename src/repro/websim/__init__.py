@@ -1,0 +1,71 @@
+"""Web-cluster rebalancing simulator — the paper's motivating scenario.
+
+Websites with drifting loads live on web servers; each epoch a policy
+may migrate a bounded number of sites (or a bounded migration cost) to
+re-minimize the hottest server's load.  See DESIGN.md for the
+substitution rationale (synthetic Zipf/diurnal/flash-crowd traffic in
+place of the unavailable production traces).
+"""
+
+from .cluster import Cluster
+from .metrics import coefficient_of_variation, imbalance_ratio, jain_fairness
+from .migration import (
+    BandwidthCost,
+    BytesProportionalCost,
+    MigrationCostModel,
+    UnitCost,
+)
+from .policies import (
+    CostPartitionPolicy,
+    FullRepackPolicy,
+    GreedyPolicy,
+    HillClimbPolicy,
+    MPartitionPolicy,
+    NoRebalance,
+    RebalancePolicy,
+)
+from .trace import LoadTrace, ReplayTraffic, record_trace
+from .simulator import EpochRecord, Simulation, SimulationResult, build_cluster
+from .traffic import (
+    ComposedTraffic,
+    DiurnalTraffic,
+    FlashCrowdTraffic,
+    RandomWalkTraffic,
+    StaticZipf,
+    TrafficModel,
+    zipf_popularities,
+)
+from .website import Website
+
+__all__ = [
+    "BandwidthCost",
+    "BytesProportionalCost",
+    "Cluster",
+    "ComposedTraffic",
+    "CostPartitionPolicy",
+    "DiurnalTraffic",
+    "EpochRecord",
+    "FlashCrowdTraffic",
+    "FullRepackPolicy",
+    "GreedyPolicy",
+    "HillClimbPolicy",
+    "MPartitionPolicy",
+    "MigrationCostModel",
+    "NoRebalance",
+    "RandomWalkTraffic",
+    "RebalancePolicy",
+    "LoadTrace",
+    "ReplayTraffic",
+    "Simulation",
+    "SimulationResult",
+    "StaticZipf",
+    "TrafficModel",
+    "UnitCost",
+    "Website",
+    "coefficient_of_variation",
+    "imbalance_ratio",
+    "jain_fairness",
+    "build_cluster",
+    "record_trace",
+    "zipf_popularities",
+]

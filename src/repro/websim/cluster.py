@@ -1,0 +1,109 @@
+"""Web-server cluster state.
+
+A :class:`Cluster` holds websites, their placement on servers, and the
+bridge to the rebalancing library: :meth:`Cluster.to_instance` snapshots
+the current loads and placement as a :class:`repro.core.Instance`, and
+:meth:`Cluster.apply_assignment` migrates sites according to a solver's
+answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.assignment import Assignment
+from ..core.instance import Instance
+from .migration import MigrationCostModel, UnitCost
+from .website import Website
+
+__all__ = ["Cluster"]
+
+
+@dataclass
+class Cluster:
+    """Websites placed on servers."""
+
+    sites: list[Website]
+    num_servers: int
+    placement: np.ndarray  # site -> server
+    migration_model: MigrationCostModel = field(default_factory=UnitCost)
+
+    def __post_init__(self) -> None:
+        self.placement = np.asarray(self.placement, dtype=np.int64).copy()
+        if self.placement.shape != (len(self.sites),):
+            raise ValueError("placement must map every site to a server")
+        if len(self.sites) and (
+            self.placement.min() < 0 or self.placement.max() >= self.num_servers
+        ):
+            raise ValueError("placement refers to unknown servers")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def place_round_robin(
+        cls,
+        sites: list[Website],
+        num_servers: int,
+        migration_model: MigrationCostModel | None = None,
+    ) -> "Cluster":
+        """Initial placement: sites dealt round-robin across servers —
+        balanced by count, typically unbalanced by load."""
+        placement = np.arange(len(sites), dtype=np.int64) % num_servers
+        return cls(
+            sites=sites,
+            num_servers=num_servers,
+            placement=placement,
+            migration_model=migration_model or UnitCost(),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_sites(self) -> int:
+        return len(self.sites)
+
+    def loads(self) -> np.ndarray:
+        """Per-server total load under the current placement."""
+        out = np.zeros(self.num_servers)
+        np.add.at(out, self.placement, [s.load for s in self.sites])
+        return out
+
+    def makespan(self) -> float:
+        """The hottest server's load."""
+        return float(self.loads().max()) if self.num_servers else 0.0
+
+    def to_instance(self) -> Instance:
+        """Snapshot the cluster as a rebalancing instance.
+
+        Job sizes are current site loads; relocation costs come from the
+        migration cost model.
+        """
+        sizes = np.array([s.load for s in self.sites])
+        costs = np.array(
+            [self.migration_model.cost(s) for s in self.sites]
+        )
+        return Instance(
+            sizes=sizes,
+            costs=costs,
+            num_processors=self.num_servers,
+            initial=self.placement,
+        )
+
+    def apply_assignment(self, assignment: Assignment) -> tuple[int, float]:
+        """Migrate sites per ``assignment``.
+
+        Returns ``(migrations, migration_cost)`` actually incurred.
+        The assignment must have been computed against a snapshot with
+        the same site order and server count.
+        """
+        if assignment.instance.num_jobs != self.num_sites:
+            raise ValueError("assignment was computed for a different cluster")
+        moved = assignment.mapping != self.placement
+        cost = float(
+            sum(
+                self.migration_model.cost(self.sites[i])
+                for i in np.flatnonzero(moved)
+            )
+        )
+        self.placement = np.asarray(assignment.mapping, dtype=np.int64).copy()
+        return int(moved.sum()), cost

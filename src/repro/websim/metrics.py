@@ -1,0 +1,39 @@
+"""Imbalance and fairness metrics for the web-cluster simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["imbalance_ratio", "coefficient_of_variation", "jain_fairness"]
+
+
+def imbalance_ratio(loads: np.ndarray) -> float:
+    """Max load over mean load; 1.0 means perfectly balanced.
+
+    The per-epoch analogue of the paper's approximation ratio relative
+    to the average-load lower bound.
+    """
+    loads = np.asarray(loads, dtype=np.float64)
+    mean = float(loads.mean())
+    if mean == 0.0:
+        return 1.0
+    return float(loads.max()) / mean
+
+
+def coefficient_of_variation(loads: np.ndarray) -> float:
+    """Standard deviation over mean of the server loads."""
+    loads = np.asarray(loads, dtype=np.float64)
+    mean = float(loads.mean())
+    if mean == 0.0:
+        return 0.0
+    return float(loads.std()) / mean
+
+
+def jain_fairness(loads: np.ndarray) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``; 1.0 is
+    perfectly fair, ``1/n`` maximally unfair."""
+    loads = np.asarray(loads, dtype=np.float64)
+    denom = loads.shape[0] * float((loads**2).sum())
+    if denom == 0.0:
+        return 1.0
+    return float(loads.sum()) ** 2 / denom

@@ -1,0 +1,63 @@
+"""Migration cost models.
+
+"Moving websites from one server to another could incur substantial
+cost" (Section 1).  These models decide what moving a site costs; the
+unit model recovers the paper's ``k``-move problem, the others exercise
+the arbitrary-cost variant (Section 3.2) and the PTAS (Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from .website import Website
+
+__all__ = [
+    "MigrationCostModel",
+    "UnitCost",
+    "BytesProportionalCost",
+    "BandwidthCost",
+]
+
+
+class MigrationCostModel(Protocol):
+    """Anything that prices the migration of one website."""
+
+    def cost(self, site: Website) -> float:
+        """Cost of migrating ``site`` to any other server."""
+        ...  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class UnitCost:
+    """Every migration costs 1 — the paper's move-count model."""
+
+    def cost(self, site: Website) -> float:
+        return 1.0
+
+
+@dataclass(frozen=True)
+class BytesProportionalCost:
+    """Cost proportional to the site's content size.
+
+    Models copying the site's data: a large media site is expensive to
+    move, a small static page nearly free.
+    """
+
+    per_byte: float = 1.0
+
+    def cost(self, site: Website) -> float:
+        return self.per_byte * site.content_bytes
+
+
+@dataclass(frozen=True)
+class BandwidthCost:
+    """Content bytes over a shared migration bandwidth, plus a fixed
+    per-migration overhead (connection draining, DNS propagation)."""
+
+    bandwidth: float = 100.0
+    overhead: float = 0.1
+
+    def cost(self, site: Website) -> float:
+        return self.overhead + site.content_bytes / self.bandwidth

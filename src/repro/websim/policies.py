@@ -1,0 +1,108 @@
+"""Rebalancing policies for the web-cluster simulator.
+
+A policy looks at the cluster's current snapshot (as a rebalancing
+:class:`~repro.core.instance.Instance`) and returns the assignment to
+migrate to.  Policies adapt the paper's algorithms and the baselines to
+the epoch loop, under a per-epoch migration budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from ..core.assignment import Assignment
+from ..core.greedy import greedy_rebalance
+from ..core.instance import Instance
+from ..core.partition import m_partition_rebalance
+from ..core.cost_partition import cost_partition_rebalance
+from ..baselines.graham import lpt_rebalance
+from ..baselines.local_search import hill_climb_rebalance
+
+__all__ = [
+    "RebalancePolicy",
+    "NoRebalance",
+    "GreedyPolicy",
+    "MPartitionPolicy",
+    "CostPartitionPolicy",
+    "FullRepackPolicy",
+    "HillClimbPolicy",
+]
+
+
+class RebalancePolicy(Protocol):
+    """Decides the new placement for one epoch."""
+
+    name: str
+
+    def decide(self, instance: Instance, epoch: int) -> Assignment:
+        """Return the assignment the cluster should migrate to."""
+        ...  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class NoRebalance:
+    """Never migrate — the do-nothing control."""
+
+    name: str = "none"
+
+    def decide(self, instance: Instance, epoch: int) -> Assignment:
+        return Assignment.initial(instance)
+
+
+@dataclass(frozen=True)
+class GreedyPolicy:
+    """The paper's GREEDY with a per-epoch move budget ``k``."""
+
+    k: int = 2
+    name: str = "greedy"
+
+    def decide(self, instance: Instance, epoch: int) -> Assignment:
+        return greedy_rebalance(instance, self.k).assignment
+
+
+@dataclass(frozen=True)
+class MPartitionPolicy:
+    """The paper's M-PARTITION with a per-epoch move budget ``k``."""
+
+    k: int = 2
+    name: str = "m-partition"
+
+    def decide(self, instance: Instance, epoch: int) -> Assignment:
+        return m_partition_rebalance(instance, self.k).assignment
+
+
+@dataclass(frozen=True)
+class CostPartitionPolicy:
+    """The Section-3.2 weighted algorithm with a per-epoch migration
+    *cost* budget (pairs with non-unit migration models)."""
+
+    budget: float = 5.0
+    alpha: float = 0.1
+    name: str = "cost-partition"
+
+    def decide(self, instance: Instance, epoch: int) -> Assignment:
+        return cost_partition_rebalance(
+            instance, self.budget, alpha=self.alpha
+        ).assignment
+
+
+@dataclass(frozen=True)
+class FullRepackPolicy:
+    """LPT from scratch every epoch — unbounded migrations."""
+
+    name: str = "full-repack"
+
+    def decide(self, instance: Instance, epoch: int) -> Assignment:
+        return lpt_rebalance(instance).assignment
+
+
+@dataclass(frozen=True)
+class HillClimbPolicy:
+    """Best-improvement hill climbing with a per-epoch move budget."""
+
+    k: int = 2
+    name: str = "hill-climb"
+
+    def decide(self, instance: Instance, epoch: int) -> Assignment:
+        return hill_climb_rebalance(instance, k=self.k).assignment

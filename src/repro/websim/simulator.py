@@ -1,0 +1,139 @@
+"""Epoch-driven web-cluster rebalancing simulation.
+
+The loop the paper's introduction describes: traffic shifts, the
+operator observes per-site loads, relocates a bounded number of sites,
+and the cycle repeats.  Experiment E6 runs this loop under every policy
+and compares the makespan trajectories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .cluster import Cluster
+from .metrics import coefficient_of_variation, imbalance_ratio, jain_fairness
+from .policies import RebalancePolicy
+from .traffic import TrafficModel
+from .website import Website
+from .migration import MigrationCostModel, UnitCost
+
+__all__ = ["EpochRecord", "SimulationResult", "Simulation", "build_cluster"]
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """Measurements from one epoch (after migration)."""
+
+    epoch: int
+    makespan: float
+    average_load: float
+    imbalance: float
+    cv: float
+    fairness: float
+    migrations: int
+    migration_cost: float
+    pre_makespan: float  # before this epoch's migrations
+
+
+@dataclass
+class SimulationResult:
+    """Full trajectory of one simulation run."""
+
+    policy: str
+    records: list[EpochRecord] = field(default_factory=list)
+
+    @property
+    def mean_makespan(self) -> float:
+        return float(np.mean([r.makespan for r in self.records]))
+
+    @property
+    def peak_makespan(self) -> float:
+        return float(np.max([r.makespan for r in self.records]))
+
+    @property
+    def mean_imbalance(self) -> float:
+        return float(np.mean([r.imbalance for r in self.records]))
+
+    @property
+    def total_migrations(self) -> int:
+        return int(sum(r.migrations for r in self.records))
+
+    @property
+    def total_migration_cost(self) -> float:
+        return float(sum(r.migration_cost for r in self.records))
+
+    def summary(self) -> dict:
+        return {
+            "policy": self.policy,
+            "mean_makespan": self.mean_makespan,
+            "peak_makespan": self.peak_makespan,
+            "mean_imbalance": self.mean_imbalance,
+            "total_migrations": self.total_migrations,
+            "total_migration_cost": self.total_migration_cost,
+        }
+
+
+def build_cluster(
+    num_sites: int,
+    num_servers: int,
+    rng: np.random.Generator,
+    zipf_exponent: float = 0.9,
+    migration_model: MigrationCostModel | None = None,
+) -> Cluster:
+    """A cluster of Zipf-popular sites placed round-robin.
+
+    Content sizes are lognormal so byte-proportional migration models
+    see realistic heterogeneity.
+    """
+    from .traffic import zipf_popularities
+
+    pops = zipf_popularities(num_sites, exponent=zipf_exponent)
+    sites = [
+        Website(
+            site_id=i,
+            base_popularity=float(pops[i]),
+            content_bytes=float(np.exp(rng.normal(3.0, 1.0))),
+        )
+        for i in range(num_sites)
+    ]
+    return Cluster.place_round_robin(
+        sites, num_servers, migration_model=migration_model or UnitCost()
+    )
+
+
+@dataclass
+class Simulation:
+    """One policy driving one cluster under one traffic model."""
+
+    cluster: Cluster
+    traffic: TrafficModel
+    policy: RebalancePolicy
+    seed: int = 0
+
+    def run(self, epochs: int) -> SimulationResult:
+        """Run the epoch loop and collect a full trajectory."""
+        rng = np.random.default_rng(self.seed)
+        result = SimulationResult(policy=self.policy.name)
+        for epoch in range(epochs):
+            self.traffic.step(self.cluster.sites, epoch, rng)
+            pre_makespan = self.cluster.makespan()
+            instance = self.cluster.to_instance()
+            assignment = self.policy.decide(instance, epoch)
+            migrations, cost = self.cluster.apply_assignment(assignment)
+            loads = self.cluster.loads()
+            result.records.append(
+                EpochRecord(
+                    epoch=epoch,
+                    makespan=float(loads.max()),
+                    average_load=float(loads.mean()),
+                    imbalance=imbalance_ratio(loads),
+                    cv=coefficient_of_variation(loads),
+                    fairness=jain_fairness(loads),
+                    migrations=migrations,
+                    migration_cost=cost,
+                    pre_makespan=pre_makespan,
+                )
+            )
+        return result

@@ -1,0 +1,114 @@
+"""Load-trace recording and replay.
+
+The cited Linder–Shah deployment rebalanced against *measured* website
+loads.  Production traces are unavailable (see DESIGN.md §4), but the
+simulator supports the same workflow: record any traffic model's
+per-epoch load matrix to a trace, persist it as JSON or CSV, and replay
+it later — so experiments can be re-run bit-for-bit against a frozen
+workload, and real traces can be dropped in whenever someone has them
+(one row per epoch, one column per site).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .traffic import TrafficModel
+from .website import Website
+
+__all__ = ["LoadTrace", "record_trace", "ReplayTraffic"]
+
+
+@dataclass(frozen=True)
+class LoadTrace:
+    """A frozen (epochs x sites) matrix of observed loads."""
+
+    loads: np.ndarray
+
+    def __post_init__(self) -> None:
+        loads = np.asarray(self.loads, dtype=np.float64).copy()
+        if loads.ndim != 2:
+            raise ValueError("trace must be a 2-d (epochs x sites) matrix")
+        if loads.size and loads.min() <= 0:
+            raise ValueError("trace loads must be positive")
+        loads.setflags(write=False)
+        object.__setattr__(self, "loads", loads)
+
+    @property
+    def num_epochs(self) -> int:
+        return int(self.loads.shape[0])
+
+    @property
+    def num_sites(self) -> int:
+        return int(self.loads.shape[1])
+
+    # -- serialization -------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps({"loads": self.loads.tolist()})
+
+    @classmethod
+    def from_json(cls, text: str) -> "LoadTrace":
+        return cls(loads=np.asarray(json.loads(text)["loads"]))
+
+    def to_csv(self) -> str:
+        """One row per epoch; header names the site columns."""
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow([f"site_{i}" for i in range(self.num_sites)])
+        for row in self.loads:
+            writer.writerow([f"{v:.9g}" for v in row])
+        return buf.getvalue()
+
+    @classmethod
+    def from_csv(cls, text: str) -> "LoadTrace":
+        rows = list(csv.reader(io.StringIO(text)))
+        data = [[float(v) for v in row] for row in rows[1:] if row]
+        return cls(loads=np.asarray(data))
+
+
+def record_trace(
+    sites: Sequence[Website],
+    traffic: TrafficModel,
+    epochs: int,
+    seed: int = 0,
+) -> LoadTrace:
+    """Drive ``traffic`` for ``epochs`` and capture the load matrix.
+
+    The sites are mutated exactly as a live simulation would mutate
+    them; pass copies if the originals must stay pristine.
+    """
+    rng = np.random.default_rng(seed)
+    rows = []
+    for epoch in range(epochs):
+        traffic.step(sites, epoch, rng)
+        rows.append([s.load for s in sites])
+    return LoadTrace(loads=np.asarray(rows))
+
+
+@dataclass
+class ReplayTraffic:
+    """A traffic model that replays a recorded trace verbatim.
+
+    Epochs beyond the trace's length hold the final epoch's loads (a
+    simulation can outlive its trace without crashing mid-experiment).
+    """
+
+    trace: LoadTrace
+
+    def step(
+        self, sites: Sequence[Website], epoch: int, rng: np.random.Generator
+    ) -> None:
+        if len(sites) != self.trace.num_sites:
+            raise ValueError(
+                f"trace has {self.trace.num_sites} sites, cluster has "
+                f"{len(sites)}"
+            )
+        row = self.trace.loads[min(epoch, self.trace.num_epochs - 1)]
+        for site, load in zip(sites, row):
+            site.set_load(float(load))

@@ -1,0 +1,156 @@
+"""Synthetic traffic models.
+
+Substitution note (see DESIGN.md): the paper's cited deployment (Linder
+& Shah at Ensim) used production web traces we do not have.  These
+models generate the standard published workload shapes for web serving —
+Zipf site popularity, diurnal modulation, multiplicative random walks
+and flash crowds — which exercise the identical rebalancing code path.
+
+All models mutate site loads in place, epoch by epoch, through a seeded
+``numpy.random.Generator`` for full reproducibility.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from .website import Website
+
+__all__ = [
+    "TrafficModel",
+    "StaticZipf",
+    "DiurnalTraffic",
+    "RandomWalkTraffic",
+    "FlashCrowdTraffic",
+    "ComposedTraffic",
+    "zipf_popularities",
+]
+
+
+def zipf_popularities(
+    num_sites: int, exponent: float = 1.0, scale: float = 100.0
+) -> np.ndarray:
+    """Zipf popularity weights: site ``r`` gets ``scale / (r+1)^exponent``.
+
+    The classical fit for website popularity distributions.
+    """
+    ranks = np.arange(1, num_sites + 1, dtype=np.float64)
+    return scale / ranks**exponent
+
+
+class TrafficModel(Protocol):
+    """Anything that advances site loads by one epoch."""
+
+    def step(
+        self, sites: Sequence[Website], epoch: int, rng: np.random.Generator
+    ) -> None:
+        """Mutate ``site.load`` for the new epoch."""
+        ...  # pragma: no cover
+
+
+@dataclass
+class StaticZipf:
+    """Loads pinned to base popularity plus small multiplicative noise."""
+
+    noise: float = 0.05
+
+    def step(
+        self, sites: Sequence[Website], epoch: int, rng: np.random.Generator
+    ) -> None:
+        for site in sites:
+            factor = 1.0 + self.noise * float(rng.standard_normal())
+            site.set_load(site.base_popularity * max(factor, 0.05))
+
+
+@dataclass
+class DiurnalTraffic:
+    """Sinusoidal day/night modulation with per-site phase offsets.
+
+    Sites peak at different times (think geographic audiences), so the
+    *relative* load across servers keeps shifting — the drift that makes
+    periodic rebalancing necessary.
+    """
+
+    period: int = 24
+    amplitude: float = 0.6
+    noise: float = 0.05
+    _phases: np.ndarray | None = field(default=None, repr=False)
+
+    def step(
+        self, sites: Sequence[Website], epoch: int, rng: np.random.Generator
+    ) -> None:
+        if self._phases is None or self._phases.shape[0] != len(sites):
+            self._phases = rng.uniform(0.0, 2.0 * math.pi, size=len(sites))
+        omega = 2.0 * math.pi * epoch / self.period
+        for site, phase in zip(sites, self._phases):
+            swing = 1.0 + self.amplitude * math.sin(omega + float(phase))
+            factor = swing * (1.0 + self.noise * float(rng.standard_normal()))
+            site.set_load(site.base_popularity * max(factor, 0.05))
+
+
+@dataclass
+class RandomWalkTraffic:
+    """Multiplicative random walk with mean reversion toward the base
+    popularity — slow organic drift."""
+
+    volatility: float = 0.1
+    reversion: float = 0.05
+
+    def step(
+        self, sites: Sequence[Website], epoch: int, rng: np.random.Generator
+    ) -> None:
+        for site in sites:
+            shock = math.exp(self.volatility * float(rng.standard_normal()))
+            drifted = site.load * shock
+            target = site.base_popularity
+            site.set_load(drifted + self.reversion * (target - drifted))
+
+
+@dataclass
+class FlashCrowdTraffic:
+    """Occasional flash crowds: a random site's load spikes by a large
+    factor, then decays geometrically over subsequent epochs."""
+
+    probability: float = 0.1
+    spike_factor: float = 10.0
+    decay: float = 0.5
+    _boost: dict[int, float] = field(default_factory=dict, repr=False)
+
+    def step(
+        self, sites: Sequence[Website], epoch: int, rng: np.random.Generator
+    ) -> None:
+        # Decay existing crowds.
+        for sid in list(self._boost):
+            self._boost[sid] *= self.decay
+            if self._boost[sid] < 1.05:
+                del self._boost[sid]
+        # Maybe start a new one.
+        if sites and rng.random() < self.probability:
+            victim = int(rng.integers(0, len(sites)))
+            self._boost[victim] = self.spike_factor
+        for site in sites:
+            boost = self._boost.get(site.site_id, 1.0)
+            site.set_load(site.base_popularity * boost)
+
+
+@dataclass
+class ComposedTraffic:
+    """Apply several models in sequence (later models see the loads the
+    earlier ones produced via ``site.load``).
+
+    Note: models that assign from ``base_popularity`` overwrite their
+    predecessors; compose base-driven models first, multiplicative ones
+    after.
+    """
+
+    models: tuple[TrafficModel, ...]
+
+    def step(
+        self, sites: Sequence[Website], epoch: int, rng: np.random.Generator
+    ) -> None:
+        for model in self.models:
+            model.step(sites, epoch, rng)

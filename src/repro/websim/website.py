@@ -1,0 +1,52 @@
+"""Website model for the web-cluster simulator.
+
+Section 1 of the paper motivates load rebalancing with web servers
+hosting (virtual) websites whose observed load drifts over time.  A
+:class:`Website` couples a base popularity weight with a mutable
+current load; the traffic models in :mod:`repro.websim.traffic` evolve
+the loads epoch by epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Website"]
+
+
+@dataclass
+class Website:
+    """One website hosted somewhere in the cluster.
+
+    Attributes
+    ----------
+    site_id:
+        Stable identifier (index into the cluster's site list).
+    base_popularity:
+        Long-run popularity weight (e.g. a Zipf weight); traffic models
+        modulate around it.
+    content_bytes:
+        Size of the site's content; migration cost models can charge
+        proportionally to it.
+    load:
+        Current observed load (requests/sec equivalent); strictly
+        positive so a site always contributes to its server's load.
+    """
+
+    site_id: int
+    base_popularity: float
+    content_bytes: float = 1.0
+    load: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.base_popularity <= 0:
+            raise ValueError("base_popularity must be positive")
+        if self.content_bytes <= 0:
+            raise ValueError("content_bytes must be positive")
+        if self.load == 0.0:
+            self.load = self.base_popularity
+
+    def set_load(self, load: float) -> None:
+        """Update the current load (floored at a tiny positive value so
+        instances built from the cluster stay valid)."""
+        self.load = max(load, 1e-9)

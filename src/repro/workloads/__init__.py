@@ -1,0 +1,24 @@
+"""Workload generators: random families and the paper's tightness
+constructions."""
+
+from .adversarial import (
+    greedy_tight_instance,
+    partition_tight_instance,
+    planted_imbalance_instance,
+)
+from .generators import (
+    COST_FAMILIES,
+    PLACEMENTS,
+    SIZE_FAMILIES,
+    random_instance,
+)
+
+__all__ = [
+    "COST_FAMILIES",
+    "PLACEMENTS",
+    "SIZE_FAMILIES",
+    "greedy_tight_instance",
+    "partition_tight_instance",
+    "planted_imbalance_instance",
+    "random_instance",
+]

@@ -1,0 +1,114 @@
+"""Tests for the random-move control and diffusive balancing."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines import default_topology, diffusive_rebalance, random_rebalance
+from repro.core import make_instance
+
+from ..conftest import instances_with_k
+
+
+class TestRandomRebalance:
+    def test_deterministic_given_seed(self):
+        inst = make_instance(
+            sizes=[3, 2, 1, 4], initial=[0, 0, 1, 1], num_processors=3
+        )
+        a = random_rebalance(inst, k=2, seed=7)
+        b = random_rebalance(inst, k=2, seed=7)
+        assert np.array_equal(a.assignment.mapping, b.assignment.mapping)
+
+    def test_seed_changes_outcome(self):
+        inst = make_instance(
+            sizes=[3, 2, 1, 4, 5, 6], initial=[0] * 6, num_processors=4
+        )
+        outcomes = {
+            tuple(random_rebalance(inst, k=4, seed=s).assignment.mapping.tolist())
+            for s in range(8)
+        }
+        assert len(outcomes) > 1
+
+    def test_single_processor_noop(self):
+        inst = make_instance(sizes=[1, 2], initial=[0, 0], num_processors=1)
+        res = random_rebalance(inst, k=5)
+        assert res.num_moves == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(instances_with_k(max_jobs=8, max_processors=4))
+    def test_budget_respected(self, case):
+        inst, k = case
+        res = random_rebalance(inst, k=k, seed=0)
+        assert res.num_moves <= k
+
+    def test_cost_budget_respected(self):
+        inst = make_instance(
+            sizes=[1, 1, 1], initial=[0, 0, 0], num_processors=2,
+            costs=[5, 5, 5],
+        )
+        res = random_rebalance(inst, budget=5.0, seed=1)
+        assert res.relocation_cost <= 5.0
+
+
+class TestTopologies:
+    def test_ring(self):
+        g = default_topology(5, "ring")
+        assert g.number_of_nodes() == 5
+        assert all(d == 2 for _, d in g.degree)
+
+    def test_complete(self):
+        g = default_topology(4, "complete")
+        assert g.number_of_edges() == 6
+
+    def test_star(self):
+        g = default_topology(4, "star")
+        assert sorted(d for _, d in g.degree) == [1, 1, 1, 3]
+
+    def test_grid(self):
+        g = default_topology(6, "grid")
+        assert g.number_of_nodes() == 6
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            default_topology(3, "moebius")
+
+
+class TestDiffusion:
+    def test_reduces_imbalance_on_ring(self):
+        inst = make_instance(
+            sizes=[2] * 12, initial=[0] * 12, num_processors=4
+        )
+        res = diffusive_rebalance(inst, rounds=12)
+        assert res.makespan < inst.initial_makespan
+
+    def test_respects_move_budget(self):
+        inst = make_instance(
+            sizes=[2] * 12, initial=[0] * 12, num_processors=4
+        )
+        res = diffusive_rebalance(inst, k=3, rounds=12)
+        assert res.num_moves <= 3
+
+    def test_rejects_mismatched_graph(self):
+        inst = make_instance(sizes=[1, 1], initial=[0, 0], num_processors=2)
+        with pytest.raises(ValueError, match="nodes"):
+            diffusive_rebalance(inst, graph=nx.path_graph(5))
+
+    def test_custom_graph(self):
+        inst = make_instance(
+            sizes=[4, 4, 4, 4], initial=[0, 0, 0, 0], num_processors=2
+        )
+        res = diffusive_rebalance(inst, graph=nx.complete_graph(2), rounds=6)
+        assert res.makespan <= inst.initial_makespan
+
+    def test_only_neighbors_receive(self):
+        """With a path graph, a one-round diffusion from node 0 can only
+        reach node 1."""
+        inst = make_instance(
+            sizes=[2] * 8, initial=[0] * 8, num_processors=4
+        )
+        res = diffusive_rebalance(
+            inst, graph=nx.path_graph(4), rounds=1
+        )
+        touched = set(np.unique(res.assignment.mapping.tolist()))
+        assert touched <= {0, 1}

@@ -1,0 +1,103 @@
+"""Tests for the Shmoys-Tardos LP + rounding baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    round_fractional,
+    shmoys_tardos_rebalance,
+    solve_fractional_lp,
+)
+from repro.core import exact_rebalance, make_instance
+
+from ..conftest import small_instances
+
+
+@st.composite
+def weighted_cases(draw):
+    inst = draw(small_instances(max_jobs=6, max_processors=3, unit_costs=False))
+    total = float(inst.costs.sum())
+    budget = draw(st.floats(min_value=0.0, max_value=max(total, 1.0)))
+    return inst, budget
+
+
+class TestFractionalLP:
+    def test_identity_is_free(self):
+        inst = make_instance(sizes=[5, 3], initial=[0, 1], num_processors=2)
+        solved = solve_fractional_lp(inst, inst.initial_makespan)
+        assert solved is not None
+        cost, x = solved
+        assert cost == pytest.approx(0.0, abs=1e-6)
+
+    def test_infeasible_below_max_size(self):
+        inst = make_instance(sizes=[10.0], initial=[0])
+        assert solve_fractional_lp(inst, 5.0) is None
+
+    def test_lp_cost_monotone_in_target(self):
+        inst = make_instance(
+            sizes=[6, 6, 6], initial=[0, 0, 0], num_processors=3,
+            costs=[2, 3, 4],
+        )
+        costs = []
+        for target in (6.0, 9.0, 12.0, 18.0):
+            solved = solve_fractional_lp(inst, target)
+            assert solved is not None
+            costs.append(solved[0])
+        assert all(a >= b - 1e-6 for a, b in zip(costs, costs[1:]))
+
+
+class TestRounding:
+    @settings(max_examples=25, deadline=None)
+    @given(weighted_cases())
+    def test_rounding_preserves_cost_and_bounds_load(self, case):
+        inst, _ = case
+        target = max(inst.average_load, inst.max_size) * 1.2 + 1e-9
+        solved = solve_fractional_lp(inst, target)
+        if solved is None:
+            return
+        lp_cost, x = solved
+        mapping = round_fractional(inst, x)
+        loads = np.zeros(inst.num_processors)
+        np.add.at(loads, mapping, inst.sizes)
+        # Shmoys-Tardos guarantee: load <= T + max job size.
+        assert loads.max() <= target + inst.max_size + 1e-6
+        moved = mapping != inst.initial
+        cost = float(inst.costs[moved].sum())
+        assert cost <= lp_cost + 1e-4
+
+    def test_integral_input_passes_through(self):
+        inst = make_instance(sizes=[5, 3], initial=[0, 1], num_processors=2)
+        x = np.zeros((2, 2))
+        x[0, 0] = 1.0
+        x[1, 1] = 1.0
+        mapping = round_fractional(inst, x)
+        assert mapping.tolist() == [0, 1]
+
+
+class TestEndToEnd:
+    def test_requires_some_budget(self):
+        inst = make_instance(sizes=[1.0], initial=[0])
+        with pytest.raises(ValueError):
+            shmoys_tardos_rebalance(inst)
+
+    @settings(max_examples=25, deadline=None)
+    @given(weighted_cases())
+    def test_two_approximation(self, case):
+        inst, budget = case
+        opt = exact_rebalance(inst, budget=budget).makespan
+        res = shmoys_tardos_rebalance(inst, budget=budget)
+        assert res.relocation_cost <= budget + 1e-5 * max(1.0, budget)
+        # 2-approx plus the binary-search tolerance.
+        assert res.makespan <= 2.0 * opt * (1.0 + 1e-2) + 1e-6, (
+            f"{res.makespan} vs opt {opt} on {inst.to_dict()} B={budget}"
+        )
+
+    def test_zero_budget_stays_home(self):
+        inst = make_instance(
+            sizes=[9, 1], initial=[0, 0], num_processors=2, costs=[4, 4]
+        )
+        res = shmoys_tardos_rebalance(inst, budget=0.0)
+        assert res.relocation_cost == 0.0
+        assert res.makespan == 10.0

@@ -1,0 +1,64 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.core import Instance
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh seeded generator per test."""
+    return np.random.default_rng(12345)
+
+
+@st.composite
+def small_instances(
+    draw,
+    max_jobs: int = 8,
+    max_processors: int = 4,
+    max_size: int = 20,
+    unit_costs: bool = True,
+):
+    """Hypothesis strategy: small integer-size rebalancing instances.
+
+    Small enough for the exact branch-and-bound solver to finish fast,
+    rich enough to cover ties, empty processors and extreme skews.
+    """
+    n = draw(st.integers(min_value=1, max_value=max_jobs))
+    m = draw(st.integers(min_value=1, max_value=max_processors))
+    sizes = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=max_size),
+            min_size=n, max_size=n,
+        )
+    )
+    initial = draw(
+        st.lists(st.integers(min_value=0, max_value=m - 1), min_size=n, max_size=n)
+    )
+    if unit_costs:
+        costs = [1.0] * n
+    else:
+        costs = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=10),
+                min_size=n, max_size=n,
+            )
+        )
+    return Instance(
+        sizes=np.array(sizes, dtype=float),
+        costs=np.array(costs, dtype=float),
+        num_processors=m,
+        initial=np.array(initial),
+    )
+
+
+@st.composite
+def instances_with_k(draw, **kwargs):
+    """An instance paired with a valid move budget ``k``."""
+    instance = draw(small_instances(**kwargs))
+    k = draw(st.integers(min_value=0, max_value=instance.num_jobs))
+    return instance, k

@@ -1,0 +1,129 @@
+"""Tests for the arbitrary-cost PARTITION variant (Section 3.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    cost_partition_rebalance,
+    evaluate_cost_guess,
+    exact_rebalance,
+    make_instance,
+)
+
+from ..conftest import small_instances
+
+
+@st.composite
+def weighted_cases(draw):
+    inst = draw(small_instances(max_jobs=7, max_processors=3, unit_costs=False))
+    total = float(inst.costs.sum())
+    budget = draw(st.floats(min_value=0.0, max_value=max(total, 1.0)))
+    return inst, budget
+
+
+class TestEvaluateCostGuess:
+    def test_zero_plan_when_balanced(self):
+        inst = make_instance(
+            sizes=[5, 5], initial=[0, 1], num_processors=2, costs=[3, 4]
+        )
+        plan = evaluate_cost_guess(inst, 10.0)
+        assert plan.feasible
+        assert plan.planned_cost == 0.0
+
+    def test_infeasible_when_too_many_large(self):
+        inst = make_instance(
+            sizes=[6, 6, 6], initial=[0, 0, 0], num_processors=2, costs=[1, 1, 1]
+        )
+        plan = evaluate_cost_guess(inst, 10.0)
+        assert not plan.feasible
+
+    def test_keeps_most_costly_large(self):
+        # Two large jobs on one processor; the cheap one must be planned out.
+        inst = make_instance(
+            sizes=[6, 6], initial=[0, 0], num_processors=2, costs=[1, 100]
+        )
+        plan = evaluate_cost_guess(inst, 10.0)
+        assert plan.feasible
+        # Selected processor's a-plan removes the cost-1 job only.
+        assert plan.planned_cost == pytest.approx(1.0)
+
+
+class TestCostPartition:
+    def test_zero_budget_is_identity(self):
+        inst = make_instance(
+            sizes=[9, 1], initial=[0, 0], num_processors=2, costs=[5, 5]
+        )
+        res = cost_partition_rebalance(inst, 0.0)
+        assert res.relocation_cost == 0.0
+        assert res.makespan == inst.initial_makespan
+
+    def test_rejects_negative_budget(self):
+        inst = make_instance(sizes=[1.0], initial=[0])
+        with pytest.raises(ValueError):
+            cost_partition_rebalance(inst, -1.0)
+
+    def test_rejects_bad_alpha(self):
+        inst = make_instance(sizes=[1.0], initial=[0])
+        with pytest.raises(ValueError):
+            cost_partition_rebalance(inst, 1.0, alpha=0.0)
+
+    def test_empty_instance(self):
+        inst = make_instance(sizes=[], initial=[], num_processors=2)
+        res = cost_partition_rebalance(inst, 1.0)
+        assert res.makespan == 0.0
+
+    def test_cheap_jobs_move_first(self):
+        # Balancing needs one move; only the cheap job is affordable.
+        inst = make_instance(
+            sizes=[5, 5, 10], initial=[0, 0, 1], num_processors=3,
+            costs=[1, 100, 100],
+        )
+        res = cost_partition_rebalance(inst, 2.0)
+        assert res.relocation_cost <= 2.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(weighted_cases())
+    def test_budget_respected(self, case):
+        inst, budget = case
+        res = cost_partition_rebalance(inst, budget)
+        assert res.relocation_cost <= budget + 1e-6 * max(1.0, budget)
+
+    @settings(max_examples=40, deadline=None)
+    @given(weighted_cases())
+    def test_approximation_vs_exact(self, case):
+        """Makespan <= 1.5 (1 + alpha) OPT(B) with exact knapsacks."""
+        inst, budget = case
+        alpha = 0.05
+        opt = exact_rebalance(inst, budget=budget).makespan
+        res = cost_partition_rebalance(
+            inst, budget, alpha=alpha, knapsack_method="exact"
+        )
+        assert res.makespan <= 1.5 * (1.0 + alpha) * opt + 1e-9, (
+            f"{res.makespan} vs opt {opt} on {inst.to_dict()} B={budget}"
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(weighted_cases())
+    def test_fptas_knapsack_still_feasible(self, case):
+        inst, budget = case
+        res = cost_partition_rebalance(
+            inst, budget, knapsack_method="fptas", knapsack_eps=0.2
+        )
+        assert res.relocation_cost <= budget + 1e-6 * max(1.0, budget)
+
+    def test_unit_costs_match_move_budget_semantics(self):
+        """On unit costs a budget of k is a move budget of k."""
+        inst = make_instance(
+            sizes=[7, 3, 3, 3], initial=[0, 0, 0, 1], num_processors=2
+        )
+        res = cost_partition_rebalance(inst, 1.0)
+        assert res.num_moves <= 1
+
+    def test_meta_records_search(self):
+        inst = make_instance(
+            sizes=[7, 3, 3, 3], initial=[0, 0, 0, 1], num_processors=2
+        )
+        res = cost_partition_rebalance(inst, 2.0)
+        assert res.meta["guesses_tried"] >= 1
+        assert res.guessed_opt is not None

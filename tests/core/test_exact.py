@@ -1,0 +1,111 @@
+"""Tests for the exact branch-and-bound solver (ground truth)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import HAS_MILP, exact_rebalance, make_instance, milp_rebalance
+
+from ..conftest import instances_with_k
+
+
+def brute_force_opt(inst, k=None, budget=None):
+    """Enumerate every complete assignment (tiny instances only)."""
+    best = float("inf")
+    n, m = inst.num_jobs, inst.num_processors
+    for mapping in itertools.product(range(m), repeat=n):
+        moves = sum(1 for j in range(n) if mapping[j] != inst.initial[j])
+        if k is not None and moves > k:
+            continue
+        cost = sum(
+            inst.costs[j] for j in range(n) if mapping[j] != inst.initial[j]
+        )
+        if budget is not None and cost > budget + 1e-12:
+            continue
+        loads = np.zeros(m)
+        for j in range(n):
+            loads[mapping[j]] += inst.sizes[j]
+        best = min(best, loads.max())
+    return best
+
+
+class TestBranchAndBound:
+    def test_identity_when_k_zero(self):
+        inst = make_instance(sizes=[9, 1], initial=[0, 0], num_processors=2)
+        res = exact_rebalance(inst, k=0)
+        assert res.makespan == 10.0
+        assert res.num_moves == 0
+
+    def test_obvious_split(self):
+        inst = make_instance(sizes=[5, 5], initial=[0, 0], num_processors=2)
+        res = exact_rebalance(inst, k=1)
+        assert res.makespan == 5.0
+
+    def test_node_limit_raises(self):
+        rng = np.random.default_rng(0)
+        inst = make_instance(
+            sizes=rng.uniform(1, 100, 12), initial=rng.integers(0, 4, 12),
+            num_processors=4,
+        )
+        with pytest.raises(RuntimeError, match="node_limit"):
+            exact_rebalance(inst, k=12, node_limit=10)
+
+    def test_meta_marks_optimal(self):
+        inst = make_instance(sizes=[1.0], initial=[0])
+        res = exact_rebalance(inst, k=1)
+        assert res.meta["optimal"] is True
+        assert res.meta["nodes"] >= 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(instances_with_k(max_jobs=5, max_processors=3))
+    def test_matches_brute_force_moves(self, case):
+        inst, k = case
+        assert exact_rebalance(inst, k=k).makespan == pytest.approx(
+            brute_force_opt(inst, k=k)
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(instances_with_k(max_jobs=5, max_processors=3, unit_costs=False))
+    def test_matches_brute_force_budget(self, case):
+        inst, k = case
+        budget = float(k)  # reuse k as a cost budget
+        assert exact_rebalance(inst, budget=budget).makespan == pytest.approx(
+            brute_force_opt(inst, budget=budget)
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(instances_with_k(max_jobs=6, max_processors=3))
+    def test_monotone_in_k(self, case):
+        inst, k = case
+        values = [exact_rebalance(inst, k=kk).makespan for kk in range(k + 1)]
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+
+@pytest.mark.skipif(not HAS_MILP, reason="scipy.optimize.milp unavailable")
+class TestMilpCrossCheck:
+    @settings(max_examples=25, deadline=None)
+    @given(instances_with_k(max_jobs=6, max_processors=3))
+    def test_milp_agrees_with_bnb(self, case):
+        inst, k = case
+        bnb = exact_rebalance(inst, k=k)
+        milp = milp_rebalance(inst, k=k)
+        assert milp.makespan == pytest.approx(bnb.makespan, rel=1e-6)
+
+    @settings(max_examples=15, deadline=None)
+    @given(instances_with_k(max_jobs=5, max_processors=3, unit_costs=False))
+    def test_milp_agrees_under_budget(self, case):
+        inst, k = case
+        budget = float(k)
+        bnb = exact_rebalance(inst, budget=budget)
+        milp = milp_rebalance(inst, budget=budget)
+        assert milp.makespan == pytest.approx(bnb.makespan, rel=1e-6)
+
+    def test_milp_respects_budget(self):
+        inst = make_instance(
+            sizes=[5, 5, 5], initial=[0, 0, 0], num_processors=3,
+            costs=[1, 2, 3],
+        )
+        res = milp_rebalance(inst, budget=3.0)
+        assert res.relocation_cost <= 3.0 + 1e-9

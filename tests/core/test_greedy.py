@@ -1,0 +1,121 @@
+"""Tests for GREEDY (Section 2, Theorem 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import exact_rebalance, greedy_rebalance, make_instance
+from repro.workloads import greedy_tight_instance
+
+from ..conftest import instances_with_k
+
+
+class TestBasics:
+    def test_k_zero_is_identity(self):
+        inst = make_instance(sizes=[5, 1], initial=[0, 0], num_processors=2)
+        res = greedy_rebalance(inst, 0)
+        assert res.num_moves == 0
+        assert res.makespan == inst.initial_makespan
+
+    def test_single_obvious_move(self):
+        inst = make_instance(sizes=[5, 5], initial=[0, 0], num_processors=2)
+        res = greedy_rebalance(inst, 1)
+        assert res.makespan == 5.0
+        assert res.num_moves == 1
+
+    def test_k_larger_than_jobs(self):
+        inst = make_instance(sizes=[3, 2, 1], initial=[0, 0, 0], num_processors=2)
+        res = greedy_rebalance(inst, 100)
+        res.assignment.validate()
+        assert res.makespan >= inst.average_load
+
+    def test_rejects_negative_k(self):
+        inst = make_instance(sizes=[1.0], initial=[0])
+        with pytest.raises(ValueError):
+            greedy_rebalance(inst, -1)
+
+    def test_rejects_bad_order(self):
+        inst = make_instance(sizes=[1.0], initial=[0])
+        with pytest.raises(ValueError):
+            greedy_rebalance(inst, 1, insert_order="sideways")
+
+    def test_meta_records_g1(self):
+        inst = make_instance(sizes=[5, 3, 4], initial=[0, 0, 1], num_processors=2)
+        res = greedy_rebalance(inst, 1)
+        assert res.meta["G1"] == 4.0  # Lemma 1 bound after one removal
+        assert res.meta["G2"] == res.makespan
+
+    def test_single_processor_noop_effect(self):
+        inst = make_instance(sizes=[3, 2], initial=[0, 0], num_processors=1)
+        res = greedy_rebalance(inst, 2)
+        assert res.makespan == 5.0
+
+
+class TestTheorem1:
+    @pytest.mark.parametrize("m", [2, 3, 4, 5, 8])
+    def test_tight_instance_hits_bound_exactly(self, m):
+        """The adversarial family achieves ratio exactly 2 - 1/m."""
+        inst, k, opt = greedy_tight_instance(m)
+        res = greedy_rebalance(inst, k, insert_order="ascending")
+        assert res.makespan / opt == pytest.approx(2.0 - 1.0 / m)
+
+    @pytest.mark.parametrize("m", [2, 3, 4])
+    def test_tight_instance_opt_is_m(self, m):
+        inst, k, opt = greedy_tight_instance(m)
+        assert exact_rebalance(inst, k=k).makespan == pytest.approx(opt)
+
+    @settings(max_examples=60, deadline=None)
+    @given(instances_with_k(max_jobs=8, max_processors=4))
+    def test_ratio_bound_random(self, case):
+        """G2 <= (2 - 1/m) OPT on arbitrary small instances."""
+        inst, k = case
+        opt = exact_rebalance(inst, k=k).makespan
+        res = greedy_rebalance(inst, k)
+        assert res.makespan <= (2.0 - 1.0 / inst.num_processors) * opt + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(instances_with_k(max_jobs=8, max_processors=4))
+    def test_g1_is_lower_bound(self, case):
+        """Lemma 1: the post-removal load never exceeds OPT."""
+        inst, k = case
+        opt = exact_rebalance(inst, k=k).makespan
+        res = greedy_rebalance(inst, k)
+        assert res.meta["G1"] <= opt + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(instances_with_k(max_jobs=8, max_processors=4))
+    def test_move_budget_respected(self, case):
+        inst, k = case
+        res = greedy_rebalance(inst, k)
+        assert res.num_moves <= k
+        assert res.planned_moves <= k
+
+    @settings(max_examples=30, deadline=None)
+    @given(instances_with_k(max_jobs=8, max_processors=4))
+    def test_all_insert_orders_within_bound(self, case):
+        inst, k = case
+        opt = exact_rebalance(inst, k=k).makespan
+        bound = (2.0 - 1.0 / inst.num_processors) * opt + 1e-9
+        for order in ("removal", "descending", "ascending"):
+            assert greedy_rebalance(inst, k, insert_order=order).makespan <= bound
+
+    @settings(max_examples=25, deadline=None)
+    @given(instances_with_k(max_jobs=8, max_processors=4))
+    def test_scale_invariance(self, case):
+        """Scaling all sizes scales the makespan and preserves moves."""
+        inst, k = case
+        a = greedy_rebalance(inst, k)
+        b = greedy_rebalance(inst.scaled(4.0), k)
+        assert b.makespan == pytest.approx(4.0 * a.makespan)
+        assert np.array_equal(a.assignment.mapping, b.assignment.mapping)
+
+
+class TestDeterminism:
+    def test_repeat_runs_identical(self):
+        inst = make_instance(
+            sizes=[9, 7, 5, 3, 2, 2, 1], initial=[0, 0, 0, 1, 1, 2, 2],
+            num_processors=3,
+        )
+        a = greedy_rebalance(inst, 3)
+        b = greedy_rebalance(inst, 3)
+        assert np.array_equal(a.assignment.mapping, b.assignment.mapping)

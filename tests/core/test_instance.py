@@ -1,0 +1,129 @@
+"""Unit tests for the Instance data model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import Instance, make_instance
+
+from ..conftest import small_instances
+
+
+class TestConstruction:
+    def test_basic(self):
+        inst = make_instance(sizes=[3, 2, 1], initial=[0, 1, 1], num_processors=2)
+        assert inst.num_jobs == 3
+        assert inst.num_processors == 2
+        assert inst.total_size == 6.0
+        assert inst.is_unit_cost
+
+    def test_default_processor_count(self):
+        inst = make_instance(sizes=[1, 1], initial=[0, 3])
+        assert inst.num_processors == 4
+
+    def test_custom_costs(self):
+        inst = make_instance(sizes=[1, 2], initial=[0, 0], costs=[5, 0])
+        assert not inst.is_unit_cost
+        assert inst.costs.tolist() == [5.0, 0.0]
+
+    def test_empty_instance(self):
+        inst = Instance(sizes=[], costs=[], num_processors=3, initial=[])
+        assert inst.num_jobs == 0
+        assert inst.initial_makespan == 0.0
+
+    def test_arrays_are_readonly(self):
+        inst = make_instance(sizes=[1.0], initial=[0])
+        with pytest.raises(ValueError):
+            inst.sizes[0] = 2.0
+        with pytest.raises(ValueError):
+            inst.initial[0] = 1
+
+
+class TestValidation:
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError, match="positive"):
+            make_instance(sizes=[0.0], initial=[0])
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            make_instance(sizes=[1.0], initial=[0], costs=[-1.0])
+
+    def test_rejects_bad_processor(self):
+        with pytest.raises(ValueError, match="outside"):
+            make_instance(sizes=[1.0], initial=[5], num_processors=2)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Instance(sizes=[1.0, 2.0], costs=[1.0], num_processors=1, initial=[0, 0])
+
+    def test_rejects_zero_processors(self):
+        with pytest.raises(ValueError):
+            Instance(sizes=[1.0], costs=[1.0], num_processors=0, initial=[0])
+
+
+class TestDerivedQuantities:
+    def test_initial_loads(self):
+        inst = make_instance(sizes=[3, 2, 5], initial=[0, 0, 1], num_processors=3)
+        assert inst.initial_loads.tolist() == [5.0, 5.0, 0.0]
+        assert inst.initial_makespan == 5.0
+
+    def test_average_and_max(self):
+        inst = make_instance(sizes=[4, 2], initial=[0, 0], num_processors=2)
+        assert inst.average_load == 3.0
+        assert inst.max_size == 4.0
+
+    def test_jobs_on(self):
+        inst = make_instance(sizes=[1, 1, 1], initial=[1, 0, 1], num_processors=2)
+        assert inst.jobs_on(1).tolist() == [0, 2]
+        assert inst.jobs_on(0).tolist() == [1]
+
+    def test_job_materialization(self):
+        inst = make_instance(sizes=[7.0], initial=[0], costs=[3.0])
+        job = inst.job(0)
+        assert job.size == 7.0 and job.cost == 3.0 and job.index == 0
+        assert [j.index for j in inst.jobs()] == [0]
+
+
+class TestSerialization:
+    def test_roundtrip_dict(self):
+        inst = make_instance(sizes=[3, 2], initial=[0, 1], costs=[1, 4])
+        again = Instance.from_dict(inst.to_dict())
+        assert np.array_equal(again.sizes, inst.sizes)
+        assert np.array_equal(again.costs, inst.costs)
+        assert np.array_equal(again.initial, inst.initial)
+        assert again.num_processors == inst.num_processors
+
+    def test_roundtrip_json(self):
+        inst = make_instance(sizes=[3.5, 2.25], initial=[0, 1])
+        again = Instance.from_json(inst.to_json())
+        assert np.array_equal(again.sizes, inst.sizes)
+
+    @settings(max_examples=25)
+    @given(small_instances(unit_costs=False))
+    def test_roundtrip_property(self, inst):
+        again = Instance.from_json(inst.to_json())
+        assert np.array_equal(again.sizes, inst.sizes)
+        assert np.array_equal(again.costs, inst.costs)
+        assert np.array_equal(again.initial, inst.initial)
+
+
+class TestDerivedInstances:
+    def test_with_unit_costs(self):
+        inst = make_instance(sizes=[1, 2], initial=[0, 0], costs=[9, 9])
+        assert inst.with_unit_costs().is_unit_cost
+
+    def test_with_initial(self):
+        inst = make_instance(sizes=[1, 2], initial=[0, 0], num_processors=2)
+        moved = inst.with_initial([1, 1])
+        assert moved.initial_loads.tolist() == [0.0, 3.0]
+
+    def test_scaled(self):
+        inst = make_instance(sizes=[1, 2], initial=[0, 1], num_processors=2)
+        big = inst.scaled(10.0)
+        assert big.total_size == 30.0
+        assert big.initial_makespan == 20.0
+
+    def test_scaled_rejects_nonpositive(self):
+        inst = make_instance(sizes=[1.0], initial=[0])
+        with pytest.raises(ValueError):
+            inst.scaled(0.0)

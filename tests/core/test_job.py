@@ -1,0 +1,46 @@
+"""Unit tests for the Job value type."""
+
+import pytest
+
+from repro.core import Job
+
+
+class TestJob:
+    def test_basic(self):
+        job = Job(size=2.5, cost=1.0, index=3)
+        assert job.size == 2.5
+        assert job.cost == 1.0
+        assert job.index == 3
+
+    def test_ordering_by_size_first(self):
+        a = Job(size=1.0, cost=9.0, index=0)
+        b = Job(size=2.0, cost=0.5, index=1)
+        assert a < b
+        assert sorted([b, a]) == [a, b]
+
+    def test_ordering_tie_break(self):
+        a = Job(size=1.0, cost=1.0, index=0)
+        b = Job(size=1.0, cost=1.0, index=1)
+        assert a < b
+
+    def test_is_large(self):
+        job = Job(size=3.0, cost=1.0, index=0)
+        assert job.is_large(2.9)
+        assert not job.is_large(3.0)  # strictly greater per Definition 1
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            Job(size=0.0, cost=1.0, index=0)
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(ValueError):
+            Job(size=1.0, cost=-0.1, index=0)
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            Job(size=1.0, cost=0.0, index=-1)
+
+    def test_frozen(self):
+        job = Job(size=1.0, cost=0.0, index=0)
+        with pytest.raises(AttributeError):
+            job.size = 2.0

@@ -1,0 +1,181 @@
+"""Tests for PARTITION and M-PARTITION (Section 3, Theorems 2-3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    build_tables,
+    evaluate_guess,
+    exact_rebalance,
+    m_partition_rebalance,
+    make_instance,
+    partition_rebalance,
+)
+from repro.workloads import partition_tight_instance
+
+from ..conftest import instances_with_k
+
+
+class TestEvaluateGuess:
+    def test_counts_on_simple_instance(self):
+        # Processor 0: sizes 6 and 6 (both large at guess 10); processor 1: 2.
+        inst = make_instance(sizes=[6, 6, 2], initial=[0, 0, 1], num_processors=2)
+        ev = evaluate_guess(build_tables(inst), 10.0)
+        assert ev.total_large == 2
+        assert ev.large_processors == 1
+        assert ev.extra_large == 1
+        assert ev.feasible
+
+    def test_infeasible_when_too_many_large(self):
+        inst = make_instance(sizes=[6, 6, 6], initial=[0, 0, 0], num_processors=2)
+        ev = evaluate_guess(build_tables(inst), 10.0)
+        assert ev.total_large == 3 > inst.num_processors
+        assert not ev.feasible
+
+    def test_selection_prefers_large_processors(self):
+        # Both processors have c_i = 0; the one with the large job must win.
+        inst = make_instance(sizes=[6, 1], initial=[0, 1], num_processors=2)
+        ev = evaluate_guess(build_tables(inst), 10.0)
+        assert ev.total_large == 1
+        assert ev.selected.tolist() == [0]
+
+    def test_planned_moves_zero_on_balanced(self):
+        inst = make_instance(sizes=[5, 5], initial=[0, 1], num_processors=2)
+        ev = evaluate_guess(build_tables(inst), 10.0)
+        assert ev.planned_moves == 0
+
+
+class TestPartitionKnownOpt:
+    def test_tight_instance_exactly_1_5(self):
+        """Theorem 2's tightness example: PARTITION moves nothing."""
+        inst, k, opt = partition_tight_instance()
+        res = partition_rebalance(inst, opt, k=k)
+        assert res.makespan == pytest.approx(1.5 * opt)
+        assert res.num_moves == 0
+
+    def test_infeasible_guess_raises(self):
+        inst = make_instance(sizes=[6, 6, 6], initial=[0, 0, 0], num_processors=2)
+        with pytest.raises(ValueError, match="large jobs"):
+            partition_rebalance(inst, 10.0)
+
+    def test_budget_violation_raises(self):
+        # Needs moves but k = 0 at an ambitious guess.
+        inst = make_instance(sizes=[4, 4, 4], initial=[0, 0, 0], num_processors=3)
+        with pytest.raises(ValueError, match="budget"):
+            partition_rebalance(inst, 4.0, k=0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(instances_with_k(max_jobs=8, max_processors=4))
+    def test_theorem2_bound(self, case):
+        """With OPT as the guess, makespan <= 1.5 OPT and the move plan
+        never exceeds the optimum's moves (<= k)."""
+        inst, k = case
+        opt = exact_rebalance(inst, k=k).makespan
+        res = partition_rebalance(inst, opt, k=k)
+        assert res.makespan <= 1.5 * opt + 1e-9
+        assert res.num_moves <= k
+        assert res.num_moves <= res.planned_moves
+
+
+class TestMPartition:
+    def test_tight_instance(self):
+        inst, k, opt = partition_tight_instance()
+        res = m_partition_rebalance(inst, k)
+        assert res.makespan <= 1.5 * opt + 1e-12
+
+    def test_k_zero_identity(self):
+        inst = make_instance(sizes=[9, 1], initial=[0, 0], num_processors=2)
+        res = m_partition_rebalance(inst, 0)
+        assert res.num_moves == 0
+        assert res.makespan == inst.initial_makespan
+
+    def test_empty_instance(self):
+        inst = make_instance(sizes=[], initial=[], num_processors=2)
+        res = m_partition_rebalance(inst, 3)
+        assert res.makespan == 0.0
+
+    def test_rejects_negative_k(self):
+        inst = make_instance(sizes=[1.0], initial=[0])
+        with pytest.raises(ValueError):
+            m_partition_rebalance(inst, -1)
+
+    def test_guess_never_exceeds_opt(self):
+        inst = make_instance(
+            sizes=[8, 7, 2, 2, 1], initial=[0, 0, 0, 1, 1], num_processors=2
+        )
+        k = 2
+        opt = exact_rebalance(inst, k=k).makespan
+        res = m_partition_rebalance(inst, k)
+        assert res.guessed_opt <= opt + 1e-9  # Lemma 6
+
+    @settings(max_examples=80, deadline=None)
+    @given(instances_with_k(max_jobs=8, max_processors=4))
+    def test_theorem3_bound(self, case):
+        """The headline result: 1.5-approximation within the budget,
+        without knowing OPT."""
+        inst, k = case
+        opt = exact_rebalance(inst, k=k).makespan
+        res = m_partition_rebalance(inst, k)
+        assert res.makespan <= 1.5 * opt + 1e-9, (
+            f"{res.makespan} > 1.5 * {opt} on {inst.to_dict()} k={k}"
+        )
+        assert res.num_moves <= k
+
+    @settings(max_examples=40, deadline=None)
+    @given(instances_with_k(max_jobs=8, max_processors=4))
+    def test_guess_at_most_opt(self, case):
+        inst, k = case
+        opt = exact_rebalance(inst, k=k).makespan
+        res = m_partition_rebalance(inst, k)
+        assert res.guessed_opt <= opt + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(instances_with_k(max_jobs=8, max_processors=4))
+    def test_moves_never_exceed_optimals(self, case):
+        """Lemma 4: PARTITION's (planned) moves <= OPTIMAL's moves.
+
+        Verified indirectly: the plan at the stopping guess fits k, and
+        actual relocations never exceed the plan.
+        """
+        inst, k = case
+        res = m_partition_rebalance(inst, k)
+        assert res.num_moves <= res.planned_moves <= k
+
+    @settings(max_examples=25, deadline=None)
+    @given(instances_with_k(max_jobs=7, max_processors=3))
+    def test_scale_invariance(self, case):
+        inst, k = case
+        a = m_partition_rebalance(inst, k)
+        b = m_partition_rebalance(inst.scaled(8.0), k)
+        assert b.makespan == pytest.approx(8.0 * a.makespan)
+
+    def test_meta_fields(self):
+        inst = make_instance(
+            sizes=[8, 7, 2, 2, 1], initial=[0, 0, 0, 1, 1], num_processors=2
+        )
+        res = m_partition_rebalance(inst, 2)
+        assert {"L_T", "m_L", "L_E", "thresholds_tried"} <= set(res.meta)
+        assert res.meta["L_T"] >= res.meta["m_L"] >= 0
+        assert res.meta["L_E"] == res.meta["L_T"] - res.meta["m_L"]
+
+
+class TestHalfOptimalInvariants:
+    """White-box checks of the Definition-3 structure at the stop guess."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(instances_with_k(max_jobs=8, max_processors=4))
+    def test_selected_small_loads_bounded(self, case):
+        inst, k = case
+        res = m_partition_rebalance(inst, k)
+        guess = res.guessed_opt
+        mapping = res.assignment.mapping
+        # Every processor's final load splits into small jobs (<= guess/2
+        # each) and at most ONE large job.
+        for p in range(inst.num_processors):
+            jobs = np.flatnonzero(mapping == p)
+            larges = [j for j in jobs if inst.sizes[j] > guess / 2]
+            assert len(larges) <= 1, (
+                f"processor {p} ended with {len(larges)} large jobs "
+                f"at guess {guess}"
+            )

@@ -1,0 +1,33 @@
+"""Tests for the RebalanceResult record."""
+
+from repro.core import Assignment, RebalanceResult, make_instance
+
+
+def test_result_properties():
+    inst = make_instance(
+        sizes=[4, 2], initial=[0, 0], num_processors=2, costs=[3, 1]
+    )
+    assignment = Assignment(instance=inst, mapping=[0, 1])
+    res = RebalanceResult(
+        assignment=assignment,
+        algorithm="test",
+        guessed_opt=4.0,
+        planned_moves=1,
+        planned_cost=1.0,
+    )
+    assert res.makespan == 4.0
+    assert res.num_moves == 1
+    assert res.relocation_cost == 1.0
+    summary = res.summary()
+    assert summary["algorithm"] == "test"
+    assert summary["guessed_opt"] == 4.0
+    assert summary["makespan"] == 4.0
+
+
+def test_summary_without_guess():
+    inst = make_instance(sizes=[1.0], initial=[0])
+    res = RebalanceResult(
+        assignment=Assignment.initial(inst), algorithm="noop"
+    )
+    assert "guessed_opt" not in res.summary()
+    assert res.meta == {}

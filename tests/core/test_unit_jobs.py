@@ -1,0 +1,125 @@
+"""Tests for the exact unit-size solver, and cross-validation of the
+approximation algorithms against it at scale."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    exact_rebalance,
+    greedy_rebalance,
+    m_partition_rebalance,
+    make_instance,
+    unit_rebalance_exact,
+)
+from repro.core.unit_jobs import unit_opt_value
+
+
+@st.composite
+def unit_cases(draw, max_m: int = 5, max_per_proc: int = 6):
+    m = draw(st.integers(min_value=1, max_value=max_m))
+    counts = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=max_per_proc),
+            min_size=m, max_size=m,
+        )
+    )
+    initial = [p for p, c in enumerate(counts) for _ in range(c)]
+    if not initial:
+        initial = [0]
+    inst = make_instance(
+        sizes=[1.0] * len(initial), initial=initial, num_processors=m
+    )
+    k = draw(st.integers(min_value=0, max_value=len(initial)))
+    return inst, k
+
+
+class TestUnitOptValue:
+    def test_balanced_needs_nothing(self):
+        inst = make_instance(sizes=[1, 1], initial=[0, 1], num_processors=2)
+        assert unit_opt_value(inst, 0) == 1.0
+
+    def test_skewed(self):
+        inst = make_instance(
+            sizes=[1] * 6, initial=[0] * 6, num_processors=3
+        )
+        assert unit_opt_value(inst, 0) == 6.0
+        assert unit_opt_value(inst, 1) == 5.0
+        assert unit_opt_value(inst, 4) == 2.0
+        assert unit_opt_value(inst, 100) == 2.0
+
+    def test_uniform_nonunit_sizes_scale(self):
+        inst = make_instance(
+            sizes=[3.0] * 4, initial=[0] * 4, num_processors=2
+        )
+        assert unit_opt_value(inst, 2) == 6.0
+
+    def test_rejects_mixed_sizes(self):
+        inst = make_instance(sizes=[1.0, 2.0], initial=[0, 0])
+        with pytest.raises(ValueError, match="identical"):
+            unit_opt_value(inst, 1)
+
+    def test_rejects_negative_k(self):
+        inst = make_instance(sizes=[1.0], initial=[0])
+        with pytest.raises(ValueError):
+            unit_opt_value(inst, -1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(unit_cases(max_m=3, max_per_proc=3))
+    def test_matches_branch_and_bound(self, case):
+        # Kept tiny: identical sizes are the worst case for the B&B
+        # (every tie defeats its dominance pruning).
+        inst, k = case
+        assert unit_opt_value(inst, k) == pytest.approx(
+            exact_rebalance(inst, k=k).makespan
+        )
+
+
+class TestUnitRebalanceExact:
+    def test_empty(self):
+        inst = make_instance(sizes=[], initial=[], num_processors=2)
+        assert unit_rebalance_exact(inst, 1).makespan == 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(unit_cases())
+    def test_achieves_optimum_within_budget(self, case):
+        inst, k = case
+        res = unit_rebalance_exact(inst, k)
+        assert res.makespan == pytest.approx(unit_opt_value(inst, k))
+        assert res.num_moves <= k
+
+    def test_large_scale_oracle(self):
+        """The closed form scales where branch-and-bound cannot."""
+        rng = np.random.default_rng(0)
+        m, n = 64, 5000
+        initial = rng.integers(0, m, n)
+        inst = make_instance(sizes=[1.0] * n, initial=initial, num_processors=m)
+        k = 200
+        res = unit_rebalance_exact(inst, k)
+        opt = unit_opt_value(inst, k)
+        assert res.makespan == opt
+        # And the paper's algorithms respect their bounds against it.
+        assert greedy_rebalance(inst, k).makespan <= (2 - 1 / m) * opt + 1e-9
+        assert m_partition_rebalance(inst, k).makespan <= 1.5 * opt + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(unit_cases())
+    def test_approximations_bounded_by_unit_oracle(self, case):
+        inst, k = case
+        opt = unit_opt_value(inst, k)
+        if opt == 0:
+            return
+        m = inst.num_processors
+        assert greedy_rebalance(inst, k).makespan <= (2 - 1 / m) * opt + 1e-9
+        assert m_partition_rebalance(inst, k).makespan <= 1.5 * opt + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(unit_cases())
+    def test_greedy_is_optimal_on_unit_jobs(self, case):
+        """With unit jobs GREEDY's two phases realize the closed form:
+        Step 1 strips overloads optimally (Lemma 1) and Step 2 fills
+        minima, so its makespan matches the exact optimum."""
+        inst, k = case
+        opt = unit_opt_value(inst, k)
+        assert greedy_rebalance(inst, k).makespan == pytest.approx(opt)

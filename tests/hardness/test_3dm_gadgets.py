@@ -1,0 +1,183 @@
+"""Tests for 3DM and the Theorem 6 / Corollary 1 / Theorem 7 gadgets."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.hardness import (
+    ThreeDMInstance,
+    conflict_gadget_from_3dm,
+    constrained_gadget_from_3dm,
+    exact_conflict_makespan,
+    exact_constrained,
+    exact_gap_min_makespan,
+    feasible_conflict_assignment,
+    gadget_from_3dm,
+    greedy_constrained,
+    planted_yes_instance,
+    solve_3dm,
+    verified_no_instance,
+    verify_gadget_gap,
+)
+
+
+def brute_force_3dm(inst):
+    for combo in itertools.combinations(range(inst.num_triples), inst.n):
+        triples = [inst.triples[i] for i in combo]
+        if (
+            len({t[0] for t in triples}) == inst.n
+            and len({t[1] for t in triples}) == inst.n
+            and len({t[2] for t in triples}) == inst.n
+        ):
+            return combo
+    return None
+
+
+class TestThreeDM:
+    def test_trivial_yes(self):
+        inst = ThreeDMInstance(n=2, triples=((0, 0, 0), (1, 1, 1)))
+        assert solve_3dm(inst) == (0, 1)
+
+    def test_trivial_no(self):
+        inst = ThreeDMInstance(n=2, triples=((0, 0, 0), (1, 0, 1)))
+        assert solve_3dm(inst) is None
+
+    def test_uncovered_a_element(self):
+        inst = ThreeDMInstance(n=2, triples=((0, 0, 0), (0, 1, 1)))
+        assert solve_3dm(inst) is None
+
+    def test_rejects_bad_triples(self):
+        with pytest.raises(ValueError):
+            ThreeDMInstance(n=2, triples=((0, 0, 5),))
+        with pytest.raises(ValueError):
+            ThreeDMInstance(n=2, triples=((0, 0, 0), (0, 0, 0)))
+
+    def test_type_counts(self):
+        inst = ThreeDMInstance(
+            n=2, triples=((0, 0, 0), (0, 1, 1), (1, 0, 1))
+        )
+        assert inst.type_counts() == [2, 1]
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_solver_matches_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        inst = planted_yes_instance(3, 4, rng)
+        assert (solve_3dm(inst) is None) == (brute_force_3dm(inst) is None)
+        no = verified_no_instance(3, 6, rng)
+        assert brute_force_3dm(no) is None
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_generators(self, seed):
+        rng = np.random.default_rng(seed)
+        assert solve_3dm(planted_yes_instance(4, 6, rng)) is not None
+        assert solve_3dm(verified_no_instance(4, 8, rng)) is None
+
+
+class TestTheorem6Gadget:
+    def test_gadget_job_counts(self):
+        rng = np.random.default_rng(0)
+        tdm = planted_yes_instance(3, 3, rng)
+        gap, budget = gadget_from_3dm(tdm)
+        m, n = tdm.num_triples, tdm.n
+        # 2n element jobs + (m - n) dummies (when every type occupied).
+        assert gap.num_jobs == 2 * n + (m - n)
+        assert gap.num_machines == m
+        assert budget == (m + n) * 1.0
+
+    def test_yes_instance_hits_makespan_two(self):
+        rng = np.random.default_rng(1)
+        tdm = planted_yes_instance(3, 3, rng)
+        gap, budget = gadget_from_3dm(tdm)
+        makespan, mapping = exact_gap_min_makespan(gap, budget)
+        assert makespan == 2.0
+        # Budget forces every placement onto a cost-p machine.
+        total = sum(gap.cost[j, mapping[j]] for j in range(gap.num_jobs))
+        assert total <= budget + 1e-9
+
+    def test_no_instance_misses_two(self):
+        rng = np.random.default_rng(2)
+        tdm = verified_no_instance(3, 6, rng)
+        v = verify_gadget_gap(tdm)
+        assert not v["has_matching"]
+        assert v["gadget_makespan"] > 2.0  # >= 3 or infeasible
+        assert v["consistent"]
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_gap_consistency(self, seed):
+        rng = np.random.default_rng(seed)
+        for tdm in (
+            planted_yes_instance(3, 4, rng),
+            verified_no_instance(3, 6, rng),
+        ):
+            assert verify_gadget_gap(tdm)["consistent"]
+
+
+class TestCorollary1Gadget:
+    def test_yes_instance_reaches_two(self):
+        rng = np.random.default_rng(3)
+        tdm = planted_yes_instance(3, 3, rng)
+        cinst, target = constrained_gadget_from_3dm(tdm)
+        makespan, mapping = exact_constrained(cinst, k=cinst.instance.num_jobs)
+        assert makespan == target == 2.0
+        # Every job landed inside its allowed set.
+        for j, p in enumerate(mapping):
+            assert int(p) in cinst.allowed[j]
+
+    def test_greedy_heuristic_respects_allowed_sets(self):
+        rng = np.random.default_rng(4)
+        tdm = planted_yes_instance(3, 4, rng)
+        cinst, _ = constrained_gadget_from_3dm(tdm)
+        makespan, mapping = greedy_constrained(cinst, k=cinst.instance.num_jobs)
+        for j, p in enumerate(mapping):
+            assert int(p) in cinst.allowed[j]
+        assert makespan >= 2.0  # never below the optimum
+
+    def test_allowed_must_contain_home(self):
+        from repro.core import make_instance
+        from repro.hardness import ConstrainedInstance
+
+        inst = make_instance(sizes=[1.0], initial=[0], num_processors=2)
+        with pytest.raises(ValueError, match="home"):
+            ConstrainedInstance(instance=inst, allowed=(frozenset({1}),))
+
+
+class TestTheorem7Gadget:
+    def test_yes_instance_feasible_and_structured(self):
+        rng = np.random.default_rng(5)
+        tdm = planted_yes_instance(3, 3, rng)
+        g = conflict_gadget_from_3dm(tdm)
+        mapping = feasible_conflict_assignment(g)
+        assert mapping is not None
+        m, n = tdm.num_triples, tdm.n
+        # Exactly one triple job per machine.
+        triple_machines = mapping[:m]
+        assert len(set(triple_machines.tolist())) == m
+        # No conflicting pair shares a machine.
+        for a, b in g.conflicts:
+            assert mapping[a] != mapping[b]
+
+    def test_no_instance_infeasible(self):
+        rng = np.random.default_rng(6)
+        tdm = verified_no_instance(3, 6, rng)
+        g = conflict_gadget_from_3dm(tdm)
+        assert feasible_conflict_assignment(g) is None
+
+    def test_exact_makespan_on_feasible(self):
+        rng = np.random.default_rng(7)
+        tdm = planted_yes_instance(2, 2, rng)
+        g = conflict_gadget_from_3dm(tdm)
+        solved = exact_conflict_makespan(g)
+        assert solved is not None
+        makespan, mapping = solved
+        for a, b in g.conflicts:
+            assert mapping[a] != mapping[b]
+        assert makespan >= 1.0
+
+    def test_conflict_validation(self):
+        from repro.hardness import ConflictInstance
+
+        with pytest.raises(ValueError):
+            ConflictInstance(
+                sizes=np.ones(2), num_machines=2, conflicts=frozenset({(0, 0)})
+            )

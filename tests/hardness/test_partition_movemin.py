@@ -1,0 +1,149 @@
+"""Tests for PARTITION and move minimization (Theorem 5)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import make_instance
+from repro.hardness import (
+    PartitionInstance,
+    min_moves_exact,
+    min_moves_greedy,
+    random_no_instance,
+    random_yes_instance,
+    reduction_from_partition,
+    solve_partition,
+)
+
+
+def brute_force_partition(values):
+    total = sum(values)
+    if total % 2:
+        return None
+    for r in range(len(values) + 1):
+        for subset in itertools.combinations(range(len(values)), r):
+            if sum(values[i] for i in subset) * 2 == total:
+                return subset
+    return None
+
+
+class TestPartitionSolver:
+    def test_simple_yes(self):
+        subset = solve_partition([1, 2, 3])
+        assert subset is not None
+        values = [1, 2, 3]
+        assert sum(values[i] for i in subset) == 3
+
+    def test_simple_no(self):
+        assert solve_partition([1, 2]) is None
+
+    def test_odd_total(self):
+        assert solve_partition([1, 1, 1]) is None
+
+    def test_oversized_element(self):
+        assert solve_partition([10, 1, 1]) is None
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=12),
+                    min_size=1, max_size=8))
+    def test_matches_brute_force(self, values):
+        got = solve_partition(values)
+        expected = brute_force_partition(values)
+        assert (got is None) == (expected is None)
+        if got is not None:
+            assert sum(values[i] for i in got) * 2 == sum(values)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            PartitionInstance(values=(0, 1))
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("n", [2, 3, 5, 10])
+    def test_yes_instances_solvable(self, n):
+        rng = np.random.default_rng(n)
+        inst = random_yes_instance(n, rng)
+        assert len(inst.values) == n
+        assert solve_partition(inst.values) is not None
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 10])
+    def test_no_instances_unsolvable(self, n):
+        rng = np.random.default_rng(n)
+        inst = random_no_instance(n, rng)
+        assert len(inst.values) == n
+        assert inst.total % 2 == 1
+        assert solve_partition(inst.values) is None
+
+
+class TestMoveMinimization:
+    def test_trivial_zero_moves(self):
+        inst = make_instance(sizes=[5, 5], initial=[0, 1], num_processors=2)
+        res = min_moves_exact(inst, 5.0)
+        assert res.achievable and res.moves == 0
+
+    def test_needs_one_move(self):
+        inst = make_instance(sizes=[5, 5], initial=[0, 0], num_processors=2)
+        res = min_moves_exact(inst, 5.0)
+        assert res.achievable and res.moves == 1
+
+    def test_unachievable_below_max_size(self):
+        inst = make_instance(sizes=[10.0], initial=[0], num_processors=2)
+        res = min_moves_exact(inst, 5.0)
+        assert not res.achievable and res.moves is None
+
+    def test_mapping_achieves_bound(self):
+        inst = make_instance(
+            sizes=[4, 4, 4, 4], initial=[0, 0, 0, 0], num_processors=2
+        )
+        res = min_moves_exact(inst, 8.0)
+        assert res.achievable
+        loads = np.zeros(2)
+        np.add.at(loads, res.mapping, inst.sizes)
+        assert loads.max() <= 8.0
+
+    def test_greedy_sound_on_random(self):
+        """When greedy says achievable, it really is (with its mapping)."""
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            n, m = int(rng.integers(3, 8)), int(rng.integers(2, 4))
+            inst = make_instance(
+                sizes=rng.integers(1, 15, n).astype(float),
+                initial=rng.integers(0, m, n), num_processors=m,
+            )
+            bound = float(inst.average_load * rng.uniform(1.0, 2.0))
+            greedy = min_moves_greedy(inst, bound)
+            if greedy.achievable:
+                loads = np.zeros(m)
+                np.add.at(loads, greedy.mapping, inst.sizes)
+                assert loads.max() <= bound + 1e-9
+
+
+class TestTheorem5Reduction:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_yes_gadgets_achievable(self, seed):
+        rng = np.random.default_rng(seed)
+        part = random_yes_instance(9, rng)
+        inst, bound = reduction_from_partition(part)
+        res = min_moves_exact(inst, bound)
+        assert res.achievable
+        # The moved set is one side of a perfect partition.
+        loads = np.zeros(2)
+        np.add.at(loads, res.mapping, inst.sizes)
+        assert loads[0] == loads[1] == bound
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_no_gadgets_unachievable(self, seed):
+        rng = np.random.default_rng(seed)
+        part = random_no_instance(9, rng)
+        inst, bound = reduction_from_partition(part)
+        assert not min_moves_exact(inst, bound).achievable
+
+    def test_gadget_structure(self):
+        part = PartitionInstance(values=(3, 3, 2, 2, 2))
+        inst, bound = reduction_from_partition(part)
+        assert inst.num_processors == 2
+        assert inst.initial.tolist() == [0] * 5
+        assert bound == 6.0

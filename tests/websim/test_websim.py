@@ -1,0 +1,208 @@
+"""Tests for the web-cluster simulation substrate."""
+
+import numpy as np
+import pytest
+
+from repro.websim import (
+    BandwidthCost,
+    BytesProportionalCost,
+    Cluster,
+    ComposedTraffic,
+    DiurnalTraffic,
+    FlashCrowdTraffic,
+    FullRepackPolicy,
+    GreedyPolicy,
+    HillClimbPolicy,
+    MPartitionPolicy,
+    NoRebalance,
+    RandomWalkTraffic,
+    Simulation,
+    StaticZipf,
+    UnitCost,
+    Website,
+    build_cluster,
+    coefficient_of_variation,
+    imbalance_ratio,
+    jain_fairness,
+    zipf_popularities,
+)
+
+
+class TestWebsite:
+    def test_defaults_load_to_popularity(self):
+        site = Website(site_id=0, base_popularity=5.0)
+        assert site.load == 5.0
+
+    def test_set_load_floors(self):
+        site = Website(site_id=0, base_popularity=5.0)
+        site.set_load(-1.0)
+        assert site.load > 0
+
+    def test_rejects_bad_popularity(self):
+        with pytest.raises(ValueError):
+            Website(site_id=0, base_popularity=0.0)
+
+
+class TestZipf:
+    def test_weights_decrease(self):
+        w = zipf_popularities(10)
+        assert np.all(np.diff(w) < 0)
+
+    def test_exponent_effect(self):
+        shallow = zipf_popularities(10, exponent=0.5)
+        steep = zipf_popularities(10, exponent=2.0)
+        assert steep[-1] / steep[0] < shallow[-1] / shallow[0]
+
+
+class TestCluster:
+    def test_round_robin_placement(self):
+        sites = [Website(site_id=i, base_popularity=1.0) for i in range(5)]
+        cluster = Cluster.place_round_robin(sites, 2)
+        assert cluster.placement.tolist() == [0, 1, 0, 1, 0]
+
+    def test_loads_and_makespan(self):
+        sites = [Website(site_id=i, base_popularity=float(i + 1)) for i in range(3)]
+        cluster = Cluster.place_round_robin(sites, 2)
+        assert cluster.loads().tolist() == [4.0, 2.0]
+        assert cluster.makespan() == 4.0
+
+    def test_to_instance_snapshot(self):
+        sites = [Website(site_id=i, base_popularity=2.0) for i in range(4)]
+        cluster = Cluster.place_round_robin(sites, 2)
+        inst = cluster.to_instance()
+        assert inst.num_jobs == 4
+        assert inst.is_unit_cost
+        assert inst.initial_makespan == cluster.makespan()
+
+    def test_apply_assignment_migrates(self):
+        sites = [Website(site_id=i, base_popularity=2.0) for i in range(4)]
+        cluster = Cluster.place_round_robin(sites, 2)
+        inst = cluster.to_instance()
+        from repro.core import Assignment
+
+        # Round-robin start is [0, 1, 0, 1]; the target moves sites 0 and 3.
+        target = Assignment(instance=inst, mapping=[1, 1, 0, 0])
+        migrations, cost = cluster.apply_assignment(target)
+        assert migrations == 2
+        assert cost == 2.0  # unit model
+        assert cluster.placement.tolist() == [1, 1, 0, 0]
+
+    def test_migration_models_price_differently(self):
+        site = Website(site_id=0, base_popularity=1.0, content_bytes=50.0)
+        assert UnitCost().cost(site) == 1.0
+        assert BytesProportionalCost(per_byte=2.0).cost(site) == 100.0
+        assert BandwidthCost(bandwidth=100.0, overhead=0.1).cost(site) == (
+            pytest.approx(0.6)
+        )
+
+
+class TestTraffic:
+    def make_sites(self, n=10):
+        return [Website(site_id=i, base_popularity=10.0) for i in range(n)]
+
+    def test_static_zipf_reproducible(self):
+        a, b = self.make_sites(), self.make_sites()
+        StaticZipf().step(a, 0, np.random.default_rng(1))
+        StaticZipf().step(b, 0, np.random.default_rng(1))
+        assert [s.load for s in a] == [s.load for s in b]
+
+    def test_diurnal_oscillates(self):
+        sites = self.make_sites(1)
+        model = DiurnalTraffic(period=24, amplitude=0.6, noise=0.0)
+        rng = np.random.default_rng(2)
+        loads = []
+        for epoch in range(24):
+            model.step(sites, epoch, rng)
+            loads.append(sites[0].load)
+        assert max(loads) > 1.2 * min(loads)
+
+    def test_flash_crowd_spikes_and_decays(self):
+        sites = self.make_sites(5)
+        model = FlashCrowdTraffic(probability=1.0, spike_factor=10.0, decay=0.5)
+        rng = np.random.default_rng(3)
+        model.step(sites, 0, rng)
+        peak = max(s.load for s in sites)
+        assert peak >= 10.0 * 10.0 * 0.99  # someone spiked
+        model2 = FlashCrowdTraffic(probability=0.0, spike_factor=10.0, decay=0.5)
+        model2._boost.update(model._boost)
+        model2.step(sites, 1, rng)
+        assert max(s.load for s in sites) < peak
+
+    def test_random_walk_stays_positive(self):
+        sites = self.make_sites(5)
+        model = RandomWalkTraffic(volatility=0.5)
+        rng = np.random.default_rng(4)
+        for epoch in range(20):
+            model.step(sites, epoch, rng)
+        assert all(s.load > 0 for s in sites)
+
+    def test_composition_applies_all(self):
+        sites = self.make_sites(5)
+        combo = ComposedTraffic((StaticZipf(noise=0.0), FlashCrowdTraffic(
+            probability=0.0)))
+        combo.step(sites, 0, np.random.default_rng(5))
+        assert all(s.load == pytest.approx(10.0) for s in sites)
+
+
+class TestMetrics:
+    def test_balanced(self):
+        loads = np.array([5.0, 5.0, 5.0])
+        assert imbalance_ratio(loads) == 1.0
+        assert coefficient_of_variation(loads) == 0.0
+        assert jain_fairness(loads) == pytest.approx(1.0)
+
+    def test_skewed(self):
+        loads = np.array([10.0, 0.0])
+        assert imbalance_ratio(loads) == 2.0
+        assert jain_fairness(loads) == pytest.approx(0.5)
+
+
+class TestSimulation:
+    def run_policy(self, policy, epochs=15, seed=9):
+        cluster = build_cluster(30, 4, np.random.default_rng(seed))
+        traffic = ComposedTraffic(
+            (DiurnalTraffic(), FlashCrowdTraffic(probability=0.2))
+        )
+        sim = Simulation(cluster=cluster, traffic=traffic, policy=policy,
+                         seed=seed)
+        return sim.run(epochs)
+
+    def test_trajectory_length(self):
+        res = self.run_policy(NoRebalance(), epochs=12)
+        assert len(res.records) == 12
+        assert res.records[0].epoch == 0
+
+    def test_no_rebalance_never_migrates(self):
+        res = self.run_policy(NoRebalance())
+        assert res.total_migrations == 0
+        for r in res.records:
+            assert r.makespan == r.pre_makespan
+
+    @pytest.mark.parametrize(
+        "policy", [GreedyPolicy(k=2), MPartitionPolicy(k=2), HillClimbPolicy(k=2)]
+    )
+    def test_bounded_policies_respect_k(self, policy):
+        res = self.run_policy(policy)
+        for r in res.records:
+            assert r.migrations <= 2
+
+    def test_rebalancing_beats_nothing(self):
+        none = self.run_policy(NoRebalance())
+        mp = self.run_policy(MPartitionPolicy(k=3))
+        assert mp.mean_makespan < none.mean_makespan
+
+    def test_full_repack_near_average(self):
+        res = self.run_policy(FullRepackPolicy())
+        assert res.mean_imbalance < 1.2
+
+    def test_epoch_records_consistent(self):
+        res = self.run_policy(GreedyPolicy(k=2))
+        for r in res.records:
+            assert r.makespan >= r.average_load - 1e-9
+            assert 0 < r.fairness <= 1.0 + 1e-12
+            assert r.migration_cost >= 0
+
+    def test_determinism(self):
+        a = self.run_policy(GreedyPolicy(k=2), seed=5)
+        b = self.run_policy(GreedyPolicy(k=2), seed=5)
+        assert [r.makespan for r in a.records] == [r.makespan for r in b.records]

@@ -1,0 +1,125 @@
+"""Tests for workload generators and the paper's tightness families."""
+
+import numpy as np
+import pytest
+
+from repro.core import exact_rebalance, greedy_rebalance, m_partition_rebalance
+from repro.workloads import (
+    COST_FAMILIES,
+    PLACEMENTS,
+    SIZE_FAMILIES,
+    greedy_tight_instance,
+    partition_tight_instance,
+    planted_imbalance_instance,
+    random_instance,
+)
+
+
+class TestRandomInstance:
+    @pytest.mark.parametrize("family", SIZE_FAMILIES)
+    def test_size_families_valid(self, family):
+        rng = np.random.default_rng(0)
+        inst = random_instance(20, 4, rng, size_family=family)
+        assert inst.num_jobs == 20
+        assert inst.sizes.min() > 0
+
+    @pytest.mark.parametrize("family", COST_FAMILIES)
+    def test_cost_families_valid(self, family):
+        rng = np.random.default_rng(1)
+        inst = random_instance(20, 4, rng, cost_family=family)
+        assert inst.costs.min() >= 0
+
+    @pytest.mark.parametrize("placement", PLACEMENTS)
+    def test_placements_valid(self, placement):
+        rng = np.random.default_rng(2)
+        inst = random_instance(20, 4, rng, placement=placement)
+        assert 0 <= inst.initial.min() and inst.initial.max() < 4
+
+    def test_packed_placement_everything_on_zero(self):
+        rng = np.random.default_rng(3)
+        inst = random_instance(10, 4, rng, placement="packed")
+        assert set(inst.initial.tolist()) == {0}
+
+    def test_integer_sizes(self):
+        rng = np.random.default_rng(4)
+        inst = random_instance(10, 2, rng, integer_sizes=True)
+        assert np.all(inst.sizes == np.round(inst.sizes))
+
+    def test_reproducible(self):
+        a = random_instance(10, 3, np.random.default_rng(7))
+        b = random_instance(10, 3, np.random.default_rng(7))
+        assert np.array_equal(a.sizes, b.sizes)
+        assert np.array_equal(a.initial, b.initial)
+
+    def test_unknown_family_raises(self):
+        rng = np.random.default_rng(5)
+        with pytest.raises(ValueError):
+            random_instance(5, 2, rng, size_family="nope")
+        with pytest.raises(ValueError):
+            random_instance(5, 2, rng, cost_family="nope")
+        with pytest.raises(ValueError):
+            random_instance(5, 2, rng, placement="nope")
+
+
+class TestGreedyTightFamily:
+    @pytest.mark.parametrize("m", [2, 3, 4, 6])
+    def test_structure(self, m):
+        inst, k, opt = greedy_tight_instance(m)
+        assert inst.num_jobs == 1 + m * (m - 1)
+        assert k == m - 1
+        assert opt == float(m)
+        assert inst.initial_makespan == 2 * m - 1
+
+    @pytest.mark.parametrize("m", [2, 3, 4])
+    def test_opt_verified_exactly(self, m):
+        inst, k, opt = greedy_tight_instance(m)
+        assert exact_rebalance(inst, k=k).makespan == pytest.approx(opt)
+
+    @pytest.mark.parametrize("m", [2, 3, 4, 6, 10])
+    def test_greedy_achieves_worst_case(self, m):
+        inst, k, opt = greedy_tight_instance(m)
+        res = greedy_rebalance(inst, k, insert_order="ascending")
+        assert res.makespan == pytest.approx((2 - 1 / m) * opt)
+
+    def test_rejects_small_m(self):
+        with pytest.raises(ValueError):
+            greedy_tight_instance(1)
+
+
+class TestPartitionTightFamily:
+    def test_structure_and_opt(self):
+        inst, k, opt = partition_tight_instance()
+        assert k == 1 and opt == 1.0
+        assert exact_rebalance(inst, k=k).makespan == pytest.approx(1.0)
+
+    def test_mpartition_hits_exactly_1_5(self):
+        inst, k, opt = partition_tight_instance()
+        res = m_partition_rebalance(inst, k)
+        assert res.makespan == pytest.approx(1.5)
+        assert res.num_moves == 0
+
+
+class TestPlantedImbalance:
+    def test_planted_opt_reachable(self):
+        rng = np.random.default_rng(8)
+        inst, k, opt = planted_imbalance_instance(3, 4, 5, rng)
+        assert exact_rebalance(inst, k=k).makespan == pytest.approx(opt)
+
+    def test_opt_is_average_load(self):
+        rng = np.random.default_rng(9)
+        inst, k, opt = planted_imbalance_instance(4, 3, 4, rng)
+        assert opt == pytest.approx(inst.average_load)
+
+    def test_displacement_bound(self):
+        rng = np.random.default_rng(10)
+        with pytest.raises(ValueError):
+            planted_imbalance_instance(2, 3, 100, rng)
+
+    def test_greedy_recovers_planted_optimum_shape(self):
+        """With enough budget, algorithms approach the planted optimum."""
+        rng = np.random.default_rng(11)
+        inst, k, opt = planted_imbalance_instance(3, 5, 6, rng)
+        res = greedy_rebalance(inst, k)
+        assert res.makespan <= 2.0 * opt + 1e-9
+        res_mp = m_partition_rebalance(inst, k)
+        assert res_mp.makespan <= 1.5 * opt + 1e-9
