@@ -8,11 +8,55 @@ to the terminal (bypassing capture), so::
     pytest benchmarks/ --benchmark-only
 
 reproduces the full result set of EXPERIMENTS.md in one run.
+
+Phase breakdowns use the shared :mod:`repro.telemetry` collector: run
+with ``--telemetry`` to wrap every benchmark in a collection scope and
+attach the per-phase spans and counters to pytest-benchmark's
+``extra_info``, so BENCH_*.json files produced with
+``--benchmark-json`` carry phase breakdowns alongside the wall-clock
+numbers.  Collection is off by default — telemetry must never distort
+the timings it is meant to explain unless explicitly requested.
 """
 
 from __future__ import annotations
 
 import pytest
+
+from repro import telemetry
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--telemetry",
+        action="store_true",
+        default=False,
+        help="collect repro.telemetry phase breakdowns during benchmarks "
+        "and attach them to pytest-benchmark extra_info",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_scope(request):
+    """Wrap each benchmark in a telemetry collection scope on demand."""
+    if not request.config.getoption("--telemetry"):
+        yield None
+        return
+    benchmark = (
+        request.getfixturevalue("benchmark")
+        if "benchmark" in request.fixturenames
+        else None
+    )
+    with telemetry.collect() as collector:
+        yield collector
+    if benchmark is not None:
+        benchmark.extra_info["telemetry"] = collector.as_dict()
+
+
+@pytest.fixture
+def telemetry_collector():
+    """An explicit collection scope for tests that inspect telemetry."""
+    with telemetry.collect() as collector:
+        yield collector
 
 
 @pytest.fixture

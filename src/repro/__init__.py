@@ -20,6 +20,7 @@ Quickstart::
     print(result.makespan, result.num_moves)
 """
 
+from . import telemetry
 from .core import (
     Assignment,
     Instance,
@@ -53,5 +54,6 @@ __all__ = [
     "partition_rebalance",
     "ptas_rebalance",
     "rebalance",
+    "telemetry",
     "__version__",
 ]

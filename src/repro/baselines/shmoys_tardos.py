@@ -34,6 +34,7 @@ import networkx as nx
 import numpy as np
 from scipy.optimize import linprog
 
+from .. import telemetry
 from ..core.assignment import Assignment
 from ..core.instance import Instance
 from ..core.result import RebalanceResult
@@ -185,11 +186,15 @@ def shmoys_tardos_rebalance(
     best_t = hi
     best_lp = (0.0, None)
 
+    tmark = telemetry.mark()
     iterations = 0
+    lp_solves = 0
     while hi - lo > tol * max(1.0, lo) and iterations < max_iterations:
         iterations += 1
         mid = 0.5 * (lo + hi)
-        solved = solve_fractional_lp(instance, mid, allowed=allowed)
+        with telemetry.span("shmoys_tardos.lp"):
+            solved = solve_fractional_lp(instance, mid, allowed=allowed)
+        lp_solves += 1
         if solved is not None and solved[0] <= budget + 1e-7 * max(1.0, budget):
             best_t = mid
             best_lp = solved
@@ -198,11 +203,15 @@ def shmoys_tardos_rebalance(
             lo = mid
 
     if best_lp[1] is None:
-        solved = solve_fractional_lp(instance, best_t, allowed=allowed)
+        with telemetry.span("shmoys_tardos.lp"):
+            solved = solve_fractional_lp(instance, best_t, allowed=allowed)
+        lp_solves += 1
         assert solved is not None and solved[0] <= budget + 1e-6 * max(1.0, budget)
         best_lp = solved
+    telemetry.count("lp_solves", lp_solves)
     lp_cost, x = best_lp
-    mapping = round_fractional(instance, x)
+    with telemetry.span("shmoys_tardos.round"):
+        mapping = round_fractional(instance, x)
     assignment = Assignment(instance=instance, mapping=mapping)
     assignment.validate(budget=budget * (1.0 + 1e-6) + 1e-9)
     return RebalanceResult(
@@ -210,5 +219,7 @@ def shmoys_tardos_rebalance(
         algorithm="shmoys-tardos",
         guessed_opt=best_t,
         planned_cost=lp_cost,
-        meta={"lp_cost": lp_cost, "iterations": iterations},
+        meta=telemetry.attach(
+            {"lp_cost": lp_cost, "iterations": iterations}, tmark
+        ),
     )

@@ -10,6 +10,7 @@ import argparse
 import sys
 import time
 
+from . import telemetry
 from .analysis.ablations import ALL_ABLATIONS
 from .analysis.experiments import ALL_EXPERIMENTS
 
@@ -30,6 +31,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list experiments and exit"
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="collect solver telemetry and print a per-phase timing "
+        "table after each experiment",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -46,10 +53,23 @@ def main(argv: list[str] | None = None) -> int:
     for key in chosen:
         fn = ALL_RUNNABLE[key.upper()]
         start = time.perf_counter()
-        report = fn()
+        if args.profile:
+            with telemetry.collect() as collector:
+                report = fn()
+        else:
+            collector = None
+            report = fn()
         elapsed = time.perf_counter() - start
         print(report.render())
         print(f"  ({elapsed:.2f}s)\n")
+        if collector is not None:
+            print(
+                telemetry.render_table(
+                    collector.as_dict(),
+                    title=f"telemetry — {key.upper()} per-phase breakdown",
+                )
+            )
+            print()
     return 0
 
 

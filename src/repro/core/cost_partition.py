@@ -38,6 +38,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import telemetry
 from .assignment import Assignment
 from .instance import Instance
 from .knapsack import keep_max_cost
@@ -214,16 +215,23 @@ def _construct(instance: Instance, plan: CostGuessPlan) -> Assignment:
         loads[p] += instance.sizes[j]
 
     # Greedy min-load reinsertion of small jobs (Step 6), largest first.
+    # Versioned heap entries: staleness never rests on float identity.
     pool_small.sort(key=lambda j: (-instance.sizes[j], j))
-    heap = [(float(loads[p]), p) for p in range(m)]
+    version = [0] * m
+    heap = [(float(loads[p]), 0, p) for p in range(m)]
     heapq.heapify(heap)
+    heap_pops = 0
     for j in pool_small:
-        load, p = heapq.heappop(heap)
-        while load != loads[p]:
-            load, p = heapq.heappop(heap)
+        _, ver, p = heapq.heappop(heap)
+        heap_pops += 1
+        while ver != version[p]:
+            _, ver, p = heapq.heappop(heap)  # stale entry
+            heap_pops += 1
         mapping[j] = p
         loads[p] += instance.sizes[j]
-        heapq.heappush(heap, (float(loads[p]), p))
+        version[p] += 1
+        heapq.heappush(heap, (float(loads[p]), version[p], p))
+    telemetry.count("heap_pops", heap_pops)
 
     return Assignment(instance=instance, mapping=mapping)
 
@@ -263,28 +271,36 @@ def cost_partition_rebalance(
         t *= 1.0 + alpha
     guesses.append(ub)
 
+    tmark = telemetry.mark()
     tol = 1e-9 * max(1.0, budget)
     tried = 0
     for guess in guesses:
         tried += 1
-        plan = evaluate_cost_guess(
-            instance, guess, knapsack_method=knapsack_method, knapsack_eps=knapsack_eps
-        )
+        with telemetry.span("cost_partition.plan"):
+            plan = evaluate_cost_guess(
+                instance, guess,
+                knapsack_method=knapsack_method, knapsack_eps=knapsack_eps,
+            )
         if not plan.feasible or plan.planned_cost > budget + tol:
             continue
-        assignment = _construct(instance, plan)
+        telemetry.count("guesses_tried", tried)
+        with telemetry.span("cost_partition.construct"):
+            assignment = _construct(instance, plan)
         assignment.validate(budget=budget)
         return RebalanceResult(
             assignment=assignment,
             algorithm="cost-partition",
             guessed_opt=guess,
             planned_cost=plan.planned_cost,
-            meta={
-                "L_T": plan.total_large,
-                "alpha": alpha,
-                "guesses_tried": tried,
-                "knapsack_method": knapsack_method,
-            },
+            meta=telemetry.attach(
+                {
+                    "L_T": plan.total_large,
+                    "alpha": alpha,
+                    "guesses_tried": tried,
+                    "knapsack_method": knapsack_method,
+                },
+                tmark,
+            ),
         )
     raise RuntimeError(
         "no affordable guess found; unreachable because the top guess "

@@ -28,6 +28,8 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import telemetry
+
 __all__ = [
     "KnapsackSolution",
     "keep_max_cost_exact",
@@ -102,6 +104,7 @@ def keep_max_cost_exact(
         ws = np.ceil(s / unit - 1e-12).astype(np.int64)
         cap = resolution
     ws = np.maximum(ws, 1)
+    telemetry.count("knapsack_cells", n * (cap + 1))
 
     # DP over capacities: best[v] = max kept cost using first i items at
     # total grid-size exactly <= v; choice[i][v] = keep item i at v?
@@ -165,6 +168,7 @@ def keep_max_cost_fptas(
     mu = eps * c_max / n
     scaled = np.floor(c / mu).astype(np.int64)
     max_total = int(scaled.sum())
+    telemetry.count("knapsack_cells", n * (max_total + 1))
     # min_size[v] = smallest total size achieving scaled cost exactly v.
     min_size = np.full(max_total + 1, np.inf)
     min_size[0] = 0.0

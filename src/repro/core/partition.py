@@ -44,6 +44,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import telemetry
 from .assignment import Assignment
 from .instance import Instance
 from .result import RebalanceResult
@@ -193,17 +194,25 @@ def _construct(
 
     # Step 6: greedy min-load placement of removed small jobs.  The
     # paper allows any order; descending size (Graham/LPT style) is the
-    # strongest in practice and satisfies the same bound.
+    # strongest in practice and satisfies the same bound.  Heap entries
+    # carry a per-processor version counter so staleness detection does
+    # not depend on float round-trip identity.
     removed_small.sort(key=lambda j: (-instance.sizes[j], j))
-    heap = [(float(loads[i]), i) for i in range(m)]
+    version = [0] * m
+    heap = [(float(loads[i]), 0, i) for i in range(m)]
     heapq.heapify(heap)
+    heap_pops = 0
     for j in removed_small:
-        load, i = heapq.heappop(heap)
-        while load != loads[i]:
-            load, i = heapq.heappop(heap)
+        _, ver, i = heapq.heappop(heap)
+        heap_pops += 1
+        while ver != version[i]:
+            _, ver, i = heapq.heappop(heap)  # stale entry
+            heap_pops += 1
         mapping[j] = i
         loads[i] += instance.sizes[j]
-        heapq.heappush(heap, (float(loads[i]), i))
+        version[i] += 1
+        heapq.heappush(heap, (float(loads[i]), version[i], i))
+    telemetry.count("heap_pops", heap_pops)
 
     return Assignment(instance=instance, mapping=mapping)
 
@@ -229,9 +238,12 @@ def partition_rebalance(
     Raises ``ValueError`` on an infeasible guess; raises
     ``ValueError`` when ``k`` is given and the plan needs more moves.
     """
+    tmark = telemetry.mark()
     if tables is None:
-        tables = build_tables(instance)
-    ev = evaluate_guess(tables, opt)
+        with telemetry.span("partition.build_tables"):
+            tables = build_tables(instance)
+    with telemetry.span("partition.evaluate"):
+        ev = evaluate_guess(tables, opt)
     if not ev.feasible:
         raise ValueError(
             f"guess {opt} admits {ev.total_large} large jobs on "
@@ -243,18 +255,22 @@ def partition_rebalance(
             f"PARTITION at guess {opt} plans {ev.planned_moves} moves, "
             f"exceeding the budget k={k}; raise the guess"
         )
-    assignment = _construct(instance, tables, ev)
+    with telemetry.span("partition.construct"):
+        assignment = _construct(instance, tables, ev)
     assignment.validate(max_moves=k)
     return RebalanceResult(
         assignment=assignment,
         algorithm="partition",
         guessed_opt=opt,
         planned_moves=ev.planned_moves,
-        meta={
-            "L_T": ev.total_large,
-            "m_L": ev.large_processors,
-            "L_E": ev.extra_large,
-        },
+        meta=telemetry.attach(
+            {
+                "L_T": ev.total_large,
+                "m_L": ev.large_processors,
+                "L_E": ev.extra_large,
+            },
+            tmark,
+        ),
     )
 
 
@@ -274,7 +290,9 @@ def m_partition_rebalance(instance: Instance, k: int) -> RebalanceResult:
     """
     if k < 0:
         raise ValueError("k must be non-negative")
-    tables = build_tables(instance)
+    tmark = telemetry.mark()
+    with telemetry.span("m_partition.build_tables"):
+        tables = build_tables(instance)
     if instance.num_jobs == 0:
         return RebalanceResult(
             assignment=Assignment.initial(instance),
@@ -286,25 +304,36 @@ def m_partition_rebalance(instance: Instance, k: int) -> RebalanceResult:
     start = int(np.searchsorted(candidates, instance.average_load, side="right")) - 1
     start = max(start, 0)
     tried = 0
-    for idx in range(start, candidates.shape[0]):
-        guess = float(candidates[idx])
-        ev = evaluate_guess(tables, guess)
-        tried += 1
-        if ev.feasible and ev.planned_moves <= k:
+    stop_ev: GuessEvaluation | None = None
+    with telemetry.span("m_partition.scan"):
+        for idx in range(start, candidates.shape[0]):
+            guess = float(candidates[idx])
+            ev = evaluate_guess(tables, guess)
+            tried += 1
+            if ev.feasible and ev.planned_moves <= k:
+                stop_ev = ev
+                break
+    telemetry.count("thresholds_tried", tried)
+    if stop_ev is not None:
+        ev = stop_ev
+        with telemetry.span("m_partition.construct"):
             assignment = _construct(instance, tables, ev)
-            assignment.validate(max_moves=k)
-            return RebalanceResult(
-                assignment=assignment,
-                algorithm="m-partition",
-                guessed_opt=guess,
-                planned_moves=ev.planned_moves,
-                meta={
+        assignment.validate(max_moves=k)
+        return RebalanceResult(
+            assignment=assignment,
+            algorithm="m-partition",
+            guessed_opt=ev.guess,
+            planned_moves=ev.planned_moves,
+            meta=telemetry.attach(
+                {
                     "L_T": ev.total_large,
                     "m_L": ev.large_processors,
                     "L_E": ev.extra_large,
                     "thresholds_tried": tried,
                 },
-            )
+                tmark,
+            ),
+        )
     # Unreachable for well-formed instances: the largest threshold is
     # the full load of the heaviest processor, where no moves are
     # planned.  Kept as a safeguard.

@@ -32,6 +32,7 @@ from collections import defaultdict
 
 import numpy as np
 
+from .. import telemetry
 from .assignment import Assignment
 from .fenwick import ValueMultisetFenwick
 from .instance import Instance
@@ -123,7 +124,9 @@ def m_partition_rebalance_incremental(
     """
     if k < 0:
         raise ValueError("k must be non-negative")
-    tables = build_tables(instance)
+    tmark = telemetry.mark()
+    with telemetry.span("m_partition_inc.build_tables"):
+        tables = build_tables(instance)
     if instance.num_jobs == 0:
         return RebalanceResult(
             assignment=Assignment.initial(instance),
@@ -138,33 +141,48 @@ def m_partition_rebalance_incremental(
 
     state = _IncrementalState(tables, float(candidates[start]))
     tried = 0
-    for idx in range(start, candidates.shape[0]):
-        guess = float(candidates[idx])
-        if idx > start:
-            for proc_index in events.get(guess, ()):
-                state.refresh(proc_index, guess)
-        tried += 1
-        feasible, k_hat = state.planned_moves(guess)
-        if feasible and k_hat <= k:
-            # Single full evaluation at the stopping threshold to apply
-            # the tie-breaking selection and build the assignment.
-            ev = evaluate_guess(tables, guess)
-            assert ev.planned_moves == k_hat, (
-                f"incremental k-hat {k_hat} disagrees with rescan "
-                f"{ev.planned_moves} at guess {guess}"
-            )
+    refreshes = 0
+    stop_guess: float | None = None
+    stop_k_hat = -1
+    with telemetry.span("m_partition_inc.scan"):
+        for idx in range(start, candidates.shape[0]):
+            guess = float(candidates[idx])
+            if idx > start:
+                for proc_index in events.get(guess, ()):
+                    state.refresh(proc_index, guess)
+                    refreshes += 1
+            tried += 1
+            feasible, k_hat = state.planned_moves(guess)
+            if feasible and k_hat <= k:
+                stop_guess = guess
+                stop_k_hat = k_hat
+                break
+    telemetry.count("thresholds_tried", tried)
+    telemetry.count("incremental_refreshes", refreshes)
+    if stop_guess is not None:
+        # Single full evaluation at the stopping threshold to apply
+        # the tie-breaking selection and build the assignment.
+        ev = evaluate_guess(tables, stop_guess)
+        assert ev.planned_moves == stop_k_hat, (
+            f"incremental k-hat {stop_k_hat} disagrees with rescan "
+            f"{ev.planned_moves} at guess {stop_guess}"
+        )
+        with telemetry.span("m_partition_inc.construct"):
             assignment = _construct(instance, tables, ev)
-            assignment.validate(max_moves=k)
-            return RebalanceResult(
-                assignment=assignment,
-                algorithm="m-partition-incremental",
-                guessed_opt=guess,
-                planned_moves=ev.planned_moves,
-                meta={
+        assignment.validate(max_moves=k)
+        return RebalanceResult(
+            assignment=assignment,
+            algorithm="m-partition-incremental",
+            guessed_opt=stop_guess,
+            planned_moves=ev.planned_moves,
+            meta=telemetry.attach(
+                {
                     "L_T": ev.total_large,
                     "m_L": ev.large_processors,
                     "L_E": ev.extra_large,
                     "thresholds_tried": tried,
                 },
-            )
+                tmark,
+            ),
+        )
     raise RuntimeError("no feasible threshold found")  # pragma: no cover

@@ -53,6 +53,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import telemetry
 from .assignment import Assignment
 from .instance import Instance
 from .result import RebalanceResult
@@ -299,6 +300,7 @@ def _solve_dp(
 
     root_n = tuple(int(c) for c in disc.class_counts)
     total_cost = f(0, root_n, disc.total_small_units)
+    telemetry.count("ptas_dp_states", len(memo))
     if not math.isfinite(total_cost):
         return None
 
@@ -411,16 +413,21 @@ def ptas_rebalance(
         t *= 1.0 + delta
     guesses.append(ub)
 
+    tmark = telemetry.mark()
     tried = 0
     for guess in guesses:
         tried += 1
-        disc = _discretize(instance, guess, delta)
-        solved = _solve_dp(instance, disc, limits)
+        with telemetry.span("ptas.discretize"):
+            disc = _discretize(instance, guess, delta)
+        with telemetry.span("ptas.dp"):
+            solved = _solve_dp(instance, disc, limits)
         if solved is None:
             continue
         cost, configs = solved
         if cost <= budget + 1e-9 * max(1.0, budget):
-            assignment = _realize(instance, disc, configs)
+            telemetry.count("guesses_tried", tried)
+            with telemetry.span("ptas.realize"):
+                assignment = _realize(instance, disc, configs)
             if assignment.relocation_cost > budget + 1e-9 * max(1.0, budget):
                 # Defensive: realization never exceeds the planned cost,
                 # but keep scanning rather than return an infeasible answer.
@@ -430,12 +437,15 @@ def ptas_rebalance(
                 algorithm="ptas",
                 guessed_opt=guess,
                 planned_cost=cost,
-                meta={
-                    "eps": eps,
-                    "delta": delta,
-                    "num_classes": disc.num_classes,
-                    "guesses_tried": tried,
-                },
+                meta=telemetry.attach(
+                    {
+                        "eps": eps,
+                        "delta": delta,
+                        "num_classes": disc.num_classes,
+                        "guesses_tried": tried,
+                    },
+                    tmark,
+                ),
             )
     raise RuntimeError(
         "PTAS failed to find a within-budget guess; this should be "

@@ -38,7 +38,10 @@ class RebalanceResult:
         on :attr:`Assignment.relocation_cost`.
     meta:
         Free-form diagnostic data (iteration counts, thresholds tried,
-        LP statistics, ...).
+        LP statistics, ...).  When telemetry collection is active (see
+        :mod:`repro.telemetry`), solvers additionally attach a
+        ``"telemetry"`` sub-dict holding the spans and counters
+        recorded during this call.
     """
 
     assignment: Assignment

@@ -1,0 +1,267 @@
+"""Zero-dependency instrumentation for the rebalancing solvers.
+
+Production-scale rebalancing cannot be steered without measurement:
+knowing *where* a solver spends its time (threshold scan vs
+construction, LP vs rounding, decide vs migrate) and *how much* work it
+does (heap pops, thresholds tried, knapsack DP cells) is what turns the
+paper's asymptotic claims into observable behavior.  This module
+provides the shared instrumentation layer every solver threads through:
+
+* :func:`span` — a context-manager timer aggregating wall-clock time
+  per named phase (``calls`` and total ``seconds``);
+* :func:`count` — monotonic counters (``thresholds_tried``,
+  ``heap_pops``, ``knapsack_cells``, ...);
+* :func:`collect` — a context manager installing a thread-local
+  :class:`Collector`; collection is **off by default** and every
+  instrumentation call is a no-op until a collector is installed, so
+  the disabled cost is a single attribute lookup per solver call (the
+  hot inner loops accumulate plain local integers either way);
+* :class:`Collector` — the thread-local sink, exportable with
+  :meth:`Collector.as_dict` / :meth:`Collector.to_json` and renderable
+  as a terminal table with :func:`render_table`.
+
+Solvers attach their own slice of the telemetry to
+``RebalanceResult.meta["telemetry"]`` via the :func:`mark` /
+:func:`attach` pair, which snapshots the collector at solver entry and
+stores the delta at exit — so one :func:`collect` block around many
+solver calls still yields per-call breakdowns.
+
+Usage::
+
+    from repro import telemetry
+
+    with telemetry.collect() as tel:
+        result = m_partition_rebalance(instance, k)
+    print(telemetry.render_table(tel.as_dict()))
+    result.meta["telemetry"]       # this call's spans and counters
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any
+
+__all__ = [
+    "Collector",
+    "attach",
+    "collect",
+    "count",
+    "current",
+    "enabled",
+    "mark",
+    "record",
+    "render_table",
+    "span",
+]
+
+_state = threading.local()
+
+
+def current() -> "Collector | None":
+    """The collector installed on this thread, or ``None``."""
+    return getattr(_state, "collector", None)
+
+
+def enabled() -> bool:
+    """Whether telemetry collection is active on this thread."""
+    return getattr(_state, "collector", None) is not None
+
+
+class Collector:
+    """Thread-local sink for span timings and monotonic counters.
+
+    ``spans`` maps a phase name to ``[calls, seconds]``; ``counters``
+    maps a counter name to its running total.  Both are plain dicts so
+    export is allocation-light and JSON-trivial.
+    """
+
+    __slots__ = ("spans", "counters")
+
+    def __init__(self) -> None:
+        self.spans: dict[str, list[float]] = {}
+        self.counters: dict[str, int] = {}
+
+    # -- recording -----------------------------------------------------
+    def record_span(self, name: str, seconds: float) -> None:
+        """Aggregate one completed span observation."""
+        stat = self.spans.get(name)
+        if stat is None:
+            self.spans[name] = [1, seconds]
+        else:
+            stat[0] += 1
+            stat[1] += seconds
+
+    def add(self, name: str, n: int = 1) -> None:
+        """Increment a monotonic counter."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    # -- snapshots -----------------------------------------------------
+    def mark(self) -> dict[str, Any]:
+        """An opaque snapshot of the current totals (for :meth:`since`)."""
+        return {
+            "spans": {k: (v[0], v[1]) for k, v in self.spans.items()},
+            "counters": dict(self.counters),
+        }
+
+    def since(self, mark: dict[str, Any]) -> dict[str, Any]:
+        """The delta accumulated after ``mark``, in :meth:`as_dict` form."""
+        spans = {}
+        base_spans = mark["spans"]
+        for name, (calls, seconds) in self.spans.items():
+            c0, s0 = base_spans.get(name, (0, 0.0))
+            if calls > c0:
+                spans[name] = {"calls": calls - c0, "seconds": seconds - s0}
+        counters = {}
+        base_counters = mark["counters"]
+        for name, value in self.counters.items():
+            delta = value - base_counters.get(name, 0)
+            if delta:
+                counters[name] = delta
+        return {"spans": spans, "counters": counters}
+
+    # -- export --------------------------------------------------------
+    def as_dict(self) -> dict[str, Any]:
+        """``{"spans": {name: {"calls", "seconds"}}, "counters": {...}}``."""
+        return {
+            "spans": {
+                k: {"calls": v[0], "seconds": v[1]} for k, v in self.spans.items()
+            },
+            "counters": dict(self.counters),
+        }
+
+    def to_json(self, **kwargs: Any) -> str:
+        """JSON form of :meth:`as_dict`."""
+        return json.dumps(self.as_dict(), **kwargs)
+
+
+class _CollectContext:
+    """Installs a fresh :class:`Collector` on the current thread."""
+
+    __slots__ = ("_collector", "_previous")
+
+    def __enter__(self) -> Collector:
+        self._previous = getattr(_state, "collector", None)
+        self._collector = Collector()
+        _state.collector = self._collector
+        return self._collector
+
+    def __exit__(self, *exc: object) -> None:
+        _state.collector = self._previous
+
+
+def collect() -> _CollectContext:
+    """Enable collection for the ``with`` block and yield the collector.
+
+    Nested ``collect()`` blocks shadow the outer collector (the inner
+    block sees only its own measurements); the outer collector is
+    restored on exit.
+    """
+    return _CollectContext()
+
+
+class _NoopSpan:
+    """Shared do-nothing span handed out while collection is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        pass
+
+
+_NOOP = _NoopSpan()
+
+
+class _LiveSpan:
+    __slots__ = ("_collector", "_name", "_start")
+
+    def __init__(self, collector: Collector, name: str) -> None:
+        self._collector = collector
+        self._name = name
+
+    def __enter__(self) -> "_LiveSpan":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._collector.record_span(
+            self._name, time.perf_counter() - self._start
+        )
+
+
+def span(name: str) -> "_NoopSpan | _LiveSpan":
+    """A context-manager timer for the phase ``name``.
+
+    Returns a shared no-op object while collection is disabled, so the
+    disabled cost is one attribute lookup and no allocation.
+    """
+    collector = getattr(_state, "collector", None)
+    if collector is None:
+        return _NOOP
+    return _LiveSpan(collector, name)
+
+
+def count(name: str, n: int = 1) -> None:
+    """Add ``n`` to the counter ``name`` (no-op while disabled)."""
+    collector = getattr(_state, "collector", None)
+    if collector is not None:
+        collector.add(name, n)
+
+
+def record(name: str, seconds: float) -> None:
+    """Record an externally timed span observation (no-op while disabled)."""
+    collector = getattr(_state, "collector", None)
+    if collector is not None:
+        collector.record_span(name, seconds)
+
+
+def mark() -> dict[str, Any] | None:
+    """Snapshot the active collector, or ``None`` while disabled.
+
+    Pair with :func:`attach` to scope telemetry to one solver call.
+    """
+    collector = getattr(_state, "collector", None)
+    return None if collector is None else collector.mark()
+
+
+def attach(meta: dict[str, Any], marker: dict[str, Any] | None) -> dict[str, Any]:
+    """Set ``meta["telemetry"]`` to the delta since ``marker``.
+
+    No-op (and no key added) when collection is off or ``marker`` is
+    ``None``; returns ``meta`` either way so it composes inline.
+    """
+    collector = getattr(_state, "collector", None)
+    if collector is not None and marker is not None:
+        meta["telemetry"] = collector.since(marker)
+    return meta
+
+
+def render_table(data: dict[str, Any], title: str = "telemetry") -> str:
+    """Render an exported telemetry dict as an aligned terminal table."""
+    lines = [title]
+    spans = data.get("spans", {})
+    if spans:
+        name_w = max(len("span"), *(len(k) for k in spans))
+        lines.append(
+            f"  {'span':<{name_w}}  {'calls':>7}  {'total s':>9}  {'mean ms':>9}"
+        )
+        for name in sorted(spans, key=lambda k: -spans[k]["seconds"]):
+            stat = spans[name]
+            calls, seconds = stat["calls"], stat["seconds"]
+            mean_ms = 1e3 * seconds / calls if calls else 0.0
+            lines.append(
+                f"  {name:<{name_w}}  {calls:>7d}  {seconds:>9.4f}  {mean_ms:>9.3f}"
+            )
+    counters = data.get("counters", {})
+    if counters:
+        name_w = max(len("counter"), *(len(k) for k in counters))
+        lines.append(f"  {'counter':<{name_w}}  {'value':>12}")
+        for name in sorted(counters):
+            lines.append(f"  {name:<{name_w}}  {counters[name]:>12d}")
+    if len(lines) == 1:
+        lines.append("  (empty)")
+    return "\n".join(lines)

@@ -8,10 +8,13 @@ and compares the makespan trajectories.
 
 from __future__ import annotations
 
+import copy
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import telemetry
 from .cluster import Cluster
 from .metrics import coefficient_of_variation, imbalance_ratio, jain_fairness
 from .policies import RebalancePolicy
@@ -35,6 +38,8 @@ class EpochRecord:
     migrations: int
     migration_cost: float
     pre_makespan: float  # before this epoch's migrations
+    decide_seconds: float = 0.0  # policy.decide wall clock
+    migrate_seconds: float = 0.0  # apply_assignment wall clock
 
 
 @dataclass
@@ -113,16 +118,30 @@ class Simulation:
     seed: int = 0
 
     def run(self, epochs: int) -> SimulationResult:
-        """Run the epoch loop and collect a full trajectory."""
+        """Run the epoch loop and collect a full trajectory.
+
+        The simulation operates on deep copies of the cluster and the
+        traffic model, so ``self.cluster`` / ``self.traffic`` stay in
+        their constructed state and repeated ``run()`` calls produce
+        identical trajectories (the RNG is re-seeded *and* the mutable
+        state it drives starts from the same point every time).
+        """
         rng = np.random.default_rng(self.seed)
+        cluster = copy.deepcopy(self.cluster)
+        traffic = copy.deepcopy(self.traffic)
         result = SimulationResult(policy=self.policy.name)
         for epoch in range(epochs):
-            self.traffic.step(self.cluster.sites, epoch, rng)
-            pre_makespan = self.cluster.makespan()
-            instance = self.cluster.to_instance()
+            traffic.step(cluster.sites, epoch, rng)
+            pre_makespan = cluster.makespan()
+            instance = cluster.to_instance()
+            t0 = time.perf_counter()
             assignment = self.policy.decide(instance, epoch)
-            migrations, cost = self.cluster.apply_assignment(assignment)
-            loads = self.cluster.loads()
+            t1 = time.perf_counter()
+            migrations, cost = cluster.apply_assignment(assignment)
+            t2 = time.perf_counter()
+            telemetry.record("websim.decide", t1 - t0)
+            telemetry.record("websim.migrate", t2 - t1)
+            loads = cluster.loads()
             result.records.append(
                 EpochRecord(
                     epoch=epoch,
@@ -134,6 +153,8 @@ class Simulation:
                     migrations=migrations,
                     migration_cost=cost,
                     pre_makespan=pre_makespan,
+                    decide_seconds=t1 - t0,
+                    migrate_seconds=t2 - t1,
                 )
             )
         return result

@@ -110,6 +110,55 @@ class TestTheorem1:
         assert np.array_equal(a.assignment.mapping, b.assignment.mapping)
 
 
+class TestMoveAccounting:
+    """planned_moves must count relocations, not Step-1 removals.
+
+    Step 2 may legally place a removed job back on its origin processor
+    (the removal-vs-relocation distinction before Lemma 3); such a job
+    consumes no real budget and must not be reported as a move.
+    """
+
+    @settings(max_examples=80, deadline=None)
+    @given(instances_with_k(max_jobs=10, max_processors=4))
+    def test_planned_moves_equals_actual_moves(self, case):
+        inst, k = case
+        for order in ("removal", "descending", "ascending"):
+            res = greedy_rebalance(inst, k, insert_order=order)
+            assert res.planned_moves == res.assignment.num_moves
+
+    def test_planned_moves_equals_actual_moves_random(self):
+        rng = np.random.default_rng(42)
+        from repro.workloads.generators import random_instance
+
+        for _ in range(150):
+            inst = random_instance(
+                int(rng.integers(2, 25)), int(rng.integers(2, 6)), rng,
+                integer_sizes=bool(rng.integers(0, 2)),
+            )
+            k = int(rng.integers(0, inst.num_jobs + 1))
+            res = greedy_rebalance(inst, k)
+            assert res.planned_moves == res.assignment.num_moves
+            assert res.meta["removals"] >= res.planned_moves
+            assert res.meta["removals"] <= k
+
+    def test_reinsertion_on_origin_not_counted(self):
+        """Balanced two-processor instance: the removed job goes back."""
+        inst = make_instance(
+            sizes=[2, 2], initial=[0, 1], num_processors=2
+        )
+        res = greedy_rebalance(inst, 1)
+        assert res.meta["removals"] == 1
+        assert res.planned_moves == 0
+        assert res.num_moves == 0
+
+    def test_insert_order_validated_before_step1(self):
+        """A bad order must fail fast, not after the removal loop."""
+        inst = make_instance(sizes=[5, 3, 1], initial=[0, 0, 1],
+                             num_processors=2)
+        with pytest.raises(ValueError, match="insert_order"):
+            greedy_rebalance(inst, 2, insert_order="sideways")
+
+
 class TestDeterminism:
     def test_repeat_runs_identical(self):
         inst = make_instance(

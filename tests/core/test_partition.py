@@ -160,6 +160,62 @@ class TestMPartition:
         assert res.meta["L_E"] == res.meta["L_T"] - res.meta["m_L"]
 
 
+class TestMPartitionEdgeCases:
+    """Edge cases of the threshold scan's starting point and extremes."""
+
+    def test_average_load_below_smallest_threshold(self):
+        """With many processors the average load undercuts every
+        threshold; the scan must clamp its start to the first candidate
+        instead of indexing at -1."""
+        inst = make_instance(
+            sizes=[4, 6], initial=[0, 0], num_processors=10
+        )
+        assert inst.average_load < 4.0  # below 2*min_size and all prefixes
+        res = m_partition_rebalance(inst, 2)
+        res.assignment.validate(max_moves=2)
+        assert res.makespan == 6.0  # the two jobs end up separated
+
+    def test_single_tiny_job_many_processors(self):
+        inst = make_instance(sizes=[1], initial=[0], num_processors=8)
+        res = m_partition_rebalance(inst, 1)
+        assert res.makespan == 1.0
+        assert res.num_moves == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(instances_with_k(max_jobs=8, max_processors=4))
+    def test_k_zero_is_always_identity(self, case):
+        inst, _ = case
+        res = m_partition_rebalance(inst, 0)
+        assert res.num_moves == 0
+        assert res.planned_moves == 0
+        assert res.makespan == inst.initial_makespan
+
+    def test_processors_with_zero_jobs(self):
+        """Empty processors must be valid Step-3/Step-6 targets."""
+        inst = make_instance(
+            sizes=[9, 8, 7, 1], initial=[0, 0, 0, 0], num_processors=4
+        )
+        res = m_partition_rebalance(inst, 3)
+        res.assignment.validate(max_moves=3)
+        opt = exact_rebalance(inst, k=3).makespan
+        assert res.makespan <= 1.5 * opt + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(instances_with_k(max_jobs=6, max_processors=4))
+    def test_crowded_single_processor(self, case):
+        """All jobs piled on processor 0 (maximal initial imbalance)."""
+        inst, k = case
+        crowded = make_instance(
+            sizes=inst.sizes.tolist(),
+            initial=[0] * inst.num_jobs,
+            num_processors=inst.num_processors,
+        )
+        res = m_partition_rebalance(crowded, k)
+        res.assignment.validate(max_moves=k)
+        opt = exact_rebalance(crowded, k=k).makespan
+        assert res.makespan <= 1.5 * opt + 1e-9
+
+
 class TestHalfOptimalInvariants:
     """White-box checks of the Definition-3 structure at the stop guess."""
 

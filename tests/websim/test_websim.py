@@ -206,3 +206,40 @@ class TestSimulation:
         a = self.run_policy(GreedyPolicy(k=2), seed=5)
         b = self.run_policy(GreedyPolicy(k=2), seed=5)
         assert [r.makespan for r in a.records] == [r.makespan for r in b.records]
+
+    def test_repeated_run_on_same_simulation_identical(self):
+        """Regression: run() used to mutate the cluster in place, so a
+        second run() continued from the drifted state despite the RNG
+        being re-seeded."""
+        cluster = build_cluster(30, 4, np.random.default_rng(9))
+        traffic = ComposedTraffic(
+            (DiurnalTraffic(), FlashCrowdTraffic(probability=0.2))
+        )
+        sim = Simulation(cluster=cluster, traffic=traffic,
+                         policy=GreedyPolicy(k=2), seed=9)
+        a = sim.run(15)
+        b = sim.run(15)
+        assert [r.makespan for r in a.records] == [
+            r.makespan for r in b.records
+        ]
+        assert [r.migrations for r in a.records] == [
+            r.migrations for r in b.records
+        ]
+
+    def test_run_leaves_cluster_and_traffic_untouched(self):
+        cluster = build_cluster(20, 3, np.random.default_rng(4))
+        traffic = FlashCrowdTraffic(probability=0.5)
+        sim = Simulation(cluster=cluster, traffic=traffic,
+                         policy=GreedyPolicy(k=2), seed=4)
+        placement = cluster.placement.copy()
+        loads = [s.load for s in cluster.sites]
+        sim.run(10)
+        assert cluster.placement.tolist() == placement.tolist()
+        assert [s.load for s in cluster.sites] == loads
+        assert traffic._boost == {}  # traffic state stays pristine too
+
+    def test_epoch_records_carry_timings(self):
+        res = self.run_policy(GreedyPolicy(k=2), epochs=5)
+        for r in res.records:
+            assert r.decide_seconds >= 0.0
+            assert r.migrate_seconds >= 0.0
