@@ -14,6 +14,7 @@ from .experiments import (
     experiment_e9_headtohead,
     experiment_e10_hardness,
     experiment_e11_scale_oracles,
+    experiment_e12_engine,
 )
 from .ablations import (
     ALL_ABLATIONS,
@@ -45,6 +46,7 @@ __all__ = [
     "experiment_e9_headtohead",
     "experiment_e10_hardness",
     "experiment_e11_scale_oracles",
+    "experiment_e12_engine",
     "loglog_slope",
     "measure_ratios",
     "measure_scaling",

@@ -26,7 +26,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiments",
         nargs="*",
         metavar="EXPERIMENT",
-        help="experiment ids (E1..E11, A1..A3); default: all",
+        help="experiment ids (E1..E12, A1..A3); default: all",
     )
     parser.add_argument(
         "--list", action="store_true", help="list experiments and exit"

@@ -21,6 +21,7 @@ threshold enumeration, knapsack subroutines).
 from .assignment import Assignment
 from .certify import Certificate, certify
 from .cost_partition import cost_partition_rebalance, evaluate_cost_guess
+from .engine import EngineStats, RebalanceEngine
 from .exact import exact_rebalance
 from .greedy import greedy_rebalance
 from .instance import Instance, make_instance
@@ -55,12 +56,15 @@ from .thresholds import (
     ThresholdTables,
     build_tables,
     candidate_guesses,
+    patch_tables,
+    scan_start,
 )
 
 __all__ = [
     "Assignment",
     "Certificate",
     "certify",
+    "EngineStats",
     "GuessEvaluation",
     "HAS_MILP",
     "Instance",
@@ -68,6 +72,7 @@ __all__ = [
     "KnapsackSolution",
     "ProcessorTable",
     "PTASLimits",
+    "RebalanceEngine",
     "RebalanceResult",
     "ThresholdTables",
     "available_algorithms",
@@ -91,6 +96,8 @@ __all__ = [
     "milp_rebalance",
     "min_removal_cost",
     "partition_rebalance",
+    "patch_tables",
+    "scan_start",
     "ptas_rebalance",
     "rebalance",
     "unit_rebalance_exact",

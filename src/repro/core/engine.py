@@ -1,0 +1,283 @@
+"""Warm-start rebalancing engine for epoch streams (Theorem 3, amortized).
+
+The websim epoch loop used to rebuild every solver data structure from
+scratch each epoch: :func:`~repro.core.thresholds.build_tables` re-sorts
+all jobs and :func:`~repro.core.partition.evaluate_guess` walks the
+processors in a Python loop for every threshold tried.  Consecutive
+epochs of one evolving cluster differ only in the sites whose traffic
+shifted, so almost all of that work is repeated verbatim.
+
+:class:`RebalanceEngine` serves a *stream* of snapshots of one evolving
+instance and amortizes the solver state across them:
+
+* **Table cache** — the per-processor ascending orders and prefix sums
+  (:class:`~repro.core.thresholds.ThresholdTables`) are kept between
+  calls and patched via :func:`~repro.core.thresholds.patch_tables`:
+  only the processors whose job composition changed are re-sorted,
+  ``O(changed · n_i log n_i)`` instead of the full ``O(n log n)``
+  Python bucketing pass.
+* **Vectorized guess evaluation** — ``(a_i, b_i, has_large_i)`` for
+  *all* processors at once from flattened prefix arrays (a handful of
+  numpy passes over ``n`` elements) instead of three ``searchsorted``
+  calls per processor per threshold.  The final Step-3 selection goes
+  through the same :func:`~repro.core.partition._finalize_evaluation`
+  as the scalar path, so evaluations are identical by construction.
+* **Decision cache** — a fingerprint (blake2b over sizes, costs,
+  initial assignment and processor count) keyed LRU of full
+  :class:`~repro.core.result.RebalanceResult` objects, so a
+  byte-identical snapshot (e.g. a flash crowd that fully decayed back
+  to baseline) returns the cached decision without touching the solver.
+
+Differential property tests enforce that every decision (assignment,
+stopping guess, planned move count) is identical to a from-scratch
+:func:`~repro.core.partition.m_partition_rebalance` call on the same
+snapshot; the caches are pure transparent accelerations.
+
+Telemetry counters (visible through :mod:`repro.telemetry` and mirrored
+on :attr:`RebalanceEngine.stats`): ``cache_hits``, ``tables_reused``,
+``buckets_patched``, ``full_builds``, plus the shared
+``thresholds_tried``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import telemetry
+from .assignment import Assignment
+from .instance import Instance
+from .partition import GuessEvaluation, _construct, _finalize_evaluation
+from .result import RebalanceResult
+from .thresholds import (
+    ThresholdTables,
+    build_tables,
+    candidate_guesses,
+    patch_tables,
+    scan_start,
+)
+
+__all__ = ["EngineStats", "RebalanceEngine"]
+
+
+@dataclass
+class EngineStats:
+    """Running counters of the engine's cache behavior.
+
+    Always maintained (they are a handful of integer adds per decision),
+    independent of whether :mod:`repro.telemetry` collection is active.
+    """
+
+    decisions: int = 0
+    cache_hits: int = 0
+    tables_reused: int = 0
+    buckets_patched: int = 0
+    full_builds: int = 0
+    thresholds_tried: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "decisions": self.decisions,
+            "cache_hits": self.cache_hits,
+            "tables_reused": self.tables_reused,
+            "buckets_patched": self.buckets_patched,
+            "full_builds": self.full_builds,
+            "thresholds_tried": self.thresholds_tried,
+        }
+
+
+class _FlatTables:
+    """Flattened per-processor views for vectorized guess evaluation.
+
+    Concatenates every processor's prefix sums (``prefix[1:]``, length
+    ``n_i`` each) into one array tagged with its processor id.  Within a
+    segment the prefix values are ascending, so "how many prefix entries
+    of processor ``i`` are at most ``x``" is a boolean mask plus one
+    ``bincount`` — for all processors at once.
+    """
+
+    __slots__ = ("m", "n", "sizes", "job_proc", "counts", "prefix_flat",
+                 "prefix_proc", "sizes_asc")
+
+    def __init__(self, tables: ThresholdTables) -> None:
+        instance = tables.instance
+        self.m = instance.num_processors
+        self.n = instance.num_jobs
+        self.sizes = instance.sizes
+        self.job_proc = instance.initial
+        self.counts = np.array(
+            [proc.num_jobs for proc in tables.processors], dtype=np.int64
+        )
+        if self.n:
+            self.prefix_flat = np.concatenate(
+                [proc.prefix[1:] for proc in tables.processors]
+            )
+        else:
+            self.prefix_flat = np.empty(0)
+        self.prefix_proc = np.repeat(np.arange(self.m, dtype=np.int64), self.counts)
+        self.sizes_asc = tables.sizes_asc
+
+    def evaluate(self, guess: float) -> GuessEvaluation:
+        """Vectorized equivalent of
+        :func:`repro.core.partition.evaluate_guess`.
+
+        Derivation (per processor ``i``, all comparisons on the same
+        floats the scalar path uses):
+
+        * ``s_cnt = #{jobs on i with size <= guess/2}``;
+        * ``a_i = s_cnt - keep`` where ``keep = #{1 <= l <= s_cnt :
+          P_l <= guess/2}`` (``P_0 = 0`` always qualifies, cancelling
+          the scalar path's ``searchsorted(...) - 1``);
+        * ``b_i = q - min(#{l >= 1 : P_l <= guess}, q)`` with
+          ``q = n_i`` if the processor is all-small else ``s_cnt + 1``.
+        """
+        half = guess / 2.0
+        m = self.m
+        total_large = self.n - int(
+            np.searchsorted(self.sizes_asc, half, side="right")
+        )
+        s_cnt = np.bincount(self.job_proc[self.sizes <= half], minlength=m)
+        cnt_prefix_half = np.bincount(
+            self.prefix_proc[self.prefix_flat <= half], minlength=m
+        )
+        cnt_prefix_full = np.bincount(
+            self.prefix_proc[self.prefix_flat <= guess], minlength=m
+        )
+        a = s_cnt - np.minimum(cnt_prefix_half, s_cnt)
+        q = np.where(s_cnt == self.counts, self.counts, s_cnt + 1)
+        b = q - np.minimum(cnt_prefix_full, q)
+        has_large = s_cnt < self.counts
+        return _finalize_evaluation(guess, total_large, a, b, has_large)
+
+
+def _fingerprint(instance: Instance) -> bytes:
+    """Digest of everything the decision can depend on."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(instance.num_processors.to_bytes(8, "little"))
+    h.update(instance.sizes.tobytes())
+    h.update(instance.costs.tobytes())
+    h.update(instance.initial.tobytes())
+    return h.digest()
+
+
+class RebalanceEngine:
+    """Stateful M-PARTITION server for a stream of epoch snapshots.
+
+    One engine serves one evolving cluster with one fixed move budget
+    ``k``; construct a fresh engine (or call :meth:`reset`) for a
+    different stream or budget.  Decisions are guaranteed identical to
+    :func:`repro.core.partition.m_partition_rebalance` on every
+    snapshot — the caches only skip repeated work, never change the
+    answer.
+    """
+
+    def __init__(self, k: int, cache_size: int = 64) -> None:
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        if cache_size < 0:
+            raise ValueError("cache_size must be non-negative")
+        self.k = k
+        self.cache_size = cache_size
+        self.stats = EngineStats()
+        self._tables: ThresholdTables | None = None
+        self._cache: OrderedDict[bytes, RebalanceResult] = OrderedDict()
+
+    def reset(self) -> None:
+        """Drop all cached state (tables, decisions, counters)."""
+        self.stats = EngineStats()
+        self._tables = None
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    def _update_tables(self, instance: Instance) -> ThresholdTables:
+        """Cached tables patched to ``instance``, or a full build."""
+        if self._tables is None:
+            with telemetry.span("engine.build_tables"):
+                tables = build_tables(instance)
+            self.stats.full_builds += 1
+            telemetry.count("full_builds")
+        else:
+            with telemetry.span("engine.patch_tables"):
+                tables, patched = patch_tables(self._tables, instance)
+            if patched < 0:
+                self.stats.full_builds += 1
+                telemetry.count("full_builds")
+            else:
+                self.stats.tables_reused += 1
+                self.stats.buckets_patched += patched
+                telemetry.count("tables_reused")
+                telemetry.count("buckets_patched", patched)
+        self._tables = tables
+        return tables
+
+    def rebalance(self, instance: Instance) -> RebalanceResult:
+        """Decide one epoch: M-PARTITION on ``instance`` with budget
+        ``k``, served warm from the engine's caches."""
+        tmark = telemetry.mark()
+        self.stats.decisions += 1
+        fp = _fingerprint(instance)
+        cached = self._cache.get(fp)
+        if cached is not None:
+            self._cache.move_to_end(fp)
+            self.stats.cache_hits += 1
+            telemetry.count("cache_hits")
+            return cached
+
+        tables = self._update_tables(instance)
+        if instance.num_jobs == 0:
+            result = RebalanceResult(
+                assignment=Assignment.initial(instance),
+                algorithm="m-partition-engine",
+                guessed_opt=0.0,
+                planned_moves=0,
+            )
+            self._remember(fp, result)
+            return result
+
+        candidates = candidate_guesses(tables)
+        flat = _FlatTables(tables)
+        start = scan_start(candidates, instance.average_load)
+        tried = 0
+        stop_ev: GuessEvaluation | None = None
+        with telemetry.span("engine.scan"):
+            for idx in range(start, candidates.shape[0]):
+                ev = flat.evaluate(float(candidates[idx]))
+                tried += 1
+                if ev.feasible and ev.planned_moves <= self.k:
+                    stop_ev = ev
+                    break
+        self.stats.thresholds_tried += tried
+        telemetry.count("thresholds_tried", tried)
+        if stop_ev is None:  # pragma: no cover - same safeguard as rescan
+            raise RuntimeError("no feasible threshold found")
+        with telemetry.span("engine.construct"):
+            assignment = _construct(instance, tables, stop_ev)
+        assignment.validate(max_moves=self.k)
+        result = RebalanceResult(
+            assignment=assignment,
+            algorithm="m-partition-engine",
+            guessed_opt=stop_ev.guess,
+            planned_moves=stop_ev.planned_moves,
+            meta=telemetry.attach(
+                {
+                    "L_T": stop_ev.total_large,
+                    "m_L": stop_ev.large_processors,
+                    "L_E": stop_ev.extra_large,
+                    "thresholds_tried": tried,
+                    "engine": self.stats.as_dict(),
+                },
+                tmark,
+            ),
+        )
+        self._remember(fp, result)
+        return result
+
+    def _remember(self, fp: bytes, result: RebalanceResult) -> None:
+        if self.cache_size == 0:
+            return
+        self._cache[fp] = result
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)

@@ -48,7 +48,7 @@ from .. import telemetry
 from .assignment import Assignment
 from .instance import Instance
 from .result import RebalanceResult
-from .thresholds import ThresholdTables, build_tables, candidate_guesses
+from .thresholds import ThresholdTables, build_tables, candidate_guesses, scan_start
 
 __all__ = [
     "GuessEvaluation",
@@ -74,22 +74,22 @@ class GuessEvaluation:
     selected: np.ndarray  # processor indices chosen in Step 3
 
 
-def evaluate_guess(tables: ThresholdTables, guess: float) -> GuessEvaluation:
-    """Compute ``(L_T, a, b, c)``, the Step-3 selection and the planned
-    move count for one guess, without constructing the assignment.
+def _finalize_evaluation(
+    guess: float,
+    total_large: int,
+    a: np.ndarray,
+    b: np.ndarray,
+    has_large: np.ndarray,
+) -> GuessEvaluation:
+    """Turn per-processor ``(a, b, has_large)`` values into the Step-3
+    selection and planned move count.
 
-    A guess is infeasible when ``L_T > m`` (more large jobs than
-    processors; no half-optimal configuration exists at this guess).
+    Shared by the scalar per-processor path (:func:`evaluate_guess`) and
+    the engine's vectorized path (:mod:`repro.core.engine`), so both
+    apply the identical tie-breaking rule and produce byte-identical
+    evaluations.
     """
-    m = len(tables.processors)
-    total_large = tables.total_large(guess)
-    a = np.empty(m, dtype=np.int64)
-    b = np.empty(m, dtype=np.int64)
-    has_large = np.empty(m, dtype=bool)
-    for i, proc in enumerate(tables.processors):
-        a[i] = proc.a_value(guess)
-        b[i] = proc.b_value(guess)
-        has_large[i] = proc.has_large(guess)
+    m = int(a.shape[0])
     c = a - b
     large_processors = int(has_large.sum())
     extra_large = total_large - large_processors
@@ -127,6 +127,25 @@ def evaluate_guess(tables: ThresholdTables, guess: float) -> GuessEvaluation:
         planned_moves=planned,
         selected=selected,
     )
+
+
+def evaluate_guess(tables: ThresholdTables, guess: float) -> GuessEvaluation:
+    """Compute ``(L_T, a, b, c)``, the Step-3 selection and the planned
+    move count for one guess, without constructing the assignment.
+
+    A guess is infeasible when ``L_T > m`` (more large jobs than
+    processors; no half-optimal configuration exists at this guess).
+    """
+    m = len(tables.processors)
+    total_large = tables.total_large(guess)
+    a = np.empty(m, dtype=np.int64)
+    b = np.empty(m, dtype=np.int64)
+    has_large = np.empty(m, dtype=bool)
+    for i, proc in enumerate(tables.processors):
+        a[i] = proc.a_value(guess)
+        b[i] = proc.b_value(guess)
+        has_large[i] = proc.has_large(guess)
+    return _finalize_evaluation(guess, total_large, a, b, has_large)
 
 
 def _construct(
@@ -274,7 +293,11 @@ def partition_rebalance(
     )
 
 
-def m_partition_rebalance(instance: Instance, k: int) -> RebalanceResult:
+def m_partition_rebalance(
+    instance: Instance,
+    k: int,
+    tables: ThresholdTables | None = None,
+) -> RebalanceResult:
     """M-PARTITION (Theorem 3): the 1.5-approximation without the oracle.
 
     Scans the Lemma-5 threshold values in increasing order, starting
@@ -287,12 +310,18 @@ def m_partition_rebalance(instance: Instance, k: int) -> RebalanceResult:
     threshold below the true ``OPT`` (which plans no more moves than the
     optimal solution), so the final guess is at most ``OPT`` and the
     resulting makespan is at most ``1.5 * OPT``.
+
+    ``tables`` may supply prebuilt threshold tables for ``instance``
+    (e.g. tables patched across epochs by
+    :class:`repro.core.engine.RebalanceEngine`); they must describe the
+    same sizes and initial assignment.
     """
     if k < 0:
         raise ValueError("k must be non-negative")
     tmark = telemetry.mark()
-    with telemetry.span("m_partition.build_tables"):
-        tables = build_tables(instance)
+    if tables is None:
+        with telemetry.span("m_partition.build_tables"):
+            tables = build_tables(instance)
     if instance.num_jobs == 0:
         return RebalanceResult(
             assignment=Assignment.initial(instance),
@@ -301,8 +330,7 @@ def m_partition_rebalance(instance: Instance, k: int) -> RebalanceResult:
             planned_moves=0,
         )
     candidates = candidate_guesses(tables)
-    start = int(np.searchsorted(candidates, instance.average_load, side="right")) - 1
-    start = max(start, 0)
+    start = scan_start(candidates, instance.average_load)
     tried = 0
     stop_ev: GuessEvaluation | None = None
     with telemetry.span("m_partition.scan"):

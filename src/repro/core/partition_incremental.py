@@ -38,7 +38,7 @@ from .fenwick import ValueMultisetFenwick
 from .instance import Instance
 from .partition import _construct, evaluate_guess
 from .result import RebalanceResult
-from .thresholds import ThresholdTables, build_tables, candidate_guesses
+from .thresholds import ThresholdTables, build_tables, candidate_guesses, scan_start
 
 __all__ = ["m_partition_rebalance_incremental"]
 
@@ -113,7 +113,9 @@ def _events_by_threshold(
 
 
 def m_partition_rebalance_incremental(
-    instance: Instance, k: int
+    instance: Instance,
+    k: int,
+    tables: ThresholdTables | None = None,
 ) -> RebalanceResult:
     """Theorem 3's scan with incremental aggregate maintenance.
 
@@ -121,12 +123,16 @@ def m_partition_rebalance_incremental(
     :func:`repro.core.partition.m_partition_rebalance`; asymptotically
     ``O(n log n)`` regardless of how many thresholds the scan crosses,
     because each threshold touches only its own processors' values.
+
+    ``tables`` may supply prebuilt threshold tables for ``instance``
+    (same contract as :func:`~repro.core.partition.m_partition_rebalance`).
     """
     if k < 0:
         raise ValueError("k must be non-negative")
     tmark = telemetry.mark()
-    with telemetry.span("m_partition_inc.build_tables"):
-        tables = build_tables(instance)
+    if tables is None:
+        with telemetry.span("m_partition_inc.build_tables"):
+            tables = build_tables(instance)
     if instance.num_jobs == 0:
         return RebalanceResult(
             assignment=Assignment.initial(instance),
@@ -136,8 +142,7 @@ def m_partition_rebalance_incremental(
         )
     candidates = candidate_guesses(tables)
     events = _events_by_threshold(tables)
-    start = int(np.searchsorted(candidates, instance.average_load, side="right")) - 1
-    start = max(start, 0)
+    start = scan_start(candidates, instance.average_load)
 
     state = _IncrementalState(tables, float(candidates[start]))
     tried = 0

@@ -34,7 +34,14 @@ import numpy as np
 
 from .instance import Instance
 
-__all__ = ["ProcessorTable", "ThresholdTables", "build_tables", "candidate_guesses"]
+__all__ = [
+    "ProcessorTable",
+    "ThresholdTables",
+    "build_tables",
+    "candidate_guesses",
+    "patch_tables",
+    "scan_start",
+]
 
 
 @dataclass(frozen=True)
@@ -132,6 +139,104 @@ def build_tables(instance: Instance) -> ThresholdTables:
         processors=tuple(processors),
         sizes_asc=np.sort(instance.sizes),
     )
+
+
+def patch_tables(
+    tables: ThresholdTables, instance: Instance
+) -> tuple[ThresholdTables, int]:
+    """Tables valid for ``instance``, reusing unchanged processor buckets.
+
+    Compares ``instance`` against ``tables.instance`` job by job; only
+    the processors that gained, lost or resized a job get their
+    ascending order and prefix sums rebuilt.  The rebuild of the
+    affected buckets is one vectorized lexsort over the affected jobs —
+    ``O(changed_jobs * log(changed_jobs))`` plus ``O(n)`` for the diff
+    masks — instead of :func:`build_tables`'s full ``O(n)`` Python
+    bucketing pass.
+
+    Returns ``(new_tables, buckets_patched)``.  Falls back to a full
+    :func:`build_tables` (returning ``buckets_patched == -1``) when the
+    job count or processor count differs, since no per-bucket diff is
+    meaningful then.
+    """
+    old = tables.instance
+    if (
+        old.num_jobs != instance.num_jobs
+        or old.num_processors != instance.num_processors
+    ):
+        return build_tables(instance), -1
+    size_changed = old.sizes != instance.sizes
+    moved = old.initial != instance.initial
+    changed_jobs = size_changed | moved
+    if not changed_jobs.any():
+        if old is instance:
+            return tables, 0
+        return (
+            ThresholdTables(
+                instance=instance,
+                processors=tables.processors,
+                sizes_asc=tables.sizes_asc,
+            ),
+            0,
+        )
+    changed_procs = np.unique(
+        np.concatenate(
+            (old.initial[changed_jobs], instance.initial[changed_jobs])
+        )
+    )
+    affected_mask = np.zeros(instance.num_processors, dtype=bool)
+    affected_mask[changed_procs] = True
+    affected_jobs = np.flatnonzero(affected_mask[instance.initial])
+    # One sort groups every affected job by (processor, size, index) —
+    # the exact per-bucket order build_tables produces.
+    order = np.lexsort(
+        (
+            affected_jobs,
+            instance.sizes[affected_jobs],
+            instance.initial[affected_jobs],
+        )
+    )
+    sorted_jobs = affected_jobs[order]
+    sorted_procs = instance.initial[sorted_jobs]
+    starts = np.searchsorted(sorted_procs, changed_procs, side="left")
+    ends = np.searchsorted(sorted_procs, changed_procs, side="right")
+    processors = list(tables.processors)
+    for p, lo, hi in zip(changed_procs, starts, ends):
+        jobs_asc = sorted_jobs[lo:hi]
+        sizes_asc = instance.sizes[jobs_asc] if hi > lo else np.empty(0)
+        prefix = np.concatenate(([0.0], np.cumsum(sizes_asc)))
+        processors[int(p)] = ProcessorTable(
+            jobs_asc=jobs_asc, sizes_asc=sizes_asc, prefix=prefix
+        )
+    sizes_asc = np.sort(instance.sizes) if size_changed.any() else tables.sizes_asc
+    return (
+        ThresholdTables(
+            instance=instance,
+            processors=tuple(processors),
+            sizes_asc=sizes_asc,
+        ),
+        int(changed_procs.shape[0]),
+    )
+
+
+def scan_start(candidates: np.ndarray, average_load: float) -> int:
+    """Index of the largest threshold not exceeding ``average_load``.
+
+    This is M-PARTITION's starting guess (Section 3.1: the average load
+    never exceeds ``OPT``).  The result is clamped into
+    ``[0, len(candidates) - 1]`` so the scan always starts on a real
+    threshold: when every candidate exceeds the average the scan starts
+    at the smallest one, and when the average exceeds every candidate
+    (only possible through float round-off — the heaviest processor's
+    full load is itself a candidate and bounds the average from above)
+    the scan starts at the largest one instead of indexing past the end.
+    Every scanner (rescan, incremental, engine) shares this helper so
+    they stop at the same threshold by construction.
+    """
+    if candidates.shape[0] == 0:
+        return 0
+    start = int(np.searchsorted(candidates, average_load, side="right")) - 1
+    return min(max(start, 0), int(candidates.shape[0]) - 1)
 
 
 def candidate_guesses(tables: ThresholdTables) -> np.ndarray:

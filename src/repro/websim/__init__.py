@@ -17,6 +17,7 @@ from .migration import (
 )
 from .policies import (
     CostPartitionPolicy,
+    EngineMPartitionPolicy,
     FullRepackPolicy,
     GreedyPolicy,
     HillClimbPolicy,
@@ -44,6 +45,7 @@ __all__ = [
     "ComposedTraffic",
     "CostPartitionPolicy",
     "DiurnalTraffic",
+    "EngineMPartitionPolicy",
     "EpochRecord",
     "FlashCrowdTraffic",
     "FullRepackPolicy",

@@ -20,6 +20,11 @@ from .website import Website
 
 __all__ = ["Cluster"]
 
+# Zero-load sites are clamped to this when snapshotting: small enough
+# never to influence a rebalancing decision, positive so the Instance
+# invariant (strictly positive sizes) holds.
+_MIN_SITE_LOAD = 1e-12
+
 
 @dataclass
 class Cluster:
@@ -76,9 +81,15 @@ class Cluster:
         """Snapshot the cluster as a rebalancing instance.
 
         Job sizes are current site loads; relocation costs come from the
-        migration cost model.
+        migration cost model.  A site whose traffic decayed to zero (or
+        that a custom traffic model drove negative, bypassing
+        :meth:`Website.set_load`) is clamped to a tiny positive load:
+        :class:`~repro.core.instance.Instance` requires strictly
+        positive sizes, and a dead site must stay placeable rather than
+        crash the epoch loop.
         """
         sizes = np.array([s.load for s in self.sites])
+        sizes = np.maximum(sizes, _MIN_SITE_LOAD)
         costs = np.array(
             [self.migration_model.cost(s) for s in self.sites]
         )

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Protocol
 
 from ..core.assignment import Assignment
+from ..core.engine import RebalanceEngine
 from ..core.greedy import greedy_rebalance
 from ..core.instance import Instance
 from ..core.partition import m_partition_rebalance
@@ -24,6 +25,7 @@ __all__ = [
     "NoRebalance",
     "GreedyPolicy",
     "MPartitionPolicy",
+    "EngineMPartitionPolicy",
     "CostPartitionPolicy",
     "FullRepackPolicy",
     "HillClimbPolicy",
@@ -70,6 +72,38 @@ class MPartitionPolicy:
 
     def decide(self, instance: Instance, epoch: int) -> Assignment:
         return m_partition_rebalance(instance, self.k).assignment
+
+
+@dataclass
+class EngineMPartitionPolicy:
+    """M-PARTITION served by a warm :class:`~repro.core.engine.RebalanceEngine`.
+
+    Decision-for-decision identical to :class:`MPartitionPolicy` (the
+    differential tests enforce it) but amortizes threshold tables across
+    epochs and answers byte-identical snapshots from the decision cache.
+    Stateful: :class:`~repro.websim.simulator.Simulation` deep-copies the
+    policy per run, so the cache warms within a run and every run starts
+    cold — repeated ``run()`` calls stay deterministic.
+    """
+
+    k: int = 2
+    cache_size: int = 64
+    name: str = "m-partition-engine"
+
+    def __post_init__(self) -> None:
+        self._engine = RebalanceEngine(k=self.k, cache_size=self.cache_size)
+
+    @property
+    def engine(self) -> RebalanceEngine:
+        """The live engine (e.g. for reading cache statistics)."""
+        return self._engine
+
+    def reset(self) -> None:
+        """Drop all warm state; the next decision starts cold."""
+        self._engine.reset()
+
+    def decide(self, instance: Instance, epoch: int) -> Assignment:
+        return self._engine.rebalance(instance).assignment
 
 
 @dataclass(frozen=True)

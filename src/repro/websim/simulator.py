@@ -120,22 +120,28 @@ class Simulation:
     def run(self, epochs: int) -> SimulationResult:
         """Run the epoch loop and collect a full trajectory.
 
-        The simulation operates on deep copies of the cluster and the
-        traffic model, so ``self.cluster`` / ``self.traffic`` stay in
-        their constructed state and repeated ``run()`` calls produce
-        identical trajectories (the RNG is re-seeded *and* the mutable
-        state it drives starts from the same point every time).
+        The simulation operates on deep copies of the cluster, the
+        traffic model *and the policy*, so ``self.cluster`` /
+        ``self.traffic`` / ``self.policy`` stay in their constructed
+        state and repeated ``run()`` calls produce identical
+        trajectories (the RNG is re-seeded *and* every piece of mutable
+        state it drives starts from the same point each time).  Copying
+        the policy matters for stateful ones — an engine-backed policy
+        warms its caches within a run; without the copy a second
+        ``run()`` would start from the first run's internal state and
+        any policy whose decisions depend on its history would diverge.
         """
         rng = np.random.default_rng(self.seed)
         cluster = copy.deepcopy(self.cluster)
         traffic = copy.deepcopy(self.traffic)
-        result = SimulationResult(policy=self.policy.name)
+        policy = copy.deepcopy(self.policy)
+        result = SimulationResult(policy=policy.name)
         for epoch in range(epochs):
             traffic.step(cluster.sites, epoch, rng)
             pre_makespan = cluster.makespan()
             instance = cluster.to_instance()
             t0 = time.perf_counter()
-            assignment = self.policy.decide(instance, epoch)
+            assignment = policy.decide(instance, epoch)
             t1 = time.perf_counter()
             migrations, cost = cluster.apply_assignment(assignment)
             t2 = time.perf_counter()

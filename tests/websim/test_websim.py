@@ -9,6 +9,7 @@ from repro.websim import (
     Cluster,
     ComposedTraffic,
     DiurnalTraffic,
+    EngineMPartitionPolicy,
     FlashCrowdTraffic,
     FullRepackPolicy,
     GreedyPolicy,
@@ -243,3 +244,166 @@ class TestSimulation:
         for r in res.records:
             assert r.decide_seconds >= 0.0
             assert r.migrate_seconds >= 0.0
+
+
+class CountingPolicy:
+    """Deliberately stateful policy whose decisions depend on how many
+    times it has been asked — a canary for policy state leaking between
+    ``run()`` calls."""
+
+    name = "counting"
+
+    def __init__(self):
+        self.calls = 0
+
+    def decide(self, instance, epoch):
+        from repro.baselines.graham import lpt_rebalance
+        from repro.core import Assignment
+
+        self.calls += 1
+        if self.calls % 2:
+            return Assignment.initial(instance)
+        return lpt_rebalance(instance).assignment
+
+
+class TestStatefulPolicyIsolation:
+    """Regression: ``Simulation.run`` deep-copied the cluster and the
+    traffic model but not the policy, so any stateful policy made
+    repeated ``run()`` calls diverge."""
+
+    def make_sim(self, policy, seed=9):
+        cluster = build_cluster(30, 4, np.random.default_rng(seed))
+        traffic = ComposedTraffic(
+            (DiurnalTraffic(), FlashCrowdTraffic(probability=0.2))
+        )
+        return Simulation(cluster=cluster, traffic=traffic, policy=policy,
+                          seed=seed)
+
+    def test_repeated_runs_with_stateful_policy_identical(self):
+        sim = self.make_sim(CountingPolicy())
+        a = sim.run(9)  # odd epoch count => policy ends mid-cycle
+        b = sim.run(9)
+        assert [r.makespan for r in a.records] == [
+            r.makespan for r in b.records
+        ]
+        assert [r.migrations for r in a.records] == [
+            r.migrations for r in b.records
+        ]
+
+    def test_run_leaves_policy_untouched(self):
+        policy = CountingPolicy()
+        sim = self.make_sim(policy)
+        sim.run(5)
+        assert policy.calls == 0
+
+    def test_repeated_runs_with_engine_policy_identical(self):
+        sim = self.make_sim(EngineMPartitionPolicy(k=3))
+        a = sim.run(12)
+        b = sim.run(12)
+        assert [r.makespan for r in a.records] == [
+            r.makespan for r in b.records
+        ]
+        assert [r.migrations for r in a.records] == [
+            r.migrations for r in b.records
+        ]
+
+
+class ZeroingTraffic:
+    """Traffic model that drives one site's load to exactly zero,
+    bypassing ``Website.set_load``'s floor (as a buggy or external
+    model might)."""
+
+    def step(self, sites, epoch, rng):
+        for site in sites:
+            site.set_load(site.base_popularity)
+        sites[epoch % len(sites)].load = 0.0
+
+
+class TestZeroLoadSites:
+    """Regression: a site whose traffic decays to zero used to crash
+    ``Cluster.to_instance`` (Instance rejects sizes <= 0)."""
+
+    def test_to_instance_with_zero_load_site(self):
+        sites = [Website(site_id=i, base_popularity=2.0) for i in range(4)]
+        cluster = Cluster.place_round_robin(sites, 2)
+        sites[1].load = 0.0
+        inst = cluster.to_instance()
+        assert inst.num_jobs == 4
+        assert inst.sizes.min() > 0
+        assert inst.sizes[1] < 1e-9
+
+    def test_to_instance_with_negative_load_site(self):
+        sites = [Website(site_id=i, base_popularity=2.0) for i in range(3)]
+        cluster = Cluster.place_round_robin(sites, 2)
+        sites[0].load = -1.0
+        assert cluster.to_instance().sizes.min() > 0
+
+    def test_simulation_survives_zeroed_sites(self):
+        cluster = build_cluster(12, 3, np.random.default_rng(2))
+        sim = Simulation(cluster=cluster, traffic=ZeroingTraffic(),
+                         policy=MPartitionPolicy(k=2), seed=2)
+        res = sim.run(8)
+        assert len(res.records) == 8
+
+
+class TestEnginePolicy:
+    """The engine-backed policy must be decision-for-decision identical
+    to the from-scratch M-PARTITION policy."""
+
+    def run_pair(self, traffic_factory, epochs=20, seed=9, k=3,
+                 sites=40, servers=4):
+        results = []
+        for policy in (MPartitionPolicy(k=k), EngineMPartitionPolicy(k=k)):
+            cluster = build_cluster(sites, servers,
+                                    np.random.default_rng(seed))
+            sim = Simulation(cluster=cluster, traffic=traffic_factory(),
+                             policy=policy, seed=seed)
+            results.append(sim.run(epochs))
+        return results
+
+    @pytest.mark.parametrize(
+        "traffic_factory",
+        [
+            lambda: ComposedTraffic(
+                (DiurnalTraffic(), FlashCrowdTraffic(probability=0.2))
+            ),
+            lambda: FlashCrowdTraffic(probability=0.1),
+            lambda: RandomWalkTraffic(volatility=0.3),
+        ],
+        ids=["dense", "sparse-flash", "random-walk"],
+    )
+    def test_identical_trajectories(self, traffic_factory):
+        scratch, engine = self.run_pair(traffic_factory)
+        assert [r.makespan for r in scratch.records] == [
+            r.makespan for r in engine.records
+        ]
+        assert [r.migrations for r in scratch.records] == [
+            r.migrations for r in engine.records
+        ]
+        assert [r.migration_cost for r in scratch.records] == [
+            r.migration_cost for r in engine.records
+        ]
+
+    def test_engine_policy_reset(self):
+        policy = EngineMPartitionPolicy(k=2)
+        cluster = build_cluster(10, 2, np.random.default_rng(0))
+        policy.decide(cluster.to_instance(), 0)
+        assert policy.engine.stats.decisions == 1
+        policy.reset()
+        assert policy.engine.stats.decisions == 0
+
+    def test_engine_warms_within_a_run(self):
+        """Driving the loop directly (no Simulation deep copy) shows the
+        table cache being reused across epochs."""
+        policy = EngineMPartitionPolicy(k=3)
+        cluster = build_cluster(30, 4, np.random.default_rng(3))
+        traffic = FlashCrowdTraffic(probability=0.3)
+        rng = np.random.default_rng(3)
+        for epoch in range(10):
+            traffic.step(cluster.sites, epoch, rng)
+            cluster.apply_assignment(policy.decide(cluster.to_instance(),
+                                                   epoch))
+        stats = policy.engine.stats
+        assert stats.decisions == 10
+        assert stats.full_builds == 1
+        assert stats.tables_reused + stats.cache_hits == 9
