@@ -20,7 +20,7 @@ Quickstart::
     print(result.makespan, result.num_moves)
 """
 
-from . import telemetry
+from . import parallel, telemetry
 from .core import (
     Assignment,
     Instance,
@@ -53,6 +53,7 @@ __all__ = [
     "make_instance",
     "partition_rebalance",
     "ptas_rebalance",
+    "parallel",
     "rebalance",
     "telemetry",
     "__version__",

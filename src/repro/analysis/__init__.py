@@ -15,6 +15,7 @@ from .experiments import (
     experiment_e10_hardness,
     experiment_e11_scale_oracles,
     experiment_e12_engine,
+    experiment_e13_kernels,
 )
 from .ablations import (
     ALL_ABLATIONS,
@@ -47,6 +48,7 @@ __all__ = [
     "experiment_e10_hardness",
     "experiment_e11_scale_oracles",
     "experiment_e12_engine",
+    "experiment_e13_kernels",
     "loglog_slope",
     "measure_ratios",
     "measure_scaling",

@@ -67,6 +67,7 @@ __all__ = [
     "experiment_e10_hardness",
     "experiment_e11_scale_oracles",
     "experiment_e12_engine",
+    "experiment_e13_kernels",
     "ALL_EXPERIMENTS",
 ]
 
@@ -638,6 +639,144 @@ def _engine_stats_for(
     return probe.engine.stats.as_dict()
 
 
+# ----------------------------------------------------------------------
+# E13 — vectorized DP kernels + parallel sweep vs the reference paths.
+# ----------------------------------------------------------------------
+def experiment_e13_kernels(
+    trials: int = 4,
+    seed: int = 13,
+    worker_counts: tuple[int, ...] = (1, 2),
+) -> ExperimentReport:
+    """Kernel-vs-reference decide time for the cost/budgeted solvers.
+
+    Three cases at the E4/E5 seed sizes — the budgeted PTAS, the
+    Section-3.2 cost-partition scan, and the bare exact knapsack — each
+    run once per backend over identical instances.  ``identical=True``
+    certifies the kernel returned the exact reference solution (guess,
+    planned cost, and assignment; kept set for the knapsack).  The
+    ``dp work`` column is the backend's own account of its DP effort
+    (``ptas_dp_states`` / ``knapsack_cells`` telemetry counters): the
+    reference counts every allocated cell, the kernel only the cells it
+    actually touches.  Worker rows rerun the kernel PTAS with the outer
+    guess sweep fanned out over ``repro.parallel`` worker processes —
+    the thresholds are identical by construction, so the row only
+    measures scheduling overhead vs parallelism on this machine.
+    """
+    from .. import telemetry as _telemetry
+
+    report = ExperimentReport(
+        experiment_id="E13",
+        title="Vectorized DP kernels vs reference (decide wall clock)",
+        columns=("case", "backend", "time (s)", "speedup", "dp work",
+                 "identical"),
+    )
+    rng = np.random.default_rng(seed)
+
+    def timed(fn, cases):
+        outs = []
+        with _telemetry.collect() as col:
+            start = time.perf_counter()
+            for case in cases:
+                outs.append(fn(case))
+            elapsed = time.perf_counter() - start
+        return outs, elapsed, dict(col.counters)
+
+    def result_key(res):
+        return (res.guessed_opt, res.planned_cost,
+                tuple(int(x) for x in res.assignment.mapping))
+
+    # Case 1: the budgeted PTAS at the E4 seed size.
+    ptas_cases = []
+    for _ in range(trials):
+        inst = random_instance(7, 3, rng, cost_family="random",
+                               integer_sizes=True)
+        ptas_cases.append((inst, float(inst.costs.sum()) / 2.0))
+    ref, ref_s, ref_w = timed(
+        lambda c: ptas_rebalance(c[0], c[1], eps=0.75, backend="reference"),
+        ptas_cases,
+    )
+    ker, ker_s, ker_w = timed(
+        lambda c: ptas_rebalance(c[0], c[1], eps=0.75, backend="kernel"),
+        ptas_cases,
+    )
+    identical = all(
+        result_key(a) == result_key(b) for a, b in zip(ref, ker)
+    )
+    report.add_row("E4 ptas (n=7 m=3 eps=0.75)", "reference", ref_s, 1.0,
+                   ref_w.get("ptas_dp_states", 0), True)
+    report.add_row("E4 ptas (n=7 m=3 eps=0.75)", "kernel", ker_s,
+                   ref_s / ker_s if ker_s else float("inf"),
+                   ker_w.get("ptas_dp_states", 0), identical)
+    for w in worker_counts:
+        if w <= 1:
+            continue
+        par, par_s, _ = timed(
+            lambda c: ptas_rebalance(c[0], c[1], eps=0.75, backend="kernel",
+                                     workers=w),
+            ptas_cases,
+        )
+        identical_w = all(
+            result_key(a) == result_key(b) for a, b in zip(ker, par)
+        )
+        report.add_row(
+            "E4 ptas (n=7 m=3 eps=0.75)", f"kernel workers={w}", par_s,
+            ref_s / par_s if par_s else float("inf"), "-", identical_w,
+        )
+
+    # Case 2: the cost-partition guess scan at the E5 upper seed size.
+    cp_cases = []
+    for t in range(trials):
+        inst = random_instance(64, 6, rng, cost_family="random")
+        cp_cases.append((inst, float(inst.costs.sum()) / 4.0))
+    ref, ref_s, ref_w = timed(
+        lambda c: cost_partition_rebalance(c[0], c[1], backend="reference"),
+        cp_cases,
+    )
+    ker, ker_s, ker_w = timed(
+        lambda c: cost_partition_rebalance(c[0], c[1], backend="kernel"),
+        cp_cases,
+    )
+    identical = all(
+        result_key(a) == result_key(b) for a, b in zip(ref, ker)
+    )
+    report.add_row("E5 cost-partition (n=64 m=6)", "reference", ref_s, 1.0,
+                   ref_w.get("knapsack_cells", 0), True)
+    report.add_row("E5 cost-partition (n=64 m=6)", "kernel", ker_s,
+                   ref_s / ker_s if ker_s else float("inf"),
+                   ker_w.get("knapsack_cells", 0), identical)
+
+    # Case 3: the bare exact knapsack on an overloaded shape (the DP
+    # actually runs; fitting shapes exit through the all-fits shortcut).
+    from ..core.knapsack import keep_max_cost_exact
+
+    ks_cases = []
+    for _ in range(trials * 12):
+        sizes = rng.integers(1, 15, 48).astype(np.float64)
+        costs = rng.integers(0, 20, 48).astype(np.float64)
+        ks_cases.append((sizes, costs, float(sizes.sum()) * 0.6))
+    ref, ref_s, ref_w = timed(
+        lambda c: keep_max_cost_exact(c[0], c[1], c[2], backend="reference"),
+        ks_cases,
+    )
+    ker, ker_s, ker_w = timed(
+        lambda c: keep_max_cost_exact(c[0], c[1], c[2], backend="kernel"),
+        ks_cases,
+    )
+    identical = all(a == b for a, b in zip(ref, ker))
+    report.add_row("exact knapsack (n=48 overloaded)", "reference", ref_s,
+                   1.0, ref_w.get("knapsack_cells", 0), True)
+    report.add_row("exact knapsack (n=48 overloaded)", "kernel", ker_s,
+                   ref_s / ker_s if ker_s else float("inf"),
+                   ker_w.get("knapsack_cells", 0), identical)
+
+    report.notes.append(
+        "same instances per backend; identical=True certifies byte-equal "
+        "solutions. Worker rows depend on the machine's core count "
+        "(process-pool overhead dominates on a single core)."
+    )
+    return report
+
+
 ALL_EXPERIMENTS = {
     "E1": experiment_e1_greedy,
     "E2": experiment_e2_partition,
@@ -651,4 +790,5 @@ ALL_EXPERIMENTS = {
     "E10": experiment_e10_hardness,
     "E11": experiment_e11_scale_oracles,
     "E12": experiment_e12_engine,
+    "E13": experiment_e13_kernels,
 }

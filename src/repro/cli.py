@@ -1,7 +1,9 @@
 """Command-line entry point: ``python -m repro [experiment ...]``.
 
 Runs the named experiments (default: all of E1–E10) and prints their
-tables.  ``python -m repro --list`` shows what is available.
+tables.  ``python -m repro --list`` shows what is available;
+``--workers N`` fans independent experiments out over worker processes
+(output order and content are identical to a serial run).
 """
 
 from __future__ import annotations
@@ -13,8 +15,28 @@ import time
 from . import telemetry
 from .analysis.ablations import ALL_ABLATIONS
 from .analysis.experiments import ALL_EXPERIMENTS
+from .parallel import run_sweep
 
 ALL_RUNNABLE = {**ALL_EXPERIMENTS, **ALL_ABLATIONS}
+
+
+def _run_one_experiment(payload: tuple[str, bool]) -> tuple:
+    """Run one experiment; module-level so worker processes can run it.
+
+    Telemetry is collected *inside* the payload (not via the sweep
+    runner's merge) so per-experiment breakdowns survive fan-out.
+    """
+    key, profile = payload
+    fn = ALL_RUNNABLE[key]
+    start = time.perf_counter()
+    if profile:
+        with telemetry.collect() as collector:
+            report = fn()
+        tel = collector.as_dict()
+    else:
+        report = fn()
+        tel = None
+    return key, report, time.perf_counter() - start, tel
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -26,7 +48,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiments",
         nargs="*",
         metavar="EXPERIMENT",
-        help="experiment ids (E1..E12, A1..A3); default: all",
+        help="experiment ids (E1..E13, A1..A3); default: all",
     )
     parser.add_argument(
         "--list", action="store_true", help="list experiments and exit"
@@ -36,6 +58,15 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="collect solver telemetry and print a per-phase timing "
         "table after each experiment",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run the selected experiments across N worker processes "
+        "(0 = one per CPU core); tables print in the order given, "
+        "identical to a serial run",
     )
     args = parser.parse_args(argv)
 
@@ -50,23 +81,17 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         parser.error(f"unknown experiments {unknown}; try --list")
 
-    for key in chosen:
-        fn = ALL_RUNNABLE[key.upper()]
-        start = time.perf_counter()
-        if args.profile:
-            with telemetry.collect() as collector:
-                report = fn()
-        else:
-            collector = None
-            report = fn()
-        elapsed = time.perf_counter() - start
+    workers = args.workers if args.workers > 0 else None
+    payloads = [(key.upper(), args.profile) for key in chosen]
+    for key, report, elapsed, tel in run_sweep(
+        _run_one_experiment, payloads, workers=workers
+    ):
         print(report.render())
         print(f"  ({elapsed:.2f}s)\n")
-        if collector is not None:
+        if tel is not None:
             print(
                 telemetry.render_table(
-                    collector.as_dict(),
-                    title=f"telemetry — {key.upper()} per-phase breakdown",
+                    tel, title=f"telemetry — {key} per-phase breakdown"
                 )
             )
             print()

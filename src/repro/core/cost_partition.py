@@ -71,23 +71,24 @@ class CostGuessPlan:
     plans: tuple[_ProcPlan, ...]
 
 
-def _plan_processor(
+def _plan_a(
     instance: Instance,
     jobs: np.ndarray,
     guess: float,
     knapsack_method: str,
     knapsack_eps: float,
-) -> _ProcPlan:
+    knapsack_resolution: int,
+    knapsack_backend: str,
+) -> tuple[float, tuple[int, ...]]:
+    """The a-plan: drop all large jobs except the most costly; knapsack
+    the smalls under capacity A/2."""
     sizes = instance.sizes[jobs]
-    costs = instance.costs[jobs]
     large_mask = sizes > guess / 2.0
     large_idx = jobs[large_mask]
     small_idx = jobs[~large_mask]
     small_sizes = sizes[~large_mask]
-    small_costs = costs[~large_mask]
+    small_costs = instance.costs[jobs][~large_mask]
 
-    # a-plan: drop all large jobs except the most costly; knapsack the
-    # smalls under capacity A/2.
     a_removed: list[int] = []
     a_cost = 0.0
     if large_idx.size:
@@ -98,17 +99,35 @@ def _plan_processor(
                 a_removed.append(int(j))
                 a_cost += float(instance.costs[j])
     small_sol = keep_max_cost(
-        small_sizes, small_costs, guess / 2.0, method=knapsack_method, eps=knapsack_eps
+        small_sizes, small_costs, guess / 2.0, method=knapsack_method,
+        eps=knapsack_eps, resolution=knapsack_resolution,
+        backend=knapsack_backend,
     )
     kept = set(small_sol.keep)
     for pos, j in enumerate(small_idx):
         if pos not in kept:
             a_removed.append(int(j))
             a_cost += float(small_costs[pos])
+    return a_cost, tuple(a_removed)
 
-    # b-plan: knapsack over all jobs under capacity A.
+
+def _plan_b(
+    instance: Instance,
+    jobs: np.ndarray,
+    guess: float,
+    knapsack_method: str,
+    knapsack_eps: float,
+    knapsack_resolution: int,
+    knapsack_backend: str,
+) -> tuple[float, tuple[int, ...], bool, bool]:
+    """The b-plan: knapsack over all jobs under capacity A.  Returns
+    ``(b_cost, b_removed, has_large, b_keeps_large)``."""
+    sizes = instance.sizes[jobs]
+    costs = instance.costs[jobs]
+    large_mask = sizes > guess / 2.0
     all_sol = keep_max_cost(
-        sizes, costs, guess, method=knapsack_method, eps=knapsack_eps
+        sizes, costs, guess, method=knapsack_method, eps=knapsack_eps,
+        resolution=knapsack_resolution, backend=knapsack_backend,
     )
     kept_all = set(all_sol.keep)
     b_removed: list[int] = []
@@ -121,15 +140,51 @@ def _plan_processor(
         else:
             b_removed.append(int(j))
             b_cost += float(costs[pos])
+    return b_cost, tuple(b_removed), bool(large_mask.any()), b_keeps_large
 
+
+def _plan_processor(
+    instance: Instance,
+    jobs: np.ndarray,
+    guess: float,
+    knapsack_method: str,
+    knapsack_eps: float,
+    knapsack_resolution: int = 4096,
+    knapsack_backend: str = "kernel",
+) -> _ProcPlan:
+    a_cost, a_removed = _plan_a(
+        instance, jobs, guess, knapsack_method, knapsack_eps,
+        knapsack_resolution, knapsack_backend,
+    )
+    b_cost, b_removed, has_large, b_keeps_large = _plan_b(
+        instance, jobs, guess, knapsack_method, knapsack_eps,
+        knapsack_resolution, knapsack_backend,
+    )
     return _ProcPlan(
         a_cost=a_cost,
         b_cost=b_cost,
-        a_removed=tuple(a_removed),
-        b_removed=tuple(b_removed),
-        has_large=bool(large_idx.size),
+        a_removed=a_removed,
+        b_removed=b_removed,
+        has_large=has_large,
         b_keeps_large=b_keeps_large,
     )
+
+
+def _select_and_price(
+    plans: tuple[_ProcPlan, ...], m: int, total_large: int
+) -> tuple[np.ndarray, float]:
+    """Step-3 selection and the total planned removal cost."""
+    c = np.array([pl.a_cost - pl.b_cost for pl in plans])
+    has_large = np.array([pl.has_large for pl in plans])
+    order = np.lexsort((np.arange(m), ~has_large, c))
+    selected = np.sort(order[:total_large])
+    sel_mask = np.zeros(m, dtype=bool)
+    sel_mask[selected] = True
+    planned = float(
+        sum(plans[p].a_cost for p in range(m) if sel_mask[p])
+        + sum(plans[p].b_cost for p in range(m) if not sel_mask[p])
+    )
+    return selected, planned
 
 
 def evaluate_cost_guess(
@@ -137,6 +192,8 @@ def evaluate_cost_guess(
     guess: float,
     knapsack_method: str = "auto",
     knapsack_eps: float = 0.05,
+    knapsack_resolution: int = 4096,
+    knapsack_backend: str = "kernel",
 ) -> CostGuessPlan:
     """Compute the per-processor plans, the Step-3 selection and the
     total planned removal cost for one makespan guess."""
@@ -144,7 +201,8 @@ def evaluate_cost_guess(
     total_large = int((instance.sizes > guess / 2.0).sum())
     plans = tuple(
         _plan_processor(
-            instance, instance.jobs_on(p), guess, knapsack_method, knapsack_eps
+            instance, instance.jobs_on(p), guess, knapsack_method,
+            knapsack_eps, knapsack_resolution, knapsack_backend,
         )
         for p in range(m)
     )
@@ -157,16 +215,74 @@ def evaluate_cost_guess(
             selected=np.empty(0, dtype=np.int64),
             plans=plans,
         )
-    c = np.array([pl.a_cost - pl.b_cost for pl in plans])
-    has_large = np.array([pl.has_large for pl in plans])
-    order = np.lexsort((np.arange(m), ~has_large, c))
-    selected = np.sort(order[:total_large])
-    sel_mask = np.zeros(m, dtype=bool)
-    sel_mask[selected] = True
-    planned = float(
-        sum(plans[p].a_cost for p in range(m) if sel_mask[p])
-        + sum(plans[p].b_cost for p in range(m) if not sel_mask[p])
+    selected, planned = _select_and_price(plans, m, total_large)
+    return CostGuessPlan(
+        guess=guess,
+        feasible=True,
+        total_large=total_large,
+        planned_cost=planned,
+        selected=selected,
+        plans=plans,
     )
+
+
+def _evaluate_cost_guess_lazy(
+    instance: Instance,
+    guess: float,
+    knapsack_method: str,
+    knapsack_eps: float,
+    knapsack_resolution: int,
+    knapsack_backend: str,
+) -> CostGuessPlan | None:
+    """Work-skipping evaluation for the guess scan (``backend="kernel"``).
+
+    Produces the identical :class:`CostGuessPlan` decision surface as
+    :func:`evaluate_cost_guess` while skipping knapsack work that cannot
+    influence it: an infeasible guess (more large jobs than processors)
+    is rejected *before* any per-processor planning, and a guess with no
+    large jobs at all (common near acceptance: every guess above twice
+    the maximum job size) computes only the b-plans — the Step-3
+    selection is provably empty there, so the a-plans are never read.
+    Returns ``None`` for the infeasible case.
+    """
+    m = instance.num_processors
+    total_large = int((instance.sizes > guess / 2.0).sum())
+    if total_large > m:
+        return None
+    if total_large == 0:
+        plans = []
+        for p in range(m):
+            b_cost, b_removed, has_large, b_keeps_large = _plan_b(
+                instance, instance.jobs_on(p), guess, knapsack_method,
+                knapsack_eps, knapsack_resolution, knapsack_backend,
+            )
+            plans.append(
+                _ProcPlan(
+                    a_cost=0.0,
+                    b_cost=b_cost,
+                    a_removed=(),
+                    b_removed=b_removed,
+                    has_large=has_large,
+                    b_keeps_large=b_keeps_large,
+                )
+            )
+        planned = float(sum(pl.b_cost for pl in plans))
+        return CostGuessPlan(
+            guess=guess,
+            feasible=True,
+            total_large=0,
+            planned_cost=planned,
+            selected=np.empty(0, dtype=np.int64),
+            plans=tuple(plans),
+        )
+    plans = tuple(
+        _plan_processor(
+            instance, instance.jobs_on(p), guess, knapsack_method,
+            knapsack_eps, knapsack_resolution, knapsack_backend,
+        )
+        for p in range(m)
+    )
+    selected, planned = _select_and_price(plans, m, total_large)
     return CostGuessPlan(
         guess=guess,
         feasible=True,
@@ -242,6 +358,8 @@ def cost_partition_rebalance(
     alpha: float = 0.05,
     knapsack_method: str = "auto",
     knapsack_eps: float = 0.05,
+    knapsack_resolution: int = 4096,
+    backend: str = "kernel",
 ) -> RebalanceResult:
     """The Section-3.2 algorithm: 1.5-style approximation under a
     relocation-cost budget.
@@ -250,6 +368,24 @@ def cost_partition_rebalance(
     structural lower bound up to twice the initial makespan (where the
     identity plan costs zero, so termination is guaranteed) and returns
     the construction at the first affordable guess.
+
+    ``knapsack_resolution`` is forwarded to the exact knapsack's size
+    grid (:func:`repro.core.knapsack.keep_max_cost_exact`).  When job
+    sizes are not small integers, each of a processor's ``n`` kept jobs
+    is charged up to one grid unit ``capacity / resolution`` of phantom
+    size, so a kept set is only guaranteed to out-cost true optima that
+    fit in ``capacity * (1 - n / resolution)`` — i.e. the per-knapsack
+    relative size-discretization error is at most ``n / resolution``
+    (≈ 1.6% for a 64-job processor at the default 4096).  Raising the
+    resolution tightens the plans at ``O(n * resolution)`` cost per
+    knapsack; it never affects instances with integer sizes within the
+    grid, which are solved exactly at any resolution.
+
+    ``backend`` selects the knapsack implementation (``"kernel"`` —
+    vectorized sweeps from :mod:`repro.core.kernels`, plus a
+    work-skipping guess scan; ``"reference"`` — the original DP and the
+    eager scan).  Both trace identical plans, so the chosen guess and
+    the final assignment are the same.
     """
     if budget < 0:
         raise ValueError("budget must be non-negative")
@@ -271,17 +407,28 @@ def cost_partition_rebalance(
         t *= 1.0 + alpha
     guesses.append(ub)
 
+    if backend not in ("kernel", "reference"):
+        raise ValueError(f"unknown backend {backend!r}")
     tmark = telemetry.mark()
     tol = 1e-9 * max(1.0, budget)
     tried = 0
     for guess in guesses:
         tried += 1
         with telemetry.span("cost_partition.plan"):
-            plan = evaluate_cost_guess(
-                instance, guess,
-                knapsack_method=knapsack_method, knapsack_eps=knapsack_eps,
-            )
-        if not plan.feasible or plan.planned_cost > budget + tol:
+            if backend == "kernel":
+                plan = _evaluate_cost_guess_lazy(
+                    instance, guess, knapsack_method, knapsack_eps,
+                    knapsack_resolution, "kernel",
+                )
+            else:
+                plan = evaluate_cost_guess(
+                    instance, guess,
+                    knapsack_method=knapsack_method,
+                    knapsack_eps=knapsack_eps,
+                    knapsack_resolution=knapsack_resolution,
+                    knapsack_backend="reference",
+                )
+        if plan is None or not plan.feasible or plan.planned_cost > budget + tol:
             continue
         telemetry.count("guesses_tried", tried)
         with telemetry.span("cost_partition.construct"):
@@ -298,6 +445,8 @@ def cost_partition_rebalance(
                     "alpha": alpha,
                     "guesses_tried": tried,
                     "knapsack_method": knapsack_method,
+                    "knapsack_resolution": knapsack_resolution,
+                    "backend": backend,
                 },
                 tmark,
             ),

@@ -1,0 +1,387 @@
+"""Vectorized DP kernels for the cost/budgeted solvers.
+
+The reference implementations of the keep-max-cost knapsack
+(:mod:`repro.core.knapsack`) and the PTAS configuration DP
+(:mod:`repro.core.ptas`) are written for auditability: one DP cell at a
+time, allocation-heavy numpy per item, recursion with tuple-keyed
+memoization.  This module holds the high-throughput rewrites that the
+solvers dispatch to by default (``backend="kernel"``); the originals
+remain available as ``backend="reference"`` escape hatches and the test
+suite proves both produce identical solutions.
+
+Knapsack kernels (:func:`exact_keep_indices`, :func:`fptas_keep_trace`):
+
+* one in-place ``np.add`` / comparison / ``np.maximum`` (or
+  ``np.minimum``) sweep per item over the capacity (or scaled-cost)
+  axis — no per-item allocations;
+* *reach clamping*: item ``i`` can only have changed cells up to
+  ``min(cap, sum of the first i weights)``, so early sweeps touch a
+  fraction of the axis;
+* item filtering: zero-cost items are never kept by the reference DP
+  (its updates are strictly-improving), and oversized items never fit,
+  so both are dropped before the sweep;
+* an all-fits short cut: when every positive-cost item fits, the
+  reference trace provably keeps exactly the positive-cost items, so
+  the DP is skipped entirely;
+* decision rows are written in place by the comparison ops and read
+  back during backtracking.
+
+PTAS kernel (:func:`solve_ptas_dp`): the recursive
+``f(proc, n_vector, v_units)`` memo DP becomes an iterative layered DP
+over processors.  States are encoded as single integers (mixed-radix
+over the class counts plus the small-load digit), a forward pass
+deduplicates the reachable state set per layer (the dominance pruning
+on ``(n, v_units)`` states), and a backward pass computes the exact
+suffix costs with precomputed per-processor large-removal and
+small-removal edge tables — eliminating the reference's per-transition
+``large_cost`` recomputation and tuple hashing.  Candidate scanning
+order (configuration enumeration order, small-allowance descending) and
+strict-improvement updates replicate the reference's tie-breaking, so
+the chosen per-processor configurations are identical.
+
+Large-configuration vectors are cached per ``(delta, class-count)``
+signature: the W-feasibility test ``sum x_i l_i <= (1 + 2 delta) T``
+scales linearly in the guess ``T``, so the feasible vector set depends
+only on ``delta`` and the class counts, not on ``T``.  The cached
+enumeration therefore tests feasibility in units of ``T`` with a
+*relative* ``1e-9`` tolerance where the reference uses an absolute one
+— indistinguishable except for configurations within an absolute
+``1e-9`` of the knife edge.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+import numpy as np
+
+from .. import telemetry
+
+__all__ = [
+    "exact_keep_indices",
+    "fptas_keep_trace",
+    "solve_ptas_dp",
+]
+
+_INF = float("inf")
+
+
+# ----------------------------------------------------------------------
+# Knapsack kernels
+# ----------------------------------------------------------------------
+def exact_keep_indices(
+    s: np.ndarray, c: np.ndarray, ws: np.ndarray, cap: int
+) -> tuple[int, ...]:
+    """Kept-index trace of the exact keep-max-cost DP.
+
+    ``ws``/``cap`` are the integer size grid produced by the shared
+    grid helper in :mod:`repro.core.knapsack`; the trace is identical
+    to the reference DP's for every input (see the module docstring for
+    why the filters and the short cut preserve it).
+    """
+    active = np.flatnonzero((c > 0) & (ws <= cap))
+    if active.size == 0:
+        return ()
+    aw = ws[active]
+    ac = c[active]
+    total_w = int(aw.sum())
+    if total_w <= cap:
+        # Every positive-cost item fits: the reference argmax lands on
+        # the minimal-weight optimum, which is exactly this set.
+        telemetry.count("knapsack_cells", active.size)
+        return tuple(int(i) for i in active)
+
+    na = active.size
+    best = np.zeros(cap + 1)
+    take = np.zeros((na, cap + 1), dtype=bool)
+    tmp = np.empty(cap + 1)
+    reach = 0
+    cells = 0
+    aw_list = aw.tolist()
+    for t in range(na):
+        w = aw_list[t]
+        reach = min(cap, reach + w)
+        hi = reach + 1
+        np.add(best[: hi - w], ac[t], out=tmp[w:hi])
+        np.greater(tmp[w:hi], best[w:hi], out=take[t, w:hi])
+        np.maximum(best[w:hi], tmp[w:hi], out=best[w:hi])
+        cells += hi - w
+    telemetry.count("knapsack_cells", cells)
+
+    keep: list[int] = []
+    v = int(np.argmax(best))
+    for t in range(na - 1, -1, -1):
+        if take[t, v]:
+            keep.append(int(active[t]))
+            v -= aw_list[t]
+    keep.reverse()
+    return tuple(keep)
+
+
+def fptas_keep_trace(
+    s: np.ndarray, c: np.ndarray, scaled: np.ndarray, capacity: float
+) -> tuple[list[int], float]:
+    """DP part of the FPTAS: traced kept indices plus their total size.
+
+    ``scaled`` is the rounded cost grid; zero-scaled items are excluded
+    from the DP exactly as in the reference (the caller reinserts them
+    greedily).  Returns ``(keep, total_size)`` with the same trace and
+    the same bitwise ``total_size`` as the reference DP.
+    """
+    pos = np.flatnonzero(scaled > 0)
+    if pos.size == 0:
+        return [], 0.0
+    pw = scaled[pos]
+    ps = s[pos]
+    # All-fits short cut: the only subset whose scaled cost is the full
+    # total is the whole positive set, so when its size fits, the
+    # reference trace returns it verbatim.
+    tot_size = 0.0
+    for x in ps:
+        tot_size += float(x)
+    if tot_size <= capacity:
+        telemetry.count("knapsack_cells", pos.size)
+        keep = [int(i) for i in pos]
+        return keep, float(s[keep].sum())
+
+    np_ = pos.size
+    max_total = int(pw.sum())
+    min_size = np.full(max_total + 1, np.inf)
+    min_size[0] = 0.0
+    take = np.zeros((np_, max_total + 1), dtype=bool)
+    tmp = np.empty(max_total + 1)
+    reach = 0
+    cells = 0
+    pw_list = pw.tolist()
+    for t in range(np_):
+        v = pw_list[t]
+        reach = min(max_total, reach + v)
+        hi = reach + 1
+        np.add(min_size[: hi - v], ps[t], out=tmp[v:hi])
+        np.less(tmp[v:hi], min_size[v:hi], out=take[t, v:hi])
+        np.minimum(min_size[v:hi], tmp[v:hi], out=min_size[v:hi])
+        cells += hi - v
+    telemetry.count("knapsack_cells", cells)
+
+    feasible = np.flatnonzero(min_size <= capacity)
+    v = int(feasible[-1]) if feasible.size else 0
+    keep: list[int] = []
+    for t in range(np_ - 1, -1, -1):
+        if take[t, v]:
+            keep.append(int(pos[t]))
+            v -= pw_list[t]
+    keep.reverse()
+    total = float(s[keep].sum()) if keep else 0.0
+    return keep, total
+
+
+# ----------------------------------------------------------------------
+# PTAS configuration DP kernel
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=64)
+def _normalized_vectors(
+    delta: float, num_classes: int, counts: tuple[int, ...], limit: int
+) -> np.ndarray:
+    """All W-feasible large-class count vectors, in enumeration order.
+
+    Works in units of the guess ``T``: class ``i`` has normalized size
+    ``delta * (1 + delta)**(i + 1)`` against the normalized cap
+    ``1 + 2 delta``, so the result is reusable across every guess that
+    shares ``(delta, counts)`` — the per-class-count-signature cache
+    the solvers rely on.
+    """
+    sizes_norm = [delta * (1.0 + delta) ** (i + 1) for i in range(num_classes)]
+    wcap_norm = 1.0 + 2.0 * delta
+    out: list[tuple[int, ...]] = []
+
+    def rec(cls: int, current: list[int], load: float) -> None:
+        if len(out) > limit:
+            raise RuntimeError(
+                "PTAS configuration enumeration exceeded "
+                f"{limit} entries; reduce instance size or increase eps"
+            )
+        if cls == num_classes:
+            out.append(tuple(current))
+            return
+        max_count = counts[cls]
+        x = 0
+        while x <= max_count and load + x * sizes_norm[cls] <= wcap_norm + 1e-9:
+            current.append(x)
+            rec(cls + 1, current, load + x * sizes_norm[cls])
+            current.pop()
+            x += 1
+
+    rec(0, [], 0.0)
+    mat = np.array(out, dtype=np.int64)
+    return mat.reshape(len(out), num_classes)
+
+
+def solve_ptas_dp(
+    disc, m: int, limits
+) -> tuple[float, list[tuple[tuple[int, ...], int]]] | None:
+    """Iterative layered replacement for the reference ``_solve_dp``.
+
+    Same contract: ``(min_cost, per-processor configs)`` or ``None``
+    when no exact distribution of the small allowance exists; raises
+    ``RuntimeError`` under the same resource guards as the reference.
+    """
+    s_cls = disc.num_classes
+    counts = tuple(int(x) for x in disc.class_counts)
+    vec_mat = _normalized_vectors(
+        disc.delta, s_cls, counts, limits.max_configs_per_processor
+    )
+    num_vecs = vec_mat.shape[0]
+    unit = disc.unit
+
+    # Per-guess rescale: loads accumulated class-ascending, matching
+    # the reference enumeration's left-to-right accumulation bit for
+    # bit, so the v_max floor divisions below agree with it.
+    loads = np.zeros(num_vecs)
+    for cls in range(s_cls):
+        loads += vec_mat[:, cls] * disc.class_sizes[cls]
+    ppc = int((disc.w_cap + 1e-9) // unit)
+    vmax_all = ((disc.w_cap - loads + 1e-9) // unit).astype(np.int64)
+    np.minimum(vmax_all, ppc, out=vmax_all)
+
+    # Mixed-radix state encoding: class digits (class 0 most
+    # significant) then the small-unit digit with weight 1.
+    vn1 = disc.total_small_units + 1
+    weights = [0] * s_cls
+    w = 1
+    for cls in range(s_cls - 1, -1, -1):
+        weights[cls] = w
+        w *= counts[cls] + 1
+    vmix = (vec_mat * np.array(weights, dtype=np.int64)).sum(axis=1)
+    offsets = (vmix * vn1).tolist()
+    vmax_list = vmax_all.tolist()
+    root_mix = sum(counts[cls] * weights[cls] for cls in range(s_cls))
+    root_code = root_mix * vn1 + disc.total_small_units
+
+    # Per-processor edge tables: edge[p][k][v'] = large-removal cost of
+    # vector k on processor p plus the small-removal cost of allowance
+    # v' — precomputed once instead of per transition.
+    targets = np.arange(ppc + 1) * unit
+    slack = targets + unit
+    sc_mat = np.zeros((m, ppc + 1))
+    for p in range(m):
+        v_small = disc.small_load[p]
+        prefix = disc.small_size_prefix[p]
+        need = v_small - slack
+        r = np.searchsorted(prefix, need - 1e-12, side="left")
+        np.minimum(r, prefix.shape[0] - 1, out=r)
+        row = disc.small_cost_prefix[p][r]
+        row[v_small <= slack + 1e-12] = 0.0
+        sc_mat[p] = row
+    lc_mat = np.zeros((m, num_vecs))
+    for p in range(m):
+        acc = np.zeros(num_vecs)
+        for cls in range(s_cls):
+            have = len(disc.large_by_class[p][cls])
+            kept = np.minimum(vec_mat[:, cls], have)
+            acc += disc.large_cost_prefix[p][cls][have - kept]
+        lc_mat[p] = acc
+
+    # Feasible vectors per distinct class-count residue (mix code),
+    # shared across layers and small-unit digits.
+    feas_cache: dict[int, list[tuple[int, int, int]]] = {}
+    radices = [counts[cls] + 1 for cls in range(s_cls)]
+
+    def feas(mix: int) -> list[tuple[int, int, int]]:
+        got = feas_cache.get(mix)
+        if got is not None:
+            return got
+        digits = np.empty(s_cls, dtype=np.int64)
+        rem = mix
+        for cls in range(s_cls):
+            digits[cls] = rem // weights[cls]
+            rem -= digits[cls] * weights[cls]
+        ok = np.flatnonzero((vec_mat <= digits).all(axis=1))
+        entry = [(int(k), offsets[k], vmax_list[k]) for k in ok]
+        feas_cache[mix] = entry
+        return entry
+
+    # Forward pass: reachable states per layer (state dedup).
+    layers: list[list[int]] = [[root_code]]
+    seen_states = 1
+    frontier = {root_code}
+    for proc in range(m - 1):
+        absorb = (m - proc - 1) * ppc
+        nxt: set[int] = set()
+        for code in frontier:
+            mix, v = divmod(code, vn1)
+            vlo_floor = v - absorb
+            if vlo_floor < 0:
+                vlo_floor = 0
+            for _k, off, vmaxk in feas(mix):
+                vm = vmaxk if vmaxk < v else v
+                base = code - off
+                for vp in range(vlo_floor, vm + 1):
+                    nxt.add(base - vp)
+        seen_states += len(nxt)
+        if seen_states > limits.max_states:
+            raise RuntimeError(
+                f"PTAS DP exceeded {limits.max_states} states; "
+                "reduce instance size or increase eps"
+            )
+        layers.append(sorted(nxt))
+        frontier = nxt
+    telemetry.count("ptas_dp_states", seen_states)
+
+    # Backward pass: exact suffix costs with the reference's candidate
+    # order (vectors in enumeration order, allowance descending) and
+    # strict-improvement updates, so ties resolve identically.
+    suffix: dict[int, float] = {0: 0.0}
+    choices: list[dict[int, tuple[int, int]]] = [dict() for _ in range(m)]
+    for proc in range(m - 1, -1, -1):
+        lc_p = lc_mat[proc].tolist()
+        edge_p = (lc_mat[proc][:, None] + sc_mat[proc][None, :]).tolist()
+        absorb = (m - proc - 1) * ppc
+        cur: dict[int, float] = {}
+        choice_p = choices[proc]
+        nxt_get = suffix.get
+        for code in layers[proc]:
+            mix, v = divmod(code, vn1)
+            vlo = v - absorb
+            if vlo < 0:
+                vlo = 0
+            best = _INF
+            best_k = -1
+            best_vp = -1
+            for k, off, vmaxk in feas(mix):
+                lc = lc_p[k]
+                if lc >= best:
+                    continue
+                erow = edge_p[k]
+                vm = vmaxk if vmaxk < v else v
+                base = code - off
+                for vp in range(vm, vlo - 1, -1):
+                    cost = erow[vp]
+                    if cost >= best:
+                        # Small-removal cost grows as the allowance
+                        # shrinks; no smaller vp can improve on this k.
+                        break
+                    sub = nxt_get(base - vp)
+                    if sub is None:
+                        continue
+                    total = cost + sub
+                    if total < best:
+                        best = total
+                        best_k = k
+                        best_vp = vp
+            if best_k >= 0:
+                cur[code] = best
+                choice_p[code] = (best_k, best_vp)
+        suffix = cur
+
+    total_cost = suffix.get(root_code, _INF)
+    if not math.isfinite(total_cost):
+        return None
+
+    configs: list[tuple[tuple[int, ...], int]] = []
+    code = root_code
+    for proc in range(m):
+        k, vp = choices[proc][code]
+        configs.append((tuple(int(x) for x in vec_mat[k]), vp))
+        code = code - offsets[k] - vp
+    return total_cost, configs

@@ -18,17 +18,23 @@ This module provides the two solvers the paper calls for:
   kept cost is at least ``(1 - eps)`` of the best.
 
 Both return the kept index set, so callers can derive the removal plan.
+
+Each solver has two interchangeable backends: ``backend="kernel"``
+(default) runs the vectorized sweep DPs in :mod:`repro.core.kernels`;
+``backend="reference"`` runs the original cell-at-a-time DPs kept here.
+The backends trace identical kept sets on every input (the differential
+tests assert this), so the switch affects speed only.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
 from .. import telemetry
+from . import kernels
 
 __all__ = [
     "KnapsackSolution",
@@ -48,9 +54,11 @@ class KnapsackSolution:
     kept_size: float
 
     def removed(self, n: int) -> tuple[int, ...]:
-        """Complement of :attr:`keep` within ``range(n)``."""
-        kept = set(self.keep)
-        return tuple(i for i in range(n) if i not in kept)
+        """Complement of :attr:`keep` within ``range(n)``, ascending."""
+        mask = np.ones(n, dtype=bool)
+        if self.keep:
+            mask[np.asarray(self.keep, dtype=np.intp)] = False
+        return tuple(int(i) for i in np.flatnonzero(mask))
 
 
 def _as_arrays(
@@ -67,35 +75,22 @@ def _as_arrays(
     return s, c
 
 
-def keep_max_cost_exact(
-    sizes: Sequence[float],
-    costs: Sequence[float],
-    capacity: float,
-    resolution: int = 4096,
-) -> KnapsackSolution:
-    """Exact (up to size discretization) keep-max-cost knapsack.
+def _size_grid(
+    s: np.ndarray, capacity: float, resolution: int
+) -> tuple[np.ndarray, int]:
+    """Integer size grid shared by both exact-DP backends.
 
-    Sizes are scaled onto an integer grid of at most ``resolution``
-    units; sizes are rounded **up** so the kept set always truly fits
-    under ``capacity``.  When the input sizes are already integers of
-    modest magnitude the grid is exact and so is the solution; otherwise
-    the rounding forgoes at most the cost of items within one grid unit
-    of the boundary (the same conservative direction the paper uses for
-    its discretizations).
-
-    ``O(n * resolution)`` time and memory.
+    If sizes are small integers, use them directly with the capacity
+    floored — exact, because integer sizes fit under a real capacity iff
+    they fit under its floor.  Otherwise scale up-rounded onto a grid of
+    ``resolution`` units (conservative: never overpacks).  In the scaled
+    regime an item's grid size overstates its true size by less than one
+    unit ``capacity / resolution``, so the kept set forgoes at most the
+    items of a true optimum restricted to total size
+    ``capacity * (1 - n / resolution)`` — the discretization error bound
+    that the ``resolution`` knob trades against the ``O(n * resolution)``
+    run time.
     """
-    s, c = _as_arrays(sizes, costs)
-    n = s.size
-    if n == 0 or capacity <= 0:
-        if n and capacity < 0:
-            raise ValueError("capacity must be non-negative")
-        return KnapsackSolution(keep=(), kept_cost=0.0, kept_size=0.0)
-
-    # Integer grid.  If sizes are small integers, use them directly with
-    # the capacity floored — exact, because integer sizes fit under a
-    # real capacity iff they fit under its floor.  Otherwise scale
-    # up-rounded onto the grid (conservative: never overpacks).
     if np.all(s == np.round(s)) and np.floor(capacity + 1e-9) <= resolution:
         ws = s.astype(np.int64)
         cap = int(np.floor(capacity + 1e-9))
@@ -103,7 +98,14 @@ def keep_max_cost_exact(
         unit = capacity / resolution
         ws = np.ceil(s / unit - 1e-12).astype(np.int64)
         cap = resolution
-    ws = np.maximum(ws, 1)
+    return np.maximum(ws, 1), cap
+
+
+def _exact_reference_trace(
+    c: np.ndarray, ws: np.ndarray, cap: int
+) -> list[int]:
+    """Original cell-at-a-time exact DP (``backend="reference"``)."""
+    n = c.size
     telemetry.count("knapsack_cells", n * (cap + 1))
 
     # DP over capacities: best[v] = max kept cost using first i items at
@@ -128,9 +130,78 @@ def keep_max_cost_exact(
             keep.append(i)
             v -= int(ws[i])
     keep.reverse()
+    return keep
+
+
+def keep_max_cost_exact(
+    sizes: Sequence[float],
+    costs: Sequence[float],
+    capacity: float,
+    resolution: int = 4096,
+    backend: str = "kernel",
+) -> KnapsackSolution:
+    """Exact (up to size discretization) keep-max-cost knapsack.
+
+    Sizes are scaled onto an integer grid of at most ``resolution``
+    units; sizes are rounded **up** so the kept set always truly fits
+    under ``capacity``.  When the input sizes are already integers of
+    modest magnitude the grid is exact and so is the solution; otherwise
+    the rounding forgoes at most the cost of items within one grid unit
+    of the boundary (the same conservative direction the paper uses for
+    its discretizations) — see :func:`_size_grid` for the bound.
+
+    ``O(n * resolution)`` time and memory.
+    """
+    s, c = _as_arrays(sizes, costs)
+    n = s.size
+    if n == 0 or capacity <= 0:
+        if n and capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        return KnapsackSolution(keep=(), kept_cost=0.0, kept_size=0.0)
+
+    ws, cap = _size_grid(s, capacity, resolution)
+    if backend == "kernel":
+        keep = list(kernels.exact_keep_indices(s, c, ws, cap))
+    elif backend == "reference":
+        keep = _exact_reference_trace(c, ws, cap)
+    else:
+        raise ValueError(f"unknown backend {backend!r}")
     kept_cost = float(c[keep].sum()) if keep else 0.0
     kept_size = float(s[keep].sum()) if keep else 0.0
     return KnapsackSolution(keep=tuple(keep), kept_cost=kept_cost, kept_size=kept_size)
+
+
+def _fptas_reference_trace(
+    s: np.ndarray, scaled: np.ndarray, max_total: int, capacity: float
+) -> list[int]:
+    """Original cell-at-a-time FPTAS DP (``backend="reference"``)."""
+    n = s.size
+    telemetry.count("knapsack_cells", n * (max_total + 1))
+    # min_size[v] = smallest total size achieving scaled cost exactly v.
+    min_size = np.full(max_total + 1, np.inf)
+    min_size[0] = 0.0
+    take = np.zeros((n, max_total + 1), dtype=bool)
+    for i in range(n):
+        v = int(scaled[i])
+        if v == 0:
+            # Zero scaled cost: item only matters through its size; skip
+            # in the DP and reconsider greedily below.
+            continue
+        cand = np.full(max_total + 1, np.inf)
+        cand[v:] = min_size[: max_total + 1 - v] + s[i]
+        better = cand < min_size
+        take[i] = better
+        min_size = np.where(better, cand, min_size)
+
+    feasible = np.flatnonzero(min_size <= capacity)
+    v = int(feasible[-1]) if feasible.size else 0
+    keep: list[int] = []
+    for i in range(n - 1, -1, -1):
+        if take[i, v]:
+            keep.append(i)
+            v -= int(scaled[i])
+    keep.reverse()
+    return keep
 
 
 def keep_max_cost_fptas(
@@ -138,6 +209,7 @@ def keep_max_cost_fptas(
     costs: Sequence[float],
     capacity: float,
     eps: float = 0.1,
+    backend: str = "kernel",
 ) -> KnapsackSolution:
     """FPTAS for keep-max-cost: kept cost >= (1 - eps) * optimum.
 
@@ -167,36 +239,15 @@ def keep_max_cost_fptas(
 
     mu = eps * c_max / n
     scaled = np.floor(c / mu).astype(np.int64)
-    max_total = int(scaled.sum())
-    telemetry.count("knapsack_cells", n * (max_total + 1))
-    # min_size[v] = smallest total size achieving scaled cost exactly v.
-    min_size = np.full(max_total + 1, np.inf)
-    min_size[0] = 0.0
-    take = np.zeros((n, max_total + 1), dtype=bool)
-    for i in range(n):
-        v = int(scaled[i])
-        if v == 0:
-            # Zero scaled cost: item only matters through its size; skip
-            # in the DP and reconsider greedily below.
-            continue
-        cand = np.full(max_total + 1, np.inf)
-        cand[v:] = min_size[: max_total + 1 - v] + s[i]
-        better = cand < min_size
-        take[i] = better
-        min_size = np.where(better, cand, min_size)
-
-    feasible = np.flatnonzero(min_size <= capacity)
-    v = int(feasible[-1]) if feasible.size else 0
-    keep = []
-    vv = v
-    for i in range(n - 1, -1, -1):
-        if take[i, vv]:
-            keep.append(i)
-            vv -= int(scaled[i])
-    keep.reverse()
+    if backend == "kernel":
+        keep, total = kernels.fptas_keep_trace(s, c, scaled, capacity)
+    elif backend == "reference":
+        keep = _fptas_reference_trace(s, scaled, int(scaled.sum()), capacity)
+        total = float(s[keep].sum()) if keep else 0.0
+    else:
+        raise ValueError(f"unknown backend {backend!r}")
     kept = set(keep)
     # Greedily add zero-scaled-cost items that still fit (they can only help).
-    total = float(s[keep].sum()) if keep else 0.0
     zero_items = [int(i) for i in np.flatnonzero(scaled == 0)]
     zero_items.sort(key=lambda i: (s[i], -c[i]))
     for i in zero_items:
@@ -218,6 +269,7 @@ def keep_max_cost(
     method: str = "auto",
     eps: float = 0.05,
     resolution: int = 4096,
+    backend: str = "kernel",
 ) -> KnapsackSolution:
     """Dispatch between the exact DP and the FPTAS.
 
@@ -226,14 +278,18 @@ def keep_max_cost(
     PTAS otherwise" guidance.
     """
     if method == "exact":
-        return keep_max_cost_exact(sizes, costs, capacity, resolution=resolution)
+        return keep_max_cost_exact(
+            sizes, costs, capacity, resolution=resolution, backend=backend
+        )
     if method == "fptas":
-        return keep_max_cost_fptas(sizes, costs, capacity, eps=eps)
+        return keep_max_cost_fptas(sizes, costs, capacity, eps=eps, backend=backend)
     if method == "auto":
         n = len(sizes)
         if n <= 64:
-            return keep_max_cost_exact(sizes, costs, capacity, resolution=resolution)
-        return keep_max_cost_fptas(sizes, costs, capacity, eps=eps)
+            return keep_max_cost_exact(
+                sizes, costs, capacity, resolution=resolution, backend=backend
+            )
+        return keep_max_cost_fptas(sizes, costs, capacity, eps=eps, backend=backend)
     raise ValueError(f"unknown method {method!r}")
 
 

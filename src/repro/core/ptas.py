@@ -49,11 +49,12 @@ grid step — covered by choosing ``delta = eps / 6`` internally.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from .. import telemetry
+from . import kernels
 from .assignment import Assignment
 from .instance import Instance
 from .result import RebalanceResult
@@ -370,11 +371,32 @@ def _realize(
     return Assignment(instance=instance, mapping=mapping)
 
 
+def _evaluate_guess(
+    payload: tuple[Instance, float, float, PTASLimits, str],
+) -> tuple[float, list[tuple[tuple[int, ...], int]]] | None:
+    """Discretize and solve one outer guess ``T``.
+
+    Module-level (and fed a single picklable payload) so the parallel
+    sweep runner can fan guesses out across worker processes.
+    """
+    instance, guess, delta, limits, backend = payload
+    with telemetry.span("ptas.discretize"):
+        disc = _discretize(instance, guess, delta)
+    with telemetry.span("ptas.dp"):
+        if backend == "kernel":
+            return kernels.solve_ptas_dp(disc, instance.num_processors, limits)
+        if backend == "reference":
+            return _solve_dp(instance, disc, limits)
+        raise ValueError(f"unknown backend {backend!r}")
+
+
 def ptas_rebalance(
     instance: Instance,
     budget: float,
     eps: float = 0.5,
     limits: PTASLimits | None = None,
+    backend: str = "kernel",
+    workers: int = 1,
 ) -> RebalanceResult:
     """Run the Section-4 PTAS with cost budget ``B = budget``.
 
@@ -388,6 +410,15 @@ def ptas_rebalance(
     classes is ``ceil(log_{1+delta}(1/delta))`` with ``delta = eps/6``,
     and the DP is exponential in that count.  Values below roughly
     ``0.75`` are only practical for very small instances.
+
+    ``backend`` selects the configuration-DP implementation:
+    ``"kernel"`` (default) is the iterative layered DP in
+    :mod:`repro.core.kernels`, ``"reference"`` the original recursive
+    memo DP — both return identical costs and configurations.
+    ``workers > 1`` fans the independent outer guesses out over that
+    many worker processes; the chunked in-order scan accepts exactly
+    the guess the serial scan would, so the chosen threshold (and hence
+    the result) is identical.
     """
     if budget < 0:
         raise ValueError("budget must be non-negative")
@@ -414,39 +445,54 @@ def ptas_rebalance(
     guesses.append(ub)
 
     tmark = telemetry.mark()
-    tried = 0
-    for guess in guesses:
-        tried += 1
-        with telemetry.span("ptas.discretize"):
-            disc = _discretize(instance, guess, delta)
-        with telemetry.span("ptas.dp"):
-            solved = _solve_dp(instance, disc, limits)
-        if solved is None:
+    tol = 1e-9 * max(1.0, budget)
+
+    def admissible(solved) -> bool:
+        return solved is not None and solved[0] <= budget + tol
+
+    payloads = [(instance, guess, delta, limits, backend) for guess in guesses]
+    if workers > 1:
+        from .. import parallel
+
+        hit = parallel.run_until(
+            _evaluate_guess, payloads, admissible, workers=workers
+        )
+        scan = [] if hit is None else [hit]
+    else:
+        hit = None
+        scan = (
+            (i, _evaluate_guess(payloads[i])) for i in range(len(guesses))
+        )
+    for idx, solved in scan:
+        if not admissible(solved):
             continue
+        guess = guesses[idx]
+        tried = idx + 1
         cost, configs = solved
-        if cost <= budget + 1e-9 * max(1.0, budget):
-            telemetry.count("guesses_tried", tried)
-            with telemetry.span("ptas.realize"):
-                assignment = _realize(instance, disc, configs)
-            if assignment.relocation_cost > budget + 1e-9 * max(1.0, budget):
-                # Defensive: realization never exceeds the planned cost,
-                # but keep scanning rather than return an infeasible answer.
-                continue  # pragma: no cover
-            return RebalanceResult(
-                assignment=assignment,
-                algorithm="ptas",
-                guessed_opt=guess,
-                planned_cost=cost,
-                meta=telemetry.attach(
-                    {
-                        "eps": eps,
-                        "delta": delta,
-                        "num_classes": disc.num_classes,
-                        "guesses_tried": tried,
-                    },
-                    tmark,
-                ),
-            )
+        telemetry.count("guesses_tried", tried)
+        disc = _discretize(instance, guess, delta)
+        with telemetry.span("ptas.realize"):
+            assignment = _realize(instance, disc, configs)
+        if assignment.relocation_cost > budget + tol:
+            # Defensive: realization never exceeds the planned cost,
+            # but refuse to return an infeasible answer.
+            break  # pragma: no cover
+        return RebalanceResult(
+            assignment=assignment,
+            algorithm="ptas",
+            guessed_opt=guess,
+            planned_cost=cost,
+            meta=telemetry.attach(
+                {
+                    "eps": eps,
+                    "delta": delta,
+                    "num_classes": disc.num_classes,
+                    "guesses_tried": tried,
+                    "backend": backend,
+                },
+                tmark,
+            ),
+        )
     raise RuntimeError(
         "PTAS failed to find a within-budget guess; this should be "
         "impossible because the identity assignment costs nothing"

@@ -121,6 +121,23 @@ class Collector:
                 counters[name] = delta
         return {"spans": spans, "counters": counters}
 
+    def merge(self, data: dict[str, Any]) -> None:
+        """Fold an exported telemetry dict (:meth:`as_dict` form) in.
+
+        Used by :mod:`repro.parallel` to aggregate worker-process
+        telemetry into the parent's collector: span calls/seconds and
+        counters are additive.
+        """
+        for name, stat in data.get("spans", {}).items():
+            cur = self.spans.get(name)
+            if cur is None:
+                self.spans[name] = [stat["calls"], stat["seconds"]]
+            else:
+                cur[0] += stat["calls"]
+                cur[1] += stat["seconds"]
+        for name, value in data.get("counters", {}).items():
+            self.add(name, value)
+
     # -- export --------------------------------------------------------
     def as_dict(self) -> dict[str, Any]:
         """``{"spans": {name: {"calls", "seconds"}}, "counters": {...}}``."""

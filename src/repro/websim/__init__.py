@@ -26,7 +26,13 @@ from .policies import (
     RebalancePolicy,
 )
 from .trace import LoadTrace, ReplayTraffic, record_trace
-from .simulator import EpochRecord, Simulation, SimulationResult, build_cluster
+from .simulator import (
+    EpochRecord,
+    Simulation,
+    SimulationResult,
+    build_cluster,
+    run_many,
+)
 from .traffic import (
     ComposedTraffic,
     DiurnalTraffic,
@@ -68,6 +74,7 @@ __all__ = [
     "imbalance_ratio",
     "jain_fairness",
     "build_cluster",
+    "run_many",
     "record_trace",
     "zipf_popularities",
 ]

@@ -22,7 +22,13 @@ from .traffic import TrafficModel
 from .website import Website
 from .migration import MigrationCostModel, UnitCost
 
-__all__ = ["EpochRecord", "SimulationResult", "Simulation", "build_cluster"]
+__all__ = [
+    "EpochRecord",
+    "SimulationResult",
+    "Simulation",
+    "build_cluster",
+    "run_many",
+]
 
 
 @dataclass(frozen=True)
@@ -164,3 +170,27 @@ class Simulation:
                 )
             )
         return result
+
+
+def _run_one_simulation(payload: tuple[Simulation, int]) -> SimulationResult:
+    sim, epochs = payload
+    return sim.run(epochs)
+
+
+def run_many(
+    sims: list[Simulation], epochs: int, *, workers: int | None = 1
+) -> list[SimulationResult]:
+    """Run independent simulations, optionally across worker processes.
+
+    Results come back in the order of ``sims`` and are identical to
+    calling ``sim.run(epochs)`` serially (each run deep-copies its own
+    state, so runs share nothing).  ``workers=None`` uses every core;
+    ``workers=1`` (default) runs inline.
+    """
+    from ..parallel import run_sweep
+
+    return run_sweep(
+        _run_one_simulation,
+        [(sim, epochs) for sim in sims],
+        workers=workers,
+    )

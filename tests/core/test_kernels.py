@@ -1,0 +1,190 @@
+"""Differential tests: vectorized kernels vs the reference backends.
+
+The kernels in :mod:`repro.core.kernels` claim *byte-identical* traces,
+not just equal objective values — same kept sets, same chosen guesses,
+same assignments.  These tests hold them to it on adversarial inputs
+(ties, zero costs, fractional grids, overloaded and underloaded
+shapes), and check the kernel knapsack against brute force over all
+subsets for n <= 12.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    cost_partition_rebalance,
+    keep_max_cost_exact,
+    keep_max_cost_fptas,
+    make_instance,
+    ptas_rebalance,
+)
+from repro.core.kernels import _normalized_vectors
+
+from ..conftest import small_instances
+
+
+def brute_force_best(sizes, costs, capacity):
+    """Max kept cost over all feasible subsets."""
+    best = 0.0
+    for r in range(len(sizes) + 1):
+        for subset in itertools.combinations(range(len(sizes)), r):
+            if sum(sizes[i] for i in subset) <= capacity + 1e-12:
+                best = max(best, sum(costs[i] for i in subset))
+    return best
+
+
+knapsack_cases = st.tuples(
+    st.integers(min_value=0, max_value=12),
+    st.integers(min_value=0, max_value=60),
+    st.booleans(),  # integer sizes (exact grid) vs fractional (scaled grid)
+    st.randoms(use_true_random=False),
+).map(
+    lambda t: (
+        [
+            t[3].randint(1, 15) if t[2] else t[3].uniform(0.1, 9.0)
+            for _ in range(t[0])
+        ],
+        [0.0 if t[3].random() < 0.25 else float(t[3].randint(0, 20))
+         for _ in range(t[0])],
+        float(t[1]),
+    )
+)
+
+
+class TestKnapsackKernel:
+    @settings(max_examples=150, deadline=None)
+    @given(knapsack_cases)
+    def test_exact_kernel_matches_brute_force(self, case):
+        sizes, costs, capacity = case
+        if not all(s == round(s) for s in sizes):
+            return  # brute force only meaningful on the exact grid
+        sol = keep_max_cost_exact(sizes, costs, capacity, backend="kernel")
+        assert sol.kept_size <= capacity + 1e-9
+        assert sol.kept_cost == pytest.approx(
+            brute_force_best(sizes, costs, capacity)
+        )
+
+    @settings(max_examples=150, deadline=None)
+    @given(knapsack_cases)
+    def test_exact_kernel_identical_to_reference(self, case):
+        sizes, costs, capacity = case
+        a = keep_max_cost_exact(sizes, costs, capacity, backend="kernel")
+        b = keep_max_cost_exact(sizes, costs, capacity, backend="reference")
+        assert a == b  # keep set, kept cost and kept size, bitwise
+
+    @settings(max_examples=100, deadline=None)
+    @given(knapsack_cases, st.sampled_from([0.05, 0.1, 0.3, 0.7]))
+    def test_fptas_kernel_identical_to_reference(self, case, eps):
+        sizes, costs, capacity = case
+        a = keep_max_cost_fptas(sizes, costs, capacity, eps=eps,
+                                backend="kernel")
+        b = keep_max_cost_fptas(sizes, costs, capacity, eps=eps,
+                                backend="reference")
+        assert a == b
+
+    def test_all_fit_shortcut_traces_positive_items(self):
+        # Every positive-cost item fits: the shortcut must keep exactly
+        # those, like the reference trace does.
+        a = keep_max_cost_exact([2, 3, 4], [5, 0, 7], 100, backend="kernel")
+        b = keep_max_cost_exact([2, 3, 4], [5, 0, 7], 100, backend="reference")
+        assert a == b
+        assert a.keep == (0, 2)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            keep_max_cost_exact([1], [1], 2, backend="magic")
+        with pytest.raises(ValueError, match="backend"):
+            keep_max_cost_fptas([1], [1], 2, backend="magic")
+
+    def test_removed_is_sorted_complement(self):
+        sol = keep_max_cost_exact([3, 3, 3, 3], [1, 9, 2, 8], 6)
+        removed = sol.removed(4)
+        assert removed == tuple(sorted(removed))
+        assert set(sol.keep) | set(removed) == {0, 1, 2, 3}
+        assert not set(sol.keep) & set(removed)
+
+
+@st.composite
+def budgeted_cases(draw):
+    inst = draw(small_instances(max_jobs=6, max_processors=3,
+                                unit_costs=False))
+    total = float(inst.costs.sum())
+    budget = draw(st.floats(min_value=0.0, max_value=max(total, 1.0)))
+    return inst, budget
+
+
+def _result_key(res):
+    return (
+        res.guessed_opt,
+        res.planned_cost,
+        res.assignment.makespan,
+        tuple(int(x) for x in res.assignment.mapping),
+    )
+
+
+class TestPTASKernel:
+    @settings(max_examples=40, deadline=None)
+    @given(budgeted_cases(), st.sampled_from([2.0, 1.0, 0.75]))
+    def test_identical_to_reference(self, case, eps):
+        inst, budget = case
+        a = ptas_rebalance(inst, budget, eps=eps, backend="kernel")
+        b = ptas_rebalance(inst, budget, eps=eps, backend="reference")
+        assert _result_key(a) == _result_key(b)
+        assert a.meta["guesses_tried"] == b.meta["guesses_tried"]
+
+    def test_unknown_backend_rejected(self):
+        inst = make_instance(sizes=[2.0, 1.0], initial=[0, 0],
+                             num_processors=2, costs=[1.0, 1.0])
+        with pytest.raises(ValueError, match="backend"):
+            ptas_rebalance(inst, 10.0, eps=1.0, backend="magic")
+
+    def test_vector_enumeration_cached_per_signature(self):
+        _normalized_vectors.cache_clear()
+        args = (0.125, 3, (2, 1, 1), 1000)
+        first = _normalized_vectors(*args)
+        second = _normalized_vectors(*args)
+        assert first is second  # same object: served from the cache
+        info = _normalized_vectors.cache_info()
+        assert info.hits >= 1 and info.misses == 1
+
+    def test_vector_enumeration_respects_limit(self):
+        _normalized_vectors.cache_clear()
+        with pytest.raises(RuntimeError, match="enumeration exceeded"):
+            _normalized_vectors(0.125, 3, (8, 8, 8), 2)
+
+
+class TestCostPartitionKernel:
+    @settings(max_examples=30, deadline=None)
+    @given(budgeted_cases())
+    def test_identical_to_reference(self, case):
+        inst, budget = case
+        a = cost_partition_rebalance(inst, budget, backend="kernel")
+        b = cost_partition_rebalance(inst, budget, backend="reference")
+        assert _result_key(a) == _result_key(b)
+        assert a.meta["guesses_tried"] == b.meta["guesses_tried"]
+
+    def test_resolution_kwarg_passthrough(self):
+        inst = make_instance(
+            sizes=[2.5, 2.5, 2.5, 1.25], initial=[0, 0, 0, 1],
+            num_processors=2, costs=[3.0, 2.0, 1.0, 1.0],
+        )
+        budget = 4.0
+        for resolution in (64, 4096):
+            a = cost_partition_rebalance(
+                inst, budget, knapsack_resolution=resolution, backend="kernel"
+            )
+            b = cost_partition_rebalance(
+                inst, budget, knapsack_resolution=resolution,
+                backend="reference",
+            )
+            assert _result_key(a) == _result_key(b)
+            assert a.meta["knapsack_resolution"] == resolution
+
+    def test_unknown_backend_rejected(self):
+        inst = make_instance(sizes=[2.0], initial=[0], num_processors=1,
+                             costs=[1.0])
+        with pytest.raises(ValueError, match="backend"):
+            cost_partition_rebalance(inst, 1.0, backend="magic")
