@@ -16,6 +16,7 @@ from .experiments import (
     experiment_e11_scale_oracles,
     experiment_e12_engine,
     experiment_e13_kernels,
+    experiment_e14_service,
 )
 from .ablations import (
     ALL_ABLATIONS,
@@ -49,6 +50,7 @@ __all__ = [
     "experiment_e11_scale_oracles",
     "experiment_e12_engine",
     "experiment_e13_kernels",
+    "experiment_e14_service",
     "loglog_slope",
     "measure_ratios",
     "measure_scaling",

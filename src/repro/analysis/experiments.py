@@ -68,6 +68,7 @@ __all__ = [
     "experiment_e11_scale_oracles",
     "experiment_e12_engine",
     "experiment_e13_kernels",
+    "experiment_e14_service",
     "ALL_EXPERIMENTS",
 ]
 
@@ -777,6 +778,84 @@ def experiment_e13_kernels(
     return report
 
 
+# ----------------------------------------------------------------------
+# E14 — the rebalancing service: batching + admission vs naive serving.
+# ----------------------------------------------------------------------
+def _e14_run(server_config, loadgen_config):
+    """One load-generation run against a fresh in-process server;
+    returns the report plus whether the server still answered ``ping``
+    after the run (the no-crash witness for the overload rows)."""
+    from ..service import ServiceClient, run_loadgen, start_background
+
+    with start_background(server_config) as handle:
+        report = run_loadgen(handle.host, handle.port, loadgen_config)
+        with ServiceClient(handle.host, handle.port, timeout=5.0) as probe:
+            alive = probe.ping()
+    return report, alive
+
+
+def experiment_e14_service(
+    rate: float = 120.0,
+    duration_s: float = 2.0,
+    duplicates: int = 4,
+    deadline_ms: float = 300.0,
+    seed: int = 14,
+) -> ExperimentReport:
+    """The asyncio service: batched vs naive goodput under open load.
+
+    Four runs against fresh in-process servers on a workload calibrated
+    so one from-scratch solve costs >= 15ms on this host (so the naive
+    one-request-per-solve server's capacity is well below the offered
+    rate regardless of machine speed).  ``batched`` is the full
+    pipeline — admission queue, fingerprint-dedupe micro-batching, warm
+    per-shard engines; ``naive`` solves every request from scratch,
+    one at a time.  The overload rows re-run each mode past capacity
+    with a tighter admission queue: graceful degradation means the
+    excess is turned away as rejections/sheds while the server stays
+    alive (``alive`` = answered ``ping`` after the run) — never an
+    unbounded queue or a crash.
+    """
+    from dataclasses import replace as _replace
+
+    from ..service import ServerConfig, calibrate_workload
+
+    base, scratch_s = calibrate_workload(seed=seed)
+    report = ExperimentReport(
+        experiment_id="E14",
+        title="Rebalancing service: batched vs naive serving (open loop)",
+        columns=("mode", "rate/s", "goodput/s", "p50 ms", "p99 ms",
+                 "ok", "late", "rej", "shed", "err", "alive"),
+    )
+    cases = (
+        ("batched", ServerConfig(max_queue=64), rate),
+        ("naive", ServerConfig.naive(max_queue=64), rate),
+        ("batched 2x rate q=24", ServerConfig(max_queue=24), 2 * rate),
+        ("naive overload q=24", ServerConfig.naive(max_queue=24), rate),
+    )
+    for mode, server_config, offered_rate in cases:
+        lg = _replace(
+            base, rate=offered_rate, duration_s=duration_s,
+            duplicates=duplicates, deadline_ms=deadline_ms,
+        )
+        run, alive = _e14_run(server_config, lg)
+        report.add_row(
+            mode, offered_rate, run.goodput_per_s, run.p50_ms, run.p99_ms,
+            run.completed, run.late, run.rejected, run.shed, run.errors,
+            alive,
+        )
+    report.notes.append(
+        f"calibrated workload: n={base.num_sites} m={base.num_servers} "
+        f"k={base.k}, scratch solve {scratch_s * 1e3:.1f}ms "
+        f"(naive capacity ~{1.0 / scratch_s:.0f}/s); "
+        f"duplicates={duplicates}, deadline {deadline_ms:.0f}ms. "
+        "goodput counts completions within the client deadline; "
+        "rej = admission rejections, shed = server-side deadline "
+        "expiries. Client and servers share this host, so the batched "
+        "ceiling is also machine-bound."
+    )
+    return report
+
+
 ALL_EXPERIMENTS = {
     "E1": experiment_e1_greedy,
     "E2": experiment_e2_partition,
@@ -791,4 +870,5 @@ ALL_EXPERIMENTS = {
     "E11": experiment_e11_scale_oracles,
     "E12": experiment_e12_engine,
     "E13": experiment_e13_kernels,
+    "E14": experiment_e14_service,
 }

@@ -1,9 +1,13 @@
 """Command-line entry point: ``python -m repro [experiment ...]``.
 
-Runs the named experiments (default: all of E1–E10) and prints their
-tables.  ``python -m repro --list`` shows what is available;
-``--workers N`` fans independent experiments out over worker processes
-(output order and content are identical to a serial run).
+Runs the named experiments (default: all) and prints their tables.
+``python -m repro --list`` shows what is available; ``--workers N``
+fans independent experiments out over worker processes (output order
+and content are identical to a serial run).
+
+Two service subcommands short-circuit the experiment runner:
+``python -m repro serve`` starts the rebalancing server and
+``python -m repro loadgen`` drives one (see :mod:`repro.service.cli`).
 """
 
 from __future__ import annotations
@@ -18,6 +22,20 @@ from .analysis.experiments import ALL_EXPERIMENTS
 from .parallel import run_sweep
 
 ALL_RUNNABLE = {**ALL_EXPERIMENTS, **ALL_ABLATIONS}
+
+SERVICE_COMMANDS = ("serve", "loadgen")
+
+
+def _runnable_span() -> str:
+    """Compact id summary for ``--help``, derived from the registry so
+    it never goes stale: ``"E1..E14, A1..A3"``."""
+    groups: dict[str, list[str]] = {}
+    for key in ALL_RUNNABLE:
+        groups.setdefault(key.rstrip("0123456789"), []).append(key)
+    return ", ".join(
+        keys[0] if len(keys) == 1 else f"{keys[0]}..{keys[-1]}"
+        for keys in groups.values()
+    )
 
 
 def _run_one_experiment(payload: tuple[str, bool]) -> tuple:
@@ -40,15 +58,24 @@ def _run_one_experiment(payload: tuple[str, bool]) -> tuple:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] in SERVICE_COMMANDS:
+        from .service.cli import loadgen_main, serve_main
+
+        handler = serve_main if argv[0] == "serve" else loadgen_main
+        return handler(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="Regenerate the load-rebalancing reproduction experiments.",
+        description="Regenerate the load-rebalancing reproduction "
+        "experiments.  Subcommands 'serve' and 'loadgen' run the "
+        "rebalancing service instead (each has its own --help).",
     )
     parser.add_argument(
         "experiments",
         nargs="*",
         metavar="EXPERIMENT",
-        help="experiment ids (E1..E13, A1..A3); default: all",
+        help=f"experiment ids ({_runnable_span()}); default: all",
     )
     parser.add_argument(
         "--list", action="store_true", help="list experiments and exit"

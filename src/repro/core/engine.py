@@ -60,7 +60,7 @@ from .thresholds import (
     scan_start,
 )
 
-__all__ = ["EngineStats", "RebalanceEngine"]
+__all__ = ["EngineStats", "RebalanceEngine", "snapshot_fingerprint"]
 
 
 @dataclass
@@ -153,14 +153,22 @@ class _FlatTables:
         return _finalize_evaluation(guess, total_large, a, b, has_large)
 
 
-def _fingerprint(instance: Instance) -> bytes:
-    """Digest of everything the decision can depend on."""
+def snapshot_fingerprint(instance: Instance) -> bytes:
+    """Digest of everything a rebalancing decision can depend on.
+
+    Shared by the engine's decision cache and the service layer's
+    within-batch dedupe (:mod:`repro.service.batching`): two instances
+    with equal fingerprints are byte-identical snapshots.
+    """
     h = hashlib.blake2b(digest_size=16)
     h.update(instance.num_processors.to_bytes(8, "little"))
     h.update(instance.sizes.tobytes())
     h.update(instance.costs.tobytes())
     h.update(instance.initial.tobytes())
     return h.digest()
+
+
+_fingerprint = snapshot_fingerprint
 
 
 class RebalanceEngine:

@@ -1,0 +1,81 @@
+"""Rebalancing-as-a-service: the repo's request-path layer.
+
+Everything before this package calls solvers in-process; this package
+puts the paper's online setting on the wire.  A stdlib-asyncio TCP
+server speaks a length-prefixed JSON protocol (``rebalance``,
+``status``, ``reset``, ``ping``), maps requests onto named *shards* —
+one warm :class:`~repro.core.engine.RebalanceEngine` each — and runs
+them through the same pipeline an inference-serving stack uses::
+
+    connections → admission queue → micro-batcher → engine pool
+                  (bounded,         (max size +      (per-shard warm
+                   reject +          max wait,        engines, thread
+                   deadline shed)    dedupe)          fan-out)
+
+Module map: :mod:`~repro.service.protocol` (framing),
+:mod:`~repro.service.admission` (bounded queue + backpressure),
+:mod:`~repro.service.batching` (dynamic micro-batches),
+:mod:`~repro.service.server` (the asyncio server),
+:mod:`~repro.service.client` (sync + async clients),
+:mod:`~repro.service.loadgen` (open-loop load generator),
+:mod:`~repro.service.cli` (``repro serve`` / ``repro loadgen``).
+"""
+
+from .admission import AdmissionQueue, PendingRequest
+from .batching import BatchConfig, MicroBatcher, ShardLane, UniqueSolve
+from .client import AsyncServiceClient, Overloaded, ServiceClient, ServiceError
+from .loadgen import (
+    LoadGenConfig,
+    LoadGenReport,
+    build_snapshots,
+    calibrate_workload,
+    run_loadgen,
+)
+from .protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    encode_frame,
+    error_response,
+    ok_response,
+    read_frame,
+    read_frame_sync,
+    write_frame_sync,
+)
+from .server import (
+    RebalanceServer,
+    ServerConfig,
+    ServerHandle,
+    ShardState,
+    start_background,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "AsyncServiceClient",
+    "BatchConfig",
+    "LoadGenConfig",
+    "LoadGenReport",
+    "MAX_FRAME_BYTES",
+    "MicroBatcher",
+    "Overloaded",
+    "PendingRequest",
+    "ProtocolError",
+    "RebalanceServer",
+    "ServerConfig",
+    "ServerHandle",
+    "ServiceClient",
+    "ServiceError",
+    "ShardLane",
+    "ShardState",
+    "UniqueSolve",
+    "build_snapshots",
+    "calibrate_workload",
+    "encode_frame",
+    "error_response",
+    "ok_response",
+    "read_frame",
+    "read_frame_sync",
+    "run_loadgen",
+    "start_background",
+    "write_frame_sync",
+]

@@ -1,0 +1,184 @@
+"""Command-line entry points for the service layer.
+
+``python -m repro serve`` (or the ``repro-serve`` console script)
+starts the asyncio server; ``python -m repro loadgen`` drives a server
+— an existing one via ``--connect host:port``, or a fresh in-process
+one via ``--spawn`` — with the open-loop generator and prints the
+latency/goodput report.  ``loadgen`` doubles as the CI smoke check:
+``--assert-clean`` exits non-zero on any protocol error and
+``--p99-bound`` bounds the observed tail latency.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import signal
+import sys
+from pathlib import Path
+
+from .loadgen import LoadGenConfig, run_loadgen
+from .server import RebalanceServer, ServerConfig, start_background
+
+__all__ = ["loadgen_main", "serve_main"]
+
+
+def _server_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0 = let the OS pick a free one)",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=16,
+        help="micro-batch size ceiling",
+    )
+    parser.add_argument(
+        "--max-wait-ms", type=float, default=2.0,
+        help="micro-batch accumulation window",
+    )
+    parser.add_argument(
+        "--max-queue", type=int, default=128,
+        help="admission queue depth (requests beyond it are rejected)",
+    )
+    parser.add_argument(
+        "--solver-workers", type=int, default=4,
+        help="worker threads fanning out independent shard lanes",
+    )
+    parser.add_argument(
+        "--naive", action="store_true",
+        help="one-request-per-solve control mode: batch size 1, no "
+        "dedupe, no warm engine (the E14 baseline)",
+    )
+
+
+def _config_from(args: argparse.Namespace) -> ServerConfig:
+    common = dict(
+        host=args.host, port=args.port, max_queue=args.max_queue,
+        solver_workers=args.solver_workers,
+    )
+    if args.naive:
+        return ServerConfig.naive(**common)
+    return ServerConfig(
+        max_batch=args.max_batch, max_wait_ms=args.max_wait_ms, **common
+    )
+
+
+def serve_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve rebalancing decisions over length-prefixed "
+        "JSON TCP (ops: rebalance, status, reset, ping).",
+    )
+    _server_arguments(parser)
+    parser.add_argument(
+        "--port-file", type=Path, default=None,
+        help="write the bound port here once listening (lets scripts "
+        "use --port 0 and discover the actual port)",
+    )
+    args = parser.parse_args(argv)
+
+    async def main() -> None:
+        server = RebalanceServer(_config_from(args))
+        await server.start()
+        print(
+            f"repro-serve listening on {server.config.host}:{server.port}",
+            flush=True,
+        )
+        if args.port_file is not None:
+            args.port_file.write_text(f"{server.port}\n")
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, server.request_stop)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler race
+        pass
+    return 0
+
+
+def loadgen_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-loadgen",
+        description="Open-loop load generator: drive a rebalancing "
+        "server and report goodput and latency percentiles.",
+    )
+    target = parser.add_mutually_exclusive_group(required=True)
+    target.add_argument(
+        "--connect", metavar="HOST:PORT",
+        help="use a running server at HOST:PORT",
+    )
+    target.add_argument(
+        "--spawn", action="store_true",
+        help="start an in-process server for the duration of the run",
+    )
+    _server_arguments(parser)
+    parser.add_argument("--rate", type=float, default=50.0,
+                        help="arrivals per second (open loop)")
+    parser.add_argument("--duration", type=float, default=2.0,
+                        help="arrival window in seconds")
+    parser.add_argument("--connections", type=int, default=8)
+    parser.add_argument("--duplicates", type=int, default=4,
+                        help="identical submissions per snapshot "
+                        "(simulated frontends)")
+    parser.add_argument("--sites", type=int, default=600)
+    parser.add_argument("--servers", type=int, default=12)
+    parser.add_argument("--k", type=int, default=8)
+    parser.add_argument("--deadline-ms", type=float, default=500.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", action="store_true",
+                        help="print the full report as JSON")
+    parser.add_argument("--assert-clean", action="store_true",
+                        help="exit 1 if any protocol/transport error "
+                        "occurred")
+    parser.add_argument("--p99-bound", type=float, default=None,
+                        metavar="MS",
+                        help="exit 1 if p99 latency exceeds this bound")
+    args = parser.parse_args(argv)
+
+    config = LoadGenConfig(
+        rate=args.rate, duration_s=args.duration,
+        connections=args.connections, duplicates=args.duplicates,
+        num_sites=args.sites, num_servers=args.servers,
+        k=args.k, deadline_ms=args.deadline_ms, seed=args.seed,
+    )
+
+    handle = None
+    if args.spawn:
+        handle = start_background(_config_from(args))
+        host, port = handle.host, handle.port
+    else:
+        host, _, port_text = args.connect.rpartition(":")
+        if not host or not port_text.isdigit():
+            parser.error("--connect must look like HOST:PORT")
+        port = int(port_text)
+    try:
+        report = run_loadgen(host, port, config)
+    finally:
+        if handle is not None:
+            handle.stop()
+
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.render())
+
+    failed = False
+    if args.assert_clean and report.errors:
+        print(f"FAIL: {report.errors} protocol/transport errors", flush=True)
+        failed = True
+    if args.p99_bound is not None and report.p99_ms > args.p99_bound:
+        print(
+            f"FAIL: p99 {report.p99_ms:.1f}ms exceeds bound "
+            f"{args.p99_bound:.1f}ms",
+            flush=True,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(serve_main())

@@ -1,0 +1,308 @@
+"""Sync and async clients for the rebalancing service.
+
+Both speak the length-prefixed JSON protocol of
+:mod:`repro.service.protocol`, reconnect on transport failure, honor
+the server's ``overloaded`` backpressure (sleep ``retry_after_ms``,
+then retry, up to ``retries`` times), and rebuild a full
+:class:`~repro.core.result.RebalanceResult` from the response — the
+returned object is interchangeable with an in-process solver call,
+which is what lets :class:`~repro.websim.policies.ServicePolicy` drive
+the simulator through the wire unchanged.
+
+:class:`ServiceClient` is the blocking client (tests, simulator
+policies, scripts); :class:`AsyncServiceClient` is the asyncio client
+the load generator fans out with.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import time
+from typing import Any
+
+import numpy as np
+
+from ..core.assignment import Assignment
+from ..core.instance import Instance
+from ..core.result import RebalanceResult
+from .protocol import (
+    ProtocolError,
+    encode_frame,
+    read_frame,
+    read_frame_sync,
+    write_frame_sync,
+)
+
+__all__ = [
+    "AsyncServiceClient",
+    "Overloaded",
+    "ServiceClient",
+    "ServiceError",
+]
+
+
+class ServiceError(Exception):
+    """The server answered ``ok: false`` (or the transport failed)."""
+
+    def __init__(self, error: str, response: dict[str, Any] | None = None):
+        super().__init__(error)
+        self.error = error
+        self.response = response or {}
+
+
+class Overloaded(ServiceError):
+    """Admission control rejected the request; retry after the hint."""
+
+    @property
+    def retry_after_ms(self) -> float:
+        return float(self.response.get("retry_after_ms", 5.0))
+
+
+def _result_from_response(
+    instance: Instance, response: dict[str, Any], latency_s: float
+) -> RebalanceResult:
+    assignment = Assignment(
+        instance=instance,
+        mapping=np.asarray(response["mapping"], dtype=np.int64),
+    )
+    meta: dict[str, Any] = {"service": {"latency_s": latency_s}}
+    if "batch" in response:
+        meta["service"]["batch"] = response["batch"]
+    return RebalanceResult(
+        assignment=assignment,
+        algorithm=response.get("algorithm", "service"),
+        guessed_opt=response.get("guessed_opt"),
+        planned_moves=response.get("planned_moves"),
+        meta=meta,
+    )
+
+
+def _raise_for(response: dict[str, Any]) -> None:
+    error = response.get("error", "unknown error")
+    if error == "overloaded":
+        raise Overloaded(error, response)
+    raise ServiceError(error, response)
+
+
+class ServiceClient:
+    """Blocking client over one lazily (re)connected TCP socket.
+
+    One request is in flight per client at a time (the protocol is
+    request/response per connection); use several clients — or the
+    async client — for concurrency.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 30.0,
+        retries: int = 3,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retries = retries
+        self._sock: socket.socket | None = None
+
+    # -- connection management ----------------------------------------
+    def _connection(self) -> socket.socket:
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        return self._sock
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- raw request/response -----------------------------------------
+    def call(self, message: dict[str, Any]) -> dict[str, Any]:
+        """One round-trip, with reconnect-and-retry on transport
+        failure and overload backoff.  Returns the raw response."""
+        last_error: Exception | None = None
+        for attempt in range(self.retries + 1):
+            try:
+                sock = self._connection()
+                write_frame_sync(sock, message)
+                response = read_frame_sync(sock)
+            except (OSError, ProtocolError) as exc:
+                # Dead or poisoned connection: drop it and retry fresh.
+                self.close()
+                last_error = exc
+                continue
+            if response is None:
+                self.close()
+                last_error = ServiceError("server closed the connection")
+                continue
+            if not response.get("ok") and response.get("error") == "overloaded":
+                last_error = Overloaded("overloaded", response)
+                if attempt < self.retries:
+                    time.sleep(
+                        float(response.get("retry_after_ms", 5.0)) / 1e3
+                    )
+                continue
+            return response
+        assert last_error is not None
+        raise last_error
+
+    # -- operations ----------------------------------------------------
+    def rebalance(
+        self,
+        instance: Instance,
+        k: int,
+        *,
+        shard: str = "default",
+        deadline_ms: float | None = None,
+    ) -> RebalanceResult:
+        """Solve one snapshot remotely; raises :class:`ServiceError` on
+        a non-ok response that outlives the retry budget."""
+        message: dict[str, Any] = {
+            "op": "rebalance",
+            "shard": shard,
+            "k": k,
+            "instance": instance.to_dict(),
+        }
+        if deadline_ms is not None:
+            message["deadline_ms"] = deadline_ms
+        start = time.perf_counter()
+        response = self.call(message)
+        if not response.get("ok"):
+            _raise_for(response)
+        return _result_from_response(
+            instance, response, time.perf_counter() - start
+        )
+
+    def status(self) -> dict[str, Any]:
+        response = self.call({"op": "status"})
+        if not response.get("ok"):
+            _raise_for(response)  # pragma: no cover - status cannot fail
+        return response
+
+    def reset(self, shard: str | None = None) -> list[str]:
+        message: dict[str, Any] = {"op": "reset"}
+        if shard is not None:
+            message["shard"] = shard
+        response = self.call(message)
+        if not response.get("ok"):
+            _raise_for(response)  # pragma: no cover - reset cannot fail
+        return list(response.get("reset", []))
+
+    def ping(self) -> bool:
+        return bool(self.call({"op": "ping"}).get("ok"))
+
+
+class AsyncServiceClient:
+    """Asyncio client over one stream pair; same retry semantics."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 30.0,
+        retries: int = 3,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retries = retries
+        self._streams: tuple[asyncio.StreamReader, asyncio.StreamWriter] | None = None
+
+    async def _connection(self) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        if self._streams is None:
+            self._streams = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port), self.timeout
+            )
+        return self._streams
+
+    async def close(self) -> None:
+        if self._streams is not None:
+            _, writer = self._streams
+            self._streams = None
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.close()
+
+    async def call(self, message: dict[str, Any]) -> dict[str, Any]:
+        """One round-trip with reconnect/overload retry (async)."""
+        last_error: Exception | None = None
+        for attempt in range(self.retries + 1):
+            try:
+                reader, writer = await self._connection()
+                writer.write(encode_frame(message))
+                await writer.drain()
+                response = await asyncio.wait_for(
+                    read_frame(reader), self.timeout
+                )
+            except (OSError, ProtocolError, asyncio.TimeoutError) as exc:
+                await self.close()
+                last_error = exc
+                continue
+            if response is None:
+                await self.close()
+                last_error = ServiceError("server closed the connection")
+                continue
+            if not response.get("ok") and response.get("error") == "overloaded":
+                last_error = Overloaded("overloaded", response)
+                if attempt < self.retries:
+                    await asyncio.sleep(
+                        float(response.get("retry_after_ms", 5.0)) / 1e3
+                    )
+                continue
+            return response
+        assert last_error is not None
+        raise last_error
+
+    async def rebalance(
+        self,
+        instance: Instance,
+        k: int,
+        *,
+        shard: str = "default",
+        deadline_ms: float | None = None,
+    ) -> RebalanceResult:
+        message: dict[str, Any] = {
+            "op": "rebalance",
+            "shard": shard,
+            "k": k,
+            "instance": instance.to_dict(),
+        }
+        if deadline_ms is not None:
+            message["deadline_ms"] = deadline_ms
+        start = time.perf_counter()
+        response = await self.call(message)
+        if not response.get("ok"):
+            _raise_for(response)
+        return _result_from_response(
+            instance, response, time.perf_counter() - start
+        )
+
+    async def status(self) -> dict[str, Any]:
+        response = await self.call({"op": "status"})
+        if not response.get("ok"):
+            _raise_for(response)  # pragma: no cover - status cannot fail
+        return response
+
+    async def ping(self) -> bool:
+        return bool((await self.call({"op": "ping"})).get("ok"))

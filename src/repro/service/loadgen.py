@@ -1,0 +1,277 @@
+"""Open-loop load generator for the rebalancing service.
+
+*Open-loop* means arrivals follow the configured rate no matter how the
+server is doing — request ``i`` is dispatched at ``start + i/rate``
+even if every earlier request is still in flight.  That is the only
+honest way to measure a service under overload: a closed loop slows its
+own arrival rate to match the server and hides the collapse.
+
+The synthetic workload mirrors the paper's setting: one simulated web
+cluster whose site loads drift epoch by epoch (diurnal + flash-crowd
+traffic), observed by ``duplicates`` independent frontends — so every
+epoch snapshot is submitted ``duplicates`` times, back to back, which
+is exactly the redundancy the server's fingerprint-dedupe batching
+exists to collapse.
+
+The report records client-observed latency percentiles (via
+:class:`repro.telemetry.Histogram`), completions, rejections
+(admission backpressure), shed requests (server-side deadline
+expiries), transport/protocol errors, and **goodput**: completed
+requests per second that made their deadline — the number a capacity
+plan actually cares about.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+import numpy as np
+
+from .. import telemetry
+from ..core.instance import Instance
+from .client import AsyncServiceClient, Overloaded, ServiceError
+from .protocol import ProtocolError
+
+__all__ = [
+    "LoadGenConfig",
+    "LoadGenReport",
+    "build_snapshots",
+    "calibrate_workload",
+    "run_loadgen",
+]
+
+
+@dataclass(frozen=True)
+class LoadGenConfig:
+    """Arrival process, workload shape, and per-request policy."""
+
+    rate: float = 50.0           # arrivals per second, open loop
+    duration_s: float = 2.0      # arrival window
+    connections: int = 8         # persistent connection pool size
+    shard: str = "default"
+    k: int = 8
+    deadline_ms: float | None = 500.0
+    duplicates: int = 4          # identical submissions per snapshot
+    num_sites: int = 600
+    num_servers: int = 12
+    epochs: int = 64             # distinct snapshots, cycled
+    seed: int = 0
+    timeout: float = 30.0
+    retries: int = 0             # retrying would distort the open loop
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError("rate must be positive")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if self.duplicates <= 0:
+            raise ValueError("duplicates must be positive")
+
+
+@dataclass
+class LoadGenReport:
+    """Everything one load-generation run measured."""
+
+    offered: int = 0
+    completed: int = 0           # ok within deadline (goodput numerator)
+    late: int = 0                # ok but past the client deadline
+    rejected: int = 0            # admission backpressure ("overloaded")
+    shed: int = 0                # server-side deadline expiry
+    errors: int = 0              # transport / protocol / internal
+    duration_s: float = 0.0
+    latency_ms: telemetry.Histogram = field(default_factory=telemetry.Histogram)
+
+    @property
+    def goodput_per_s(self) -> float:
+        return self.completed / self.duration_s if self.duration_s else 0.0
+
+    @property
+    def p50_ms(self) -> float:
+        return self.latency_ms.quantile(0.50)
+
+    @property
+    def p95_ms(self) -> float:
+        return self.latency_ms.quantile(0.95)
+
+    @property
+    def p99_ms(self) -> float:
+        return self.latency_ms.quantile(0.99)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "offered": self.offered,
+            "completed": self.completed,
+            "late": self.late,
+            "rejected": self.rejected,
+            "shed": self.shed,
+            "errors": self.errors,
+            "duration_s": self.duration_s,
+            "goodput_per_s": self.goodput_per_s,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "latency_ms": self.latency_ms.as_dict(),
+        }
+
+    def render(self) -> str:
+        return (
+            f"offered {self.offered} in {self.duration_s:.2f}s | "
+            f"goodput {self.goodput_per_s:.1f}/s "
+            f"(ok {self.completed}, late {self.late}, "
+            f"rejected {self.rejected}, shed {self.shed}, "
+            f"errors {self.errors}) | latency ms "
+            f"p50 {self.p50_ms:.1f} p95 {self.p95_ms:.1f} "
+            f"p99 {self.p99_ms:.1f}"
+        )
+
+
+def build_snapshots(config: LoadGenConfig) -> list[Instance]:
+    """Pre-generate the epoch snapshot stream the frontends observe.
+
+    One cluster, drifting diurnal + flash-crowd traffic, placement held
+    at round-robin (the load generator measures the service, not the
+    policy — migrating between snapshots would entangle the two).
+    """
+    from ..websim.simulator import build_cluster
+    from ..websim.traffic import (
+        ComposedTraffic,
+        DiurnalTraffic,
+        FlashCrowdTraffic,
+    )
+
+    rng = np.random.default_rng(config.seed)
+    cluster = build_cluster(config.num_sites, config.num_servers, rng)
+    traffic = ComposedTraffic(
+        (DiurnalTraffic(), FlashCrowdTraffic(probability=0.1))
+    )
+    snapshots = []
+    for epoch in range(config.epochs):
+        traffic.step(cluster.sites, epoch, rng)
+        snapshots.append(cluster.to_instance())
+    return snapshots
+
+
+def calibrate_workload(
+    *,
+    seed: int = 14,
+    target_solve_s: float = 0.015,
+    num_servers: int = 32,
+    k: int = 8,
+    epochs: int = 24,
+    max_sites: int = 24_000,
+) -> tuple[LoadGenConfig, float]:
+    """Grow the snapshot size until one from-scratch solve costs at
+    least ``target_solve_s`` on this host; return the config and the
+    measured scratch solve time.
+
+    E14 compares serving strategies, not machines: what matters is the
+    ratio between the offered rate and the naive server's capacity (one
+    from-scratch solve per request).  Pinning the solve *time* rather
+    than the instance *size* pins that ratio across hosts — a faster
+    machine just gets a proportionally bigger cluster to rebalance.
+
+    The default server count is deliberately high (32): solve time
+    grows with both sites and servers, but wire cost only with sites,
+    so hitting the target at a high ``m`` keeps the per-request JSON
+    cost — which bounds what the *batched* server can absorb — low.
+    """
+    from ..core.partition import m_partition_rebalance
+
+    num_sites = 1500
+    while True:
+        config = LoadGenConfig(
+            num_sites=num_sites, num_servers=num_servers, k=k,
+            epochs=epochs, seed=seed,
+        )
+        snapshot = build_snapshots(replace(config, epochs=1))[0]
+        scratch_s = float("inf")
+        for _ in range(2):  # best-of-2 strips scheduler spikes
+            start = time.perf_counter()
+            m_partition_rebalance(snapshot, k)
+            scratch_s = min(scratch_s, time.perf_counter() - start)
+        if scratch_s >= target_solve_s or num_sites * 2 > max_sites:
+            return config, scratch_s
+        num_sites *= 2
+
+
+async def _run_async(
+    host: str, port: int, config: LoadGenConfig
+) -> LoadGenReport:
+    snapshots = build_snapshots(config)
+    report = LoadGenReport()
+    loop = asyncio.get_running_loop()
+
+    pool: asyncio.Queue[AsyncServiceClient] = asyncio.Queue()
+    for _ in range(config.connections):
+        pool.put_nowait(AsyncServiceClient(
+            host, port, timeout=config.timeout, retries=config.retries
+        ))
+
+    async def one_request(instance: Instance) -> None:
+        # Open loop: if every pooled connection is busy, open an
+        # ephemeral one rather than queueing client-side (which would
+        # hide server queueing inside client queueing).
+        try:
+            client = pool.get_nowait()
+            ephemeral = False
+        except asyncio.QueueEmpty:
+            client = AsyncServiceClient(
+                host, port, timeout=config.timeout, retries=config.retries
+            )
+            ephemeral = True
+        start = loop.time()
+        try:
+            await client.rebalance(
+                instance, config.k,
+                shard=config.shard, deadline_ms=config.deadline_ms,
+            )
+            latency_ms = 1e3 * (loop.time() - start)
+            report.latency_ms.record(latency_ms)
+            if config.deadline_ms is None or latency_ms <= config.deadline_ms:
+                report.completed += 1
+            else:
+                report.late += 1
+        except Overloaded:
+            report.rejected += 1
+        except ServiceError as exc:
+            if exc.error == "deadline exceeded":
+                report.shed += 1
+            else:
+                report.errors += 1
+        except (asyncio.TimeoutError, ProtocolError, OSError):
+            report.errors += 1
+        finally:
+            if ephemeral:
+                await client.close()
+            else:
+                pool.put_nowait(client)
+
+    tasks: list[asyncio.Task] = []
+    start = loop.time()
+    index = 0
+    while True:
+        send_at = start + index / config.rate
+        if send_at > start + config.duration_s:
+            break
+        delay = send_at - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        snapshot = snapshots[(index // config.duplicates) % len(snapshots)]
+        tasks.append(asyncio.create_task(one_request(snapshot)))
+        index += 1
+    report.offered = index
+    if tasks:
+        await asyncio.gather(*tasks)
+    report.duration_s = loop.time() - start
+
+    while not pool.empty():
+        await pool.get_nowait().close()
+    return report
+
+
+def run_loadgen(host: str, port: int, config: LoadGenConfig) -> LoadGenReport:
+    """Run one open-loop load generation against a live server."""
+    return asyncio.run(_run_async(host, port, config))

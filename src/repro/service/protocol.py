@@ -1,0 +1,137 @@
+"""Wire protocol for the rebalancing service.
+
+Frames are length-prefixed JSON: a 4-byte big-endian unsigned length
+followed by that many bytes of UTF-8 JSON.  Length-prefixing (rather
+than newline-delimiting) keeps the framing payload-agnostic — instance
+snapshots embed floats whose JSON encoding is free to contain anything
+— and lets both sides pre-allocate the read.
+
+Every request is one JSON object with an ``op`` field; every response
+is one JSON object with an ``ok`` field.  The three operations are:
+
+``rebalance``
+    ``{"op": "rebalance", "shard": str, "k": int, "instance":
+    Instance.to_dict(), "deadline_ms": float?}`` →
+    ``{"ok": true, "mapping": [int], "guessed_opt": float,
+    "planned_moves": int, "algorithm": str, "batch": {...}}`` or an
+    error (``overloaded`` carries ``retry_after_ms``).
+``status``
+    ``{"op": "status"}`` → uptime, config, queue depth, per-shard
+    engine statistics, and the server's telemetry export (counters +
+    latency histograms in :meth:`repro.telemetry.Collector.as_dict`
+    form).
+``reset``
+    ``{"op": "reset", "shard": str?}`` → drops the named shard's (or
+    every shard's) warm engine state.
+
+``ping`` additionally answers ``{"ok": true}`` so clients and process
+supervisors can probe liveness without touching solver state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Any
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "encode_frame",
+    "error_response",
+    "ok_response",
+    "read_frame",
+    "read_frame_sync",
+    "write_frame_sync",
+]
+
+# Generous ceiling: a million-site snapshot is ~25 MB of JSON.  Anything
+# larger is a corrupt or hostile frame, not a workload.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+class ProtocolError(Exception):
+    """A malformed frame (bad length, bad JSON, or a non-object body)."""
+
+
+def encode_frame(payload: dict[str, Any]) -> bytes:
+    """Serialize one message to its on-wire form."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(body)} bytes exceeds the maximum")
+    return _HEADER.pack(len(body)) + body
+
+
+def _decode_body(body: bytes) -> dict[str, Any]:
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame body: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("frame body must be a JSON object")
+    return message
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict[str, Any] | None:
+    """Read one message; ``None`` on clean EOF at a frame boundary."""
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-header") from exc
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"declared frame length {length} exceeds the maximum")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    return _decode_body(body)
+
+
+def _recv_exactly(sock: socket.socket, n: int) -> bytes | None:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == n and not chunks:
+                return None
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame_sync(sock: socket.socket) -> dict[str, Any] | None:
+    """Blocking counterpart of :func:`read_frame` for the sync client."""
+    header = _recv_exactly(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"declared frame length {length} exceeds the maximum")
+    body = _recv_exactly(sock, length)
+    if body is None:
+        raise ProtocolError("connection closed mid-frame")
+    return _decode_body(body)
+
+
+def write_frame_sync(sock: socket.socket, payload: dict[str, Any]) -> None:
+    """Blocking send of one message."""
+    sock.sendall(encode_frame(payload))
+
+
+def ok_response(**fields: Any) -> dict[str, Any]:
+    """A success response body."""
+    return {"ok": True, **fields}
+
+
+def error_response(error: str, **fields: Any) -> dict[str, Any]:
+    """A failure response body; ``error`` is a stable machine code."""
+    return {"ok": False, "error": error, **fields}

@@ -1,0 +1,480 @@
+"""The asyncio rebalancing server.
+
+``queue → batcher → engine pool``: connections are parsed on the event
+loop, admitted into the bounded :class:`~repro.service.admission.AdmissionQueue`,
+drained by the :class:`~repro.service.batching.MicroBatcher`, and solved
+on worker threads — one warm
+:class:`~repro.core.engine.RebalanceEngine` per named *shard*, so every
+shard's epoch stream hits the threshold-table and fingerprint caches
+exactly as an in-process engine would.  The event loop never blocks on
+a solve: each batch is one ``run_in_executor`` hop whose inside fans
+independent shard lanes out via :func:`repro.parallel.run_sweep`
+(thread executor — the engines are stateful and stay in-process).
+
+Decisions are byte-identical to in-process
+:func:`repro.core.partition.m_partition_rebalance` calls on the same
+snapshots (the engine's transparent-acceleration contract, plus the
+batcher's dedupe only collapsing byte-identical snapshots); the
+end-to-end websim differential test pins this.
+
+:class:`ServerConfig.naive` is the control: batch size 1, no dedupe,
+no warm engine — the one-request-per-solve server benchmark E14
+measures against.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Any
+
+from .. import telemetry
+from ..core.engine import RebalanceEngine, snapshot_fingerprint
+from ..core.instance import Instance
+from ..core.partition import m_partition_rebalance
+from ..parallel import run_sweep
+from .admission import AdmissionQueue, PendingRequest
+from .batching import BatchConfig, MicroBatcher, ShardLane
+from .protocol import (
+    ProtocolError,
+    encode_frame,
+    error_response,
+    ok_response,
+    read_frame,
+)
+
+__all__ = [
+    "RebalanceServer",
+    "ServerConfig",
+    "ServerHandle",
+    "ShardState",
+    "start_background",
+]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything the service's behavior depends on."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = let the OS pick; read it back from Server.port
+    max_batch: int = 16
+    max_wait_ms: float = 2.0
+    dedupe: bool = True
+    use_engine: bool = True
+    max_queue: int = 128
+    solver_workers: int = 4
+    engine_cache_size: int = 64
+
+    @classmethod
+    def naive(cls, **overrides: Any) -> "ServerConfig":
+        """The one-request-per-solve control server: no batching, no
+        dedupe, no warm engine — every request is a from-scratch
+        ``m_partition_rebalance`` call."""
+        return replace(
+            cls(max_batch=1, dedupe=False, use_engine=False), **overrides
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "max_batch": self.max_batch,
+            "max_wait_ms": self.max_wait_ms,
+            "dedupe": self.dedupe,
+            "use_engine": self.use_engine,
+            "max_queue": self.max_queue,
+            "solver_workers": self.solver_workers,
+            "engine_cache_size": self.engine_cache_size,
+        }
+
+
+@dataclass
+class ShardState:
+    """One named shard: a move budget and (optionally) a warm engine."""
+
+    name: str
+    k: int
+    engine: RebalanceEngine | None
+    decisions: int = 0
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "k": self.k,
+            "decisions": self.decisions,
+            "engine": self.engine.stats.as_dict() if self.engine else None,
+        }
+
+
+class RebalanceServer:
+    """Length-prefixed-JSON TCP server around a pool of shard engines."""
+
+    def __init__(self, config: ServerConfig | None = None) -> None:
+        self.config = config or ServerConfig()
+        self.metrics = telemetry.Collector()
+        self.shards: dict[str, ShardState] = {}
+        self.queue = AdmissionQueue(self.config.max_queue, self.metrics)
+        self.batcher = MicroBatcher(
+            self.queue,
+            BatchConfig(
+                max_batch=self.config.max_batch,
+                max_wait_ms=self.config.max_wait_ms,
+                dedupe=self.config.dedupe,
+            ),
+            self.metrics,
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._batch_task: asyncio.Task | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._started_at = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound TCP port (only meaningful after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not listening")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Bind, start accepting connections, and start the batch loop."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._stop_event = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-solve"
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self._started_at = time.monotonic()
+        self._batch_task = asyncio.create_task(self._batch_loop())
+
+    def request_stop(self) -> None:
+        """Ask :meth:`serve_forever` to return (same-loop callers)."""
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`request_stop`, then shut down cleanly."""
+        if self._server is None:
+            await self.start()
+        assert self._stop_event is not None
+        try:
+            await self._stop_event.wait()
+        finally:
+            await self.stop()
+
+    async def stop(self) -> None:
+        """Stop accepting, fail queued work, and release the executor."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._batch_task is not None:
+            self._batch_task.cancel()
+            try:
+                await self._batch_task
+            except asyncio.CancelledError:
+                pass
+            self._batch_task = None
+        # Fail anything still queued so no handler awaits forever.
+        for request in self.queue.drain_nowait():
+            if not request.future.done():
+                request.future.set_result(error_response("shutting down"))
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.metrics.add("service.connections")
+        try:
+            while True:
+                try:
+                    message = await read_frame(reader)
+                except ProtocolError as exc:
+                    self.metrics.add("service.protocol_errors")
+                    writer.write(encode_frame(error_response(
+                        "protocol error", message=str(exc))))
+                    await writer.drain()
+                    break
+                if message is None:
+                    break
+                response = await self._dispatch(message)
+                writer.write(encode_frame(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _dispatch(self, message: dict[str, Any]) -> dict[str, Any]:
+        op = message.get("op")
+        if op == "rebalance":
+            return await self._op_rebalance(message)
+        if op == "status":
+            return self._op_status()
+        if op == "reset":
+            return self._op_reset(message)
+        if op == "ping":
+            return ok_response(op="ping")
+        self.metrics.add("service.protocol_errors")
+        return error_response("unknown op", op=op)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    async def _op_rebalance(self, message: dict[str, Any]) -> dict[str, Any]:
+        self.metrics.add("service.requests")
+        loop = asyncio.get_running_loop()
+        try:
+            shard = str(message.get("shard", "default"))
+            k = int(message.get("k", 2))
+            if k < 0:
+                raise ValueError("k must be non-negative")
+            instance = Instance.from_dict(message["instance"])
+        except (KeyError, TypeError, ValueError) as exc:
+            self.metrics.add("service.bad_requests")
+            return error_response("bad request", message=str(exc))
+
+        deadline_ms = message.get("deadline_ms")
+        now = loop.time()
+        request = PendingRequest(
+            shard=shard,
+            k=k,
+            instance=instance,
+            fingerprint=snapshot_fingerprint(instance),
+            enqueued_at=now,
+            deadline=None if deadline_ms is None else now + deadline_ms / 1e3,
+            future=loop.create_future(),
+        )
+        if not self.queue.try_submit(request):
+            return error_response(
+                "overloaded", retry_after_ms=self.queue.retry_after_ms()
+            )
+        response = await request.future
+        latency_ms = 1e3 * (loop.time() - request.enqueued_at)
+        self.metrics.observe("service.latency_ms", latency_ms)
+        if response.get("ok"):
+            self.metrics.add("service.ok")
+        return response
+
+    def _op_status(self) -> dict[str, Any]:
+        return ok_response(
+            uptime_s=time.monotonic() - self._started_at,
+            config=self.config.as_dict(),
+            queue=self.queue.stats(),
+            shards={name: s.stats() for name, s in self.shards.items()},
+            metrics=self.metrics.as_dict(),
+        )
+
+    def _op_reset(self, message: dict[str, Any]) -> dict[str, Any]:
+        shard = message.get("shard")
+        names = [shard] if shard is not None else list(self.shards)
+        reset = []
+        for name in names:
+            state = self.shards.get(name)
+            if state is None:
+                continue
+            if state.engine is not None:
+                state.engine.reset()
+            state.decisions = 0
+            reset.append(name)
+        self.metrics.add("service.resets")
+        return ok_response(reset=sorted(reset))
+
+    # ------------------------------------------------------------------
+    # Batch loop and solving
+    # ------------------------------------------------------------------
+    async def _batch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = await self.batcher.next_batch()
+            try:
+                await self._serve_batch(batch, loop)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # must never strand awaiting
+                # handlers: fail the whole batch and keep serving.
+                self.metrics.add("service.solve_errors")
+                failure = error_response(
+                    "internal error", message=f"{type(exc).__name__}: {exc}"
+                )
+                for request in batch:
+                    if not request.future.done():
+                        request.future.set_result(failure)
+
+    async def _serve_batch(
+        self, batch: list[PendingRequest], loop: asyncio.AbstractEventLoop
+    ) -> None:
+        batch = self.queue.shed_expired(batch, loop.time())
+        if not batch:
+            return
+        lanes = self.batcher.plan(batch)
+        start = loop.time()
+        assert self._executor is not None
+        outcomes = await loop.run_in_executor(
+            self._executor, self._solve_lanes, lanes
+        )
+        elapsed = loop.time() - start
+        self.metrics.record_span("service.solve", elapsed)
+        self.queue.note_service_time(elapsed / len(batch))
+        batch_info = {
+            "size": len(batch),
+            "unique": sum(len(lane.solves) for lane in lanes),
+            "solve_ms": 1e3 * elapsed,
+        }
+        for lane, lane_outcomes in zip(lanes, outcomes):
+            for solve, outcome in zip(lane.solves, lane_outcomes):
+                if isinstance(outcome, dict) and outcome.get("ok"):
+                    outcome["batch"] = batch_info
+                for request in solve.requests:
+                    if not request.future.done():
+                        request.future.set_result(outcome)
+
+    def _shard_state(self, name: str, k: int) -> ShardState:
+        """The shard's state, (re)building its engine on a ``k`` change.
+
+        An engine is pinned to one move budget; a request that switches
+        a shard's ``k`` retires the warm engine and starts cold (counted
+        in ``service.shard_rebuilds`` — keep per-``k`` streams on
+        separate shards to avoid the churn).
+        """
+        state = self.shards.get(name)
+        if state is None:
+            state = ShardState(
+                name=name,
+                k=k,
+                engine=RebalanceEngine(
+                    k=k, cache_size=self.config.engine_cache_size
+                ) if self.config.use_engine else None,
+            )
+            self.shards[name] = state
+        elif state.k != k:
+            self.metrics.add("service.shard_rebuilds")
+            state.k = k
+            if self.config.use_engine:
+                state.engine = RebalanceEngine(
+                    k=k, cache_size=self.config.engine_cache_size
+                )
+        return state
+
+    def _solve_lanes(self, lanes: list[ShardLane]) -> list[list[dict[str, Any]]]:
+        """Executor-side: fan independent shard lanes out over threads.
+
+        Returns, per lane, one response dict per unique solve (in lane
+        order).  Runs on the dedicated solve thread; shard states are
+        only ever touched from here (one batch at a time), so engines
+        need no locking.
+        """
+        return run_sweep(
+            self._solve_lane,
+            lanes,
+            workers=min(self.config.solver_workers, max(1, len(lanes))),
+            executor="thread",
+        )
+
+    def _solve_lane(self, lane: ShardLane) -> list[dict[str, Any]]:
+        responses = []
+        for solve in lane.solves:
+            state = self._shard_state(lane.shard, solve.k)
+            try:
+                if state.engine is not None:
+                    result = state.engine.rebalance(solve.instance)
+                else:
+                    result = m_partition_rebalance(solve.instance, solve.k)
+                state.decisions += 1
+                responses.append(ok_response(
+                    mapping=[int(p) for p in result.assignment.mapping],
+                    guessed_opt=result.guessed_opt,
+                    planned_moves=result.planned_moves,
+                    algorithm=result.algorithm,
+                    shard=lane.shard,
+                ))
+            except Exception as exc:  # defensive: a failed solve must
+                # never take the batch loop down with it.
+                self.metrics.add("service.solve_errors")
+                responses.append(error_response(
+                    "solve failed", message=f"{type(exc).__name__}: {exc}"))
+        return responses
+
+
+# ----------------------------------------------------------------------
+# Background-thread embedding (tests, benchmarks, loadgen --spawn)
+# ----------------------------------------------------------------------
+class ServerHandle:
+    """A server running on a private event loop in a daemon thread."""
+
+    def __init__(
+        self,
+        server: RebalanceServer,
+        loop: asyncio.AbstractEventLoop,
+        thread: threading.Thread,
+    ) -> None:
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+        self.host = server.config.host
+        self.port = server.port
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Shut the server down and join its thread."""
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self.server.request_stop)
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+
+def start_background(config: ServerConfig | None = None) -> ServerHandle:
+    """Start a :class:`RebalanceServer` on a daemon thread.
+
+    Blocks until the listener is bound (so ``handle.port`` is valid the
+    moment this returns) and re-raises any startup failure in the
+    caller.  Use as a context manager for scoped teardown.
+    """
+    started = threading.Event()
+    box: dict[str, Any] = {}
+
+    def runner() -> None:
+        async def main() -> None:
+            server = RebalanceServer(config)
+            try:
+                await server.start()
+            except Exception as exc:
+                box["error"] = exc
+                started.set()
+                return
+            box["server"] = server
+            box["loop"] = asyncio.get_running_loop()
+            started.set()
+            await server.serve_forever()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(
+        target=runner, name="repro-serve", daemon=True
+    )
+    thread.start()
+    if not started.wait(timeout=30.0):  # pragma: no cover
+        raise RuntimeError("server failed to start within 30s")
+    if "error" in box:
+        raise box["error"]
+    return ServerHandle(box["server"], box["loop"], thread)

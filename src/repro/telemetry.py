@@ -11,6 +11,9 @@ provides the shared instrumentation layer every solver threads through:
   per named phase (``calls`` and total ``seconds``);
 * :func:`count` — monotonic counters (``thresholds_tried``,
   ``heap_pops``, ``knapsack_cells``, ...);
+* :func:`observe` — distribution samples (request latencies, batch
+  sizes) aggregated into mergeable log-bucketed :class:`Histogram`
+  objects with ``p50/p95/p99`` quantile queries;
 * :func:`collect` — a context manager installing a thread-local
   :class:`Collector`; collection is **off by default** and every
   instrumentation call is a no-op until a collector is installed, so
@@ -39,24 +42,136 @@ Usage::
 from __future__ import annotations
 
 import json
+import math
 import threading
 import time
 from typing import Any
 
 __all__ = [
     "Collector",
+    "Histogram",
     "attach",
     "collect",
     "count",
     "current",
     "enabled",
     "mark",
+    "observe",
     "record",
     "render_table",
     "span",
 ]
 
 _state = threading.local()
+
+
+class Histogram:
+    """Mergeable log-bucketed histogram of non-negative samples.
+
+    Samples land in geometric buckets (``base ** i`` upper edges, base
+    ``2 ** (1/8)`` ≈ 9% relative width), so two histograms recorded in
+    different processes merge exactly by adding bucket counts — the
+    property :meth:`Collector.merge` needs to carry latency percentiles
+    across worker fan-out.  Quantiles come back as the upper edge of the
+    bucket holding the target rank, clamped to the observed ``[min,
+    max]`` range, so :meth:`quantile` is exact at the extremes and
+    within one bucket width (< 10% relative) everywhere else.
+
+    Zero (and, defensively, negative) samples are tallied in a
+    dedicated zero bucket so a latency distribution with clock-res
+    zeros still has well-defined quantiles.
+    """
+
+    _BASE = 2.0 ** 0.125
+    _LOG_BASE = math.log(_BASE)
+
+    __slots__ = ("count", "total", "min", "max", "zeros", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.zeros = 0
+        self.buckets: dict[int, int] = {}
+
+    # -- recording -----------------------------------------------------
+    def record(self, value: float) -> None:
+        """Add one sample."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value <= 0.0:
+            self.zeros += 1
+            return
+        idx = math.ceil(math.log(value) / self._LOG_BASE - 1e-9)
+        self.buckets[idx] = self.buckets.get(idx, 0) + 1
+
+    # -- queries -------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (``0 <= q <= 1``) of the recorded samples.
+
+        ``nan`` when empty; exact for ``q=0``/``q=1`` (tracked min/max),
+        otherwise the upper edge of the covering bucket clamped into
+        ``[min, max]``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return math.nan
+        rank = max(1, math.ceil(q * self.count))
+        seen = self.zeros
+        if seen >= rank:
+            return max(self.min, 0.0) if self.min < math.inf else 0.0
+        for idx in sorted(self.buckets):
+            seen += self.buckets[idx]
+            if seen >= rank:
+                return min(max(self._BASE ** idx, self.min), self.max)
+        return self.max  # pragma: no cover - rank <= count always hits
+
+    # -- merge / export ------------------------------------------------
+    def merge(self, other: "Histogram | dict[str, Any]") -> None:
+        """Fold another histogram (object or :meth:`as_dict` form) in."""
+        if isinstance(other, dict):
+            other = Histogram.from_dict(other)
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        self.zeros += other.zeros
+        for idx, n in other.buckets.items():
+            self.buckets[idx] = self.buckets.get(idx, 0) + n
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-trivial form (bucket keys become strings)."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "zeros": self.zeros,
+            "buckets": {str(k): v for k, v in self.buckets.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Histogram":
+        """Inverse of :meth:`as_dict`."""
+        hist = cls()
+        hist.count = int(data["count"])
+        hist.total = float(data["sum"])
+        hist.min = float(data["min"]) if data.get("min") is not None else math.inf
+        hist.max = float(data["max"]) if data.get("max") is not None else -math.inf
+        hist.zeros = int(data.get("zeros", 0))
+        hist.buckets = {int(k): int(v) for k, v in data["buckets"].items()}
+        return hist
 
 
 def current() -> "Collector | None":
@@ -70,18 +185,20 @@ def enabled() -> bool:
 
 
 class Collector:
-    """Thread-local sink for span timings and monotonic counters.
+    """Thread-local sink for spans, counters, and histograms.
 
     ``spans`` maps a phase name to ``[calls, seconds]``; ``counters``
-    maps a counter name to its running total.  Both are plain dicts so
+    maps a counter name to its running total; ``histograms`` maps a
+    distribution name to a :class:`Histogram`.  All are plain dicts so
     export is allocation-light and JSON-trivial.
     """
 
-    __slots__ = ("spans", "counters")
+    __slots__ = ("spans", "counters", "histograms")
 
     def __init__(self) -> None:
         self.spans: dict[str, list[float]] = {}
         self.counters: dict[str, int] = {}
+        self.histograms: dict[str, Histogram] = {}
 
     # -- recording -----------------------------------------------------
     def record_span(self, name: str, seconds: float) -> None:
@@ -97,16 +214,29 @@ class Collector:
         """Increment a monotonic counter."""
         self.counters[name] = self.counters.get(name, 0) + n
 
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into the histogram ``name``."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.record(value)
+
     # -- snapshots -----------------------------------------------------
     def mark(self) -> dict[str, Any]:
         """An opaque snapshot of the current totals (for :meth:`since`)."""
         return {
             "spans": {k: (v[0], v[1]) for k, v in self.spans.items()},
             "counters": dict(self.counters),
+            "histograms": {k: h.as_dict() for k, h in self.histograms.items()},
         }
 
     def since(self, mark: dict[str, Any]) -> dict[str, Any]:
-        """The delta accumulated after ``mark``, in :meth:`as_dict` form."""
+        """The delta accumulated after ``mark``, in :meth:`as_dict` form.
+
+        Histogram deltas subtract bucket counts; their ``min``/``max``
+        are the running extremes (exact deltas are unrecoverable from
+        totals), which only widens — never narrows — the delta's range.
+        """
         spans = {}
         base_spans = mark["spans"]
         for name, (calls, seconds) in self.spans.items():
@@ -119,14 +249,37 @@ class Collector:
             delta = value - base_counters.get(name, 0)
             if delta:
                 counters[name] = delta
-        return {"spans": spans, "counters": counters}
+        histograms = {}
+        base_hists = mark.get("histograms", {})
+        for name, hist in self.histograms.items():
+            base = base_hists.get(name)
+            if base is None:
+                if hist.count:
+                    histograms[name] = hist.as_dict()
+                continue
+            if hist.count == base["count"]:
+                continue
+            delta_h = hist.as_dict()
+            delta_h["count"] -= base["count"]
+            delta_h["sum"] -= base["sum"]
+            delta_h["zeros"] -= base["zeros"]
+            buckets = {
+                k: v - base["buckets"].get(k, 0)
+                for k, v in delta_h["buckets"].items()
+            }
+            delta_h["buckets"] = {k: v for k, v in buckets.items() if v}
+            histograms[name] = delta_h
+        out: dict[str, Any] = {"spans": spans, "counters": counters}
+        if histograms:
+            out["histograms"] = histograms
+        return out
 
     def merge(self, data: dict[str, Any]) -> None:
         """Fold an exported telemetry dict (:meth:`as_dict` form) in.
 
         Used by :mod:`repro.parallel` to aggregate worker-process
-        telemetry into the parent's collector: span calls/seconds and
-        counters are additive.
+        telemetry into the parent's collector: span calls/seconds,
+        counters, and histogram buckets are all additive.
         """
         for name, stat in data.get("spans", {}).items():
             cur = self.spans.get(name)
@@ -137,16 +290,27 @@ class Collector:
                 cur[1] += stat["seconds"]
         for name, value in data.get("counters", {}).items():
             self.add(name, value)
+        for name, hist_data in data.get("histograms", {}).items():
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = Histogram()
+            hist.merge(hist_data)
 
     # -- export --------------------------------------------------------
     def as_dict(self) -> dict[str, Any]:
-        """``{"spans": {name: {"calls", "seconds"}}, "counters": {...}}``."""
-        return {
+        """``{"spans": ..., "counters": ..., "histograms": ...}`` (the
+        ``histograms`` key appears only when at least one exists)."""
+        out: dict[str, Any] = {
             "spans": {
                 k: {"calls": v[0], "seconds": v[1]} for k, v in self.spans.items()
             },
             "counters": dict(self.counters),
         }
+        if self.histograms:
+            out["histograms"] = {
+                k: h.as_dict() for k, h in self.histograms.items()
+            }
+        return out
 
     def to_json(self, **kwargs: Any) -> str:
         """JSON form of :meth:`as_dict`."""
@@ -236,6 +400,13 @@ def record(name: str, seconds: float) -> None:
         collector.record_span(name, seconds)
 
 
+def observe(name: str, value: float) -> None:
+    """Record one histogram sample (no-op while disabled)."""
+    collector = getattr(_state, "collector", None)
+    if collector is not None:
+        collector.observe(name, value)
+
+
 def mark() -> dict[str, Any] | None:
     """Snapshot the active collector, or ``None`` while disabled.
 
@@ -279,6 +450,20 @@ def render_table(data: dict[str, Any], title: str = "telemetry") -> str:
         lines.append(f"  {'counter':<{name_w}}  {'value':>12}")
         for name in sorted(counters):
             lines.append(f"  {name:<{name_w}}  {counters[name]:>12d}")
+    histograms = data.get("histograms", {})
+    if histograms:
+        name_w = max(len("histogram"), *(len(k) for k in histograms))
+        lines.append(
+            f"  {'histogram':<{name_w}}  {'count':>7}  {'mean':>9}  "
+            f"{'p50':>9}  {'p95':>9}  {'p99':>9}  {'max':>9}"
+        )
+        for name in sorted(histograms):
+            hist = Histogram.from_dict(histograms[name])
+            lines.append(
+                f"  {name:<{name_w}}  {hist.count:>7d}  {hist.mean:>9.3f}  "
+                f"{hist.quantile(0.5):>9.3f}  {hist.quantile(0.95):>9.3f}  "
+                f"{hist.quantile(0.99):>9.3f}  {hist.max:>9.3f}"
+            )
     if len(lines) == 1:
         lines.append("  (empty)")
     return "\n".join(lines)

@@ -24,6 +24,7 @@ from .policies import (
     MPartitionPolicy,
     NoRebalance,
     RebalancePolicy,
+    ServicePolicy,
 )
 from .trace import LoadTrace, ReplayTraffic, record_trace
 from .simulator import (
@@ -65,6 +66,7 @@ __all__ = [
     "LoadTrace",
     "ReplayTraffic",
     "Simulation",
+    "ServicePolicy",
     "SimulationResult",
     "StaticZipf",
     "TrafficModel",

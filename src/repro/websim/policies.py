@@ -9,7 +9,7 @@ the epoch loop, under a per-epoch migration budget.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol
+from typing import TYPE_CHECKING, Protocol
 
 from ..core.assignment import Assignment
 from ..core.engine import RebalanceEngine
@@ -20,6 +20,9 @@ from ..core.cost_partition import cost_partition_rebalance
 from ..baselines.graham import lpt_rebalance
 from ..baselines.local_search import hill_climb_rebalance
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle: service.loadgen uses websim
+    from ..service.client import ServiceClient
+
 __all__ = [
     "RebalancePolicy",
     "NoRebalance",
@@ -29,6 +32,7 @@ __all__ = [
     "CostPartitionPolicy",
     "FullRepackPolicy",
     "HillClimbPolicy",
+    "ServicePolicy",
 ]
 
 
@@ -104,6 +108,66 @@ class EngineMPartitionPolicy:
 
     def decide(self, instance: Instance, epoch: int) -> Assignment:
         return self._engine.rebalance(instance).assignment
+
+
+@dataclass
+class ServicePolicy:
+    """M-PARTITION answered by a :mod:`repro.service` server over TCP.
+
+    The policy's shard on the server owns a warm engine whose decisions
+    are byte-identical to from-scratch M-PARTITION, so a simulation
+    driven through the wire must match :class:`EngineMPartitionPolicy`
+    in-process decision for decision (the differential test enforces
+    it).  The client socket is created lazily and is *not* deep-copied:
+    :class:`~repro.websim.simulator.Simulation` deep-copies policies per
+    run, and each copy opens its own connection to the same server.
+    """
+
+    host: str
+    port: int
+    k: int = 2
+    shard: str = "websim"
+    timeout: float = 30.0
+    retries: int = 3
+    name: str = "service"
+
+    def __post_init__(self) -> None:
+        self._client: ServiceClient | None = None
+
+    @property
+    def client(self) -> ServiceClient:
+        """The live blocking client (connects on first use)."""
+        if self._client is None:
+            # Lazy import: service.loadgen imports websim, so a
+            # module-level import here would be circular.
+            from ..service.client import ServiceClient
+
+            self._client = ServiceClient(
+                self.host, self.port,
+                timeout=self.timeout, retries=self.retries,
+            )
+        return self._client
+
+    def __deepcopy__(self, memo: dict) -> "ServicePolicy":
+        return ServicePolicy(
+            host=self.host, port=self.port, k=self.k, shard=self.shard,
+            timeout=self.timeout, retries=self.retries, name=self.name,
+        )
+
+    def reset(self) -> None:
+        """Drop the server-side shard state; the next decision starts
+        cold (engine-contract: decisions are unchanged either way)."""
+        self.client.reset(self.shard)
+
+    def close(self) -> None:
+        if self._client is not None:
+            self._client.close()
+            self._client = None
+
+    def decide(self, instance: Instance, epoch: int) -> Assignment:
+        return self.client.rebalance(
+            instance, self.k, shard=self.shard
+        ).assignment
 
 
 @dataclass(frozen=True)

@@ -363,6 +363,74 @@ class TestRebalanceEngine:
         assert engine.stats.tables_reused > 0
         assert engine.stats.full_builds == 1
 
+    def test_reset_mid_stream_keeps_decisions_identical(self):
+        """Differential through a reset: warm -> reset -> warm again,
+        every decision byte-identical to from-scratch throughout."""
+        rng = np.random.default_rng(17)
+        n, m, k = 60, 4, 3
+        sizes = rng.uniform(0.5, 20.0, n)
+        initial = rng.integers(0, m, n)
+        engine = RebalanceEngine(k=k)
+        for epoch in range(12):
+            if epoch == 6:
+                engine.reset()
+                assert engine.stats.decisions == 0
+            inst = make_instance(sizes=sizes, initial=initial,
+                                 num_processors=m)
+            warm = engine.rebalance(inst)
+            assert_same_decision(m_partition_rebalance(inst, k), warm)
+            initial = warm.assignment.mapping
+            sizes = sizes.copy()
+            idx = rng.choice(n, size=8, replace=False)
+            sizes[idx] *= np.exp(0.1 * rng.standard_normal(idx.size))
+        # the post-reset half really did rebuild from scratch
+        assert engine.stats.full_builds == 1
+
+    def test_interleaved_engines_match_isolated_streams(self):
+        """Two engines fed interleaved, independent streams (the
+        service's shard layout) decide exactly as two engines fed the
+        same streams in isolation."""
+        rng = np.random.default_rng(23)
+        n, m, k = 50, 4, 2
+
+        def stream(seed, epochs=10):
+            srng = np.random.default_rng(seed)
+            sizes = srng.uniform(0.5, 20.0, n)
+            initial = srng.integers(0, m, n)
+            snapshots = []
+            for _ in range(epochs):
+                snapshots.append((sizes.copy(), initial.copy()))
+                idx = srng.choice(n, size=6, replace=False)
+                sizes = sizes.copy()
+                sizes[idx] *= np.exp(0.1 * srng.standard_normal(idx.size))
+                initial = srng.integers(0, m, n)
+            return snapshots
+
+        streams = {"a": stream(1), "b": stream(2)}
+        isolated = {}
+        for name, snaps in streams.items():
+            engine = RebalanceEngine(k=k)
+            isolated[name] = [
+                engine.rebalance(make_instance(
+                    sizes=s, initial=i, num_processors=m
+                )) for s, i in snaps
+            ]
+        shards = {name: RebalanceEngine(k=k) for name in streams}
+        interleaved = {name: [] for name in streams}
+        order = list(rng.permutation(
+            [name for name in streams for _ in streams[name]]
+        ))
+        cursor = {name: 0 for name in streams}
+        for name in order:
+            s, i = streams[name][cursor[name]]
+            cursor[name] += 1
+            interleaved[name].append(shards[name].rebalance(make_instance(
+                sizes=s, initial=i, num_processors=m
+            )))
+        for name in streams:
+            for a, b in zip(isolated[name], interleaved[name]):
+                assert_same_decision(a, b)
+
     def test_prebuilt_tables_accepted_by_scanners(self):
         from repro.core import m_partition_rebalance_incremental
 

@@ -231,3 +231,147 @@ class TestOverhead:
         with telemetry.collect():
             on = best_of(3)
         assert on <= 1.5 * off + 1e-3, (off, on)
+
+
+class TestHistogram:
+    def test_empty(self):
+        hist = telemetry.Histogram()
+        assert hist.count == 0
+        assert np.isnan(hist.mean)
+        assert np.isnan(hist.quantile(0.5))
+
+    def test_single_sample_exact(self):
+        hist = telemetry.Histogram()
+        hist.record(42.0)
+        assert hist.count == 1
+        assert hist.mean == 42.0
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert hist.quantile(q) == 42.0
+
+    def test_extremes_exact(self):
+        hist = telemetry.Histogram()
+        for v in (3.0, 9.0, 1.0, 27.0):
+            hist.record(v)
+        assert hist.quantile(0.0) == 1.0
+        assert hist.quantile(1.0) == 27.0
+
+    def test_quantile_within_bucket_width(self):
+        rng = np.random.default_rng(4)
+        samples = rng.lognormal(mean=2.0, sigma=1.0, size=5000)
+        hist = telemetry.Histogram()
+        for v in samples:
+            hist.record(v)
+        for q in (0.5, 0.9, 0.95, 0.99):
+            exact = float(np.quantile(samples, q))
+            approx = hist.quantile(q)
+            # log-bucketed: within one bucket (< 10% relative error)
+            assert abs(approx - exact) / exact < 0.10, (q, exact, approx)
+
+    def test_quantile_validates_range(self):
+        with pytest.raises(ValueError):
+            telemetry.Histogram().quantile(1.5)
+
+    def test_zero_samples_bucketed(self):
+        hist = telemetry.Histogram()
+        for v in (0.0, 0.0, 0.0, 5.0):
+            hist.record(v)
+        assert hist.zeros == 3
+        assert hist.quantile(0.5) == 0.0
+        assert hist.quantile(1.0) == 5.0
+
+    def test_merge_equals_recording_together(self):
+        rng = np.random.default_rng(6)
+        a_samples = rng.uniform(0.1, 50.0, 400)
+        b_samples = rng.uniform(0.1, 50.0, 300)
+        a, b, both = (telemetry.Histogram() for _ in range(3))
+        for v in a_samples:
+            a.record(v)
+            both.record(v)
+        for v in b_samples:
+            b.record(v)
+            both.record(v)
+        a.merge(b)
+        assert a.count == both.count
+        assert a.total == pytest.approx(both.total)
+        assert a.buckets == both.buckets
+        for q in (0.1, 0.5, 0.9, 0.99):
+            assert a.quantile(q) == both.quantile(q)
+
+    def test_merge_accepts_dict_form(self):
+        a, b = telemetry.Histogram(), telemetry.Histogram()
+        a.record(1.0)
+        b.record(100.0)
+        a.merge(b.as_dict())
+        assert a.count == 2
+        assert a.quantile(1.0) == 100.0
+
+    def test_dict_roundtrip(self):
+        hist = telemetry.Histogram()
+        for v in (0.0, 0.5, 7.0, 7.0, 300.0):
+            hist.record(v)
+        data = json.loads(json.dumps(hist.as_dict()))
+        back = telemetry.Histogram.from_dict(data)
+        assert back.count == hist.count
+        assert back.zeros == hist.zeros
+        assert back.buckets == hist.buckets
+        for q in (0.0, 0.5, 1.0):
+            assert back.quantile(q) == hist.quantile(q)
+
+    def test_empty_dict_roundtrip(self):
+        data = telemetry.Histogram().as_dict()
+        assert data["min"] is None and data["max"] is None
+        back = telemetry.Histogram.from_dict(data)
+        assert back.count == 0
+        back.record(2.0)  # still usable after the degenerate roundtrip
+        assert back.quantile(0.5) == 2.0
+
+
+class TestCollectorHistograms:
+    def test_observe_records(self):
+        with telemetry.collect() as col:
+            telemetry.observe("latency_ms", 10.0)
+            telemetry.observe("latency_ms", 20.0)
+        data = col.as_dict()
+        assert data["histograms"]["latency_ms"]["count"] == 2
+
+    def test_observe_noop_when_disabled(self):
+        telemetry.observe("nothing", 1.0)  # must not raise
+        assert telemetry.current() is None
+
+    def test_histograms_key_absent_when_unused(self):
+        with telemetry.collect() as col:
+            telemetry.count("x")
+        assert "histograms" not in col.as_dict()
+
+    def test_merge_folds_histograms(self):
+        worker = telemetry.Collector()
+        worker.observe("d", 5.0)
+        worker.observe("d", 15.0)
+        parent = telemetry.Collector()
+        parent.observe("d", 10.0)
+        parent.merge(worker.as_dict())
+        assert parent.histograms["d"].count == 3
+
+    def test_since_mark_delta(self):
+        with telemetry.collect() as col:
+            telemetry.observe("d", 1.0)
+            snapshot = col.mark()
+            telemetry.observe("d", 8.0)
+            telemetry.observe("d", 8.0)
+        delta = col.since(snapshot)
+        assert delta["histograms"]["d"]["count"] == 2
+
+    def test_since_skips_unchanged_histograms(self):
+        with telemetry.collect() as col:
+            telemetry.observe("quiet", 1.0)
+            snapshot = col.mark()
+            telemetry.count("other")
+        assert "histograms" not in col.since(snapshot)
+
+    def test_render_table_includes_histograms(self):
+        with telemetry.collect() as col:
+            for v in (1.0, 2.0, 3.0):
+                telemetry.observe("latency_ms", v)
+        table = telemetry.render_table(col.as_dict())
+        assert "latency_ms" in table
+        assert "p99" in table

@@ -1,0 +1,241 @@
+"""Tests for admission control and the dynamic micro-batcher."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.core import make_instance
+from repro.core.engine import snapshot_fingerprint
+from repro.service import AdmissionQueue, BatchConfig, MicroBatcher
+
+
+def _instance(seed: int = 0):
+    rng = np.random.default_rng(seed)
+    return make_instance(
+        sizes=rng.uniform(1.0, 9.0, 12),
+        initial=rng.integers(0, 3, 12),
+        num_processors=3,
+    )
+
+
+def _request(
+    loop,
+    *,
+    shard: str = "default",
+    k: int = 2,
+    instance=None,
+    deadline: float | None = None,
+):
+    from repro.service.admission import PendingRequest
+
+    instance = _instance() if instance is None else instance
+    return PendingRequest(
+        shard=shard,
+        k=k,
+        instance=instance,
+        fingerprint=snapshot_fingerprint(instance),
+        enqueued_at=loop.time(),
+        deadline=deadline,
+        future=loop.create_future(),
+    )
+
+
+def run(coro_fn):
+    """Run an async test body on a fresh loop."""
+    return asyncio.run(coro_fn())
+
+
+class TestAdmissionQueue:
+    def test_rejects_beyond_max_depth(self):
+        async def go():
+            loop = asyncio.get_running_loop()
+            metrics = telemetry.Collector()
+            queue = AdmissionQueue(2, metrics)
+            assert queue.try_submit(_request(loop))
+            assert queue.try_submit(_request(loop))
+            assert not queue.try_submit(_request(loop))
+            assert metrics.counters["service.admitted"] == 2
+            assert metrics.counters["service.rejected"] == 1
+            assert queue.depth == 2
+
+        run(go)
+
+    def test_rejects_zero_depth_config(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(0, telemetry.Collector())
+
+    def test_retry_after_scales_with_backlog(self):
+        async def go():
+            loop = asyncio.get_running_loop()
+            queue = AdmissionQueue(64, telemetry.Collector())
+            assert queue.retry_after_ms() == queue.min_retry_after_ms
+            queue.note_service_time(0.050)
+            for _ in range(10):
+                queue.try_submit(_request(loop))
+            # 10 queued requests at an EWMA near 50ms/request.
+            assert queue.retry_after_ms() > 100.0
+
+        run(go)
+
+    def test_ewma_tracks_service_time(self):
+        queue = AdmissionQueue(4, telemetry.Collector())
+        for _ in range(50):
+            queue.note_service_time(0.2)
+        assert queue._service_time_ewma == pytest.approx(0.2, rel=0.05)
+
+    def test_shed_expired_resolves_only_stale_requests(self):
+        async def go():
+            loop = asyncio.get_running_loop()
+            metrics = telemetry.Collector()
+            queue = AdmissionQueue(8, metrics)
+            stale = _request(loop, deadline=loop.time() - 0.1)
+            fresh = _request(loop, deadline=loop.time() + 10.0)
+            unbounded = _request(loop, deadline=None)
+            now = loop.time()
+            alive = queue.shed_expired([stale, fresh, unbounded], now)
+            assert alive == [fresh, unbounded]
+            assert stale.future.done()
+            response = stale.future.result()
+            assert response["ok"] is False
+            assert response["error"] == "deadline exceeded"
+            assert response["queued_ms"] >= 0.0
+            assert not fresh.future.done()
+            assert metrics.counters["service.shed"] == 1
+
+        run(go)
+
+    def test_drain_nowait_empties_fifo(self):
+        async def go():
+            loop = asyncio.get_running_loop()
+            queue = AdmissionQueue(8, telemetry.Collector())
+            requests = [_request(loop) for _ in range(3)]
+            for request in requests:
+                queue.try_submit(request)
+            assert queue.drain_nowait() == requests
+            assert queue.depth == 0
+
+        run(go)
+
+    def test_stats_snapshot(self):
+        async def go():
+            loop = asyncio.get_running_loop()
+            queue = AdmissionQueue(8, telemetry.Collector())
+            queue.try_submit(_request(loop))
+            stats = queue.stats()
+            assert stats["depth"] == 1
+            assert stats["max_depth"] == 8
+            assert stats["retry_after_ms"] >= queue.min_retry_after_ms
+
+        run(go)
+
+
+class TestBatchConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchConfig(max_batch=0)
+        with pytest.raises(ValueError):
+            BatchConfig(max_wait_ms=-1.0)
+
+
+class TestMicroBatcher:
+    def _batcher(self, max_depth=64, **config):
+        metrics = telemetry.Collector()
+        queue = AdmissionQueue(max_depth, metrics)
+        return MicroBatcher(queue, BatchConfig(**config), metrics), queue
+
+    def test_batch_closes_at_max_batch(self):
+        async def go():
+            loop = asyncio.get_running_loop()
+            batcher, queue = self._batcher(max_batch=3, max_wait_ms=1000.0)
+            for _ in range(5):
+                queue.try_submit(_request(loop))
+            batch = await batcher.next_batch()
+            assert len(batch) == 3
+            assert queue.depth == 2
+
+        run(go)
+
+    def test_batch_closes_at_window(self):
+        async def go():
+            loop = asyncio.get_running_loop()
+            batcher, queue = self._batcher(max_batch=64, max_wait_ms=10.0)
+            queue.try_submit(_request(loop))
+            start = loop.time()
+            batch = await batcher.next_batch()
+            assert len(batch) == 1
+            assert loop.time() - start < 5.0  # closed by window, not hang
+
+        run(go)
+
+    def test_max_batch_one_skips_window(self):
+        async def go():
+            loop = asyncio.get_running_loop()
+            batcher, queue = self._batcher(max_batch=1, max_wait_ms=1000.0)
+            queue.try_submit(_request(loop))
+            batch = await batcher.next_batch()
+            assert len(batch) == 1
+
+        run(go)
+
+    def test_plan_dedupes_identical_snapshots(self):
+        async def go():
+            loop = asyncio.get_running_loop()
+            batcher, _ = self._batcher()
+            shared = _instance(seed=1)
+            other = _instance(seed=2)
+            batch = [
+                _request(loop, instance=shared),
+                _request(loop, instance=shared),
+                _request(loop, instance=other),
+            ]
+            lanes = batcher.plan(batch)
+            assert len(lanes) == 1
+            solves = lanes[0].solves
+            assert [len(s.requests) for s in solves] == [2, 1]
+            assert batcher.metrics.counters["service.deduped"] == 1
+
+        run(go)
+
+    def test_plan_does_not_dedupe_across_k(self):
+        async def go():
+            loop = asyncio.get_running_loop()
+            batcher, _ = self._batcher()
+            shared = _instance(seed=1)
+            lanes = batcher.plan([
+                _request(loop, instance=shared, k=2),
+                _request(loop, instance=shared, k=3),
+            ])
+            assert len(lanes[0].solves) == 2
+
+        run(go)
+
+    def test_plan_without_dedupe_keeps_every_request(self):
+        async def go():
+            loop = asyncio.get_running_loop()
+            batcher, _ = self._batcher(dedupe=False)
+            shared = _instance(seed=1)
+            lanes = batcher.plan([
+                _request(loop, instance=shared),
+                _request(loop, instance=shared),
+            ])
+            assert [len(s.requests) for s in lanes[0].solves] == [1, 1]
+
+        run(go)
+
+    def test_plan_splits_lanes_by_shard_preserving_order(self):
+        async def go():
+            loop = asyncio.get_running_loop()
+            batcher, _ = self._batcher()
+            a1 = _request(loop, shard="a", instance=_instance(seed=1))
+            b1 = _request(loop, shard="b", instance=_instance(seed=2))
+            a2 = _request(loop, shard="a", instance=_instance(seed=3))
+            lanes = {lane.shard: lane for lane in batcher.plan([a1, b1, a2])}
+            assert set(lanes) == {"a", "b"}
+            assert [s.requests[0] for s in lanes["a"].solves] == [a1, a2]
+            assert [s.requests[0] for s in lanes["b"].solves] == [b1]
+
+        run(go)

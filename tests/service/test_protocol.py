@@ -1,0 +1,143 @@
+"""Tests for the length-prefixed JSON wire protocol."""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    encode_frame,
+    error_response,
+    ok_response,
+    read_frame,
+    read_frame_sync,
+    write_frame_sync,
+)
+
+
+def _read_async(data: bytes):
+    """Feed raw bytes to an asyncio StreamReader and read one frame."""
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_frame(reader)
+
+    return asyncio.run(go())
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        message = {"op": "rebalance", "k": 3, "nested": {"a": [1, 2.5]}}
+        assert _read_async(encode_frame(message)) == message
+
+    def test_header_is_big_endian_length(self):
+        frame = encode_frame({"x": 1})
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+
+    def test_compact_encoding(self):
+        assert b", " not in encode_frame({"a": 1, "b": 2})
+
+    def test_multiple_frames_stream(self):
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame({"i": 1}) + encode_frame({"i": 2}))
+            reader.feed_eof()
+            return await read_frame(reader), await read_frame(reader), \
+                await read_frame(reader)
+
+        first, second, third = asyncio.run(go())
+        assert (first, second) == ({"i": 1}, {"i": 2})
+        assert third is None  # clean EOF at a frame boundary
+
+    def test_clean_eof_returns_none(self):
+        assert _read_async(b"") is None
+
+    def test_eof_mid_header_raises(self):
+        with pytest.raises(ProtocolError):
+            _read_async(b"\x00\x00")
+
+    def test_eof_mid_body_raises(self):
+        frame = encode_frame({"x": 1})
+        with pytest.raises(ProtocolError):
+            _read_async(frame[:-2])
+
+    def test_oversized_frame_rejected_without_reading_body(self):
+        header = struct.pack(">I", MAX_FRAME_BYTES + 1)
+        with pytest.raises(ProtocolError):
+            _read_async(header)
+
+    def test_bad_json_raises(self):
+        body = b"{not json"
+        with pytest.raises(ProtocolError):
+            _read_async(struct.pack(">I", len(body)) + body)
+
+    def test_non_object_payload_raises(self):
+        body = b"[1, 2, 3]"
+        with pytest.raises(ProtocolError):
+            _read_async(struct.pack(">I", len(body)) + body)
+
+    def test_encode_rejects_oversized(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"blob": "x" * MAX_FRAME_BYTES})
+
+
+class TestSyncFraming:
+    def test_roundtrip_over_socketpair(self):
+        left, right = socket.socketpair()
+        try:
+            message = {"op": "ping", "payload": list(range(10))}
+
+            def serve():
+                received = read_frame_sync(right)
+                write_frame_sync(right, {"echo": received})
+
+            thread = threading.Thread(target=serve)
+            thread.start()
+            write_frame_sync(left, message)
+            reply = read_frame_sync(left)
+            thread.join()
+            assert reply == {"echo": message}
+        finally:
+            left.close()
+            right.close()
+
+    def test_clean_close_returns_none(self):
+        left, right = socket.socketpair()
+        right.close()
+        try:
+            assert read_frame_sync(left) is None
+        finally:
+            left.close()
+
+    def test_close_mid_frame_raises(self):
+        left, right = socket.socketpair()
+        frame = encode_frame({"x": 1})
+        right.sendall(frame[:-1])
+        right.close()
+        try:
+            with pytest.raises(ProtocolError):
+                read_frame_sync(left)
+        finally:
+            left.close()
+
+
+class TestResponses:
+    def test_ok_response(self):
+        assert ok_response(op="ping", value=2) == {
+            "ok": True, "op": "ping", "value": 2,
+        }
+
+    def test_error_response(self):
+        response = error_response("overloaded", retry_after_ms=12.0)
+        assert response["ok"] is False
+        assert response["error"] == "overloaded"
+        assert response["retry_after_ms"] == 12.0

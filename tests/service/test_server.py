@@ -1,0 +1,271 @@
+"""Integration tests: server + client over real sockets.
+
+Every test spins up a fresh in-process server (random port via
+``port=0``) through :func:`repro.service.start_background` and talks
+to it with the blocking or async client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core import m_partition_rebalance, make_instance
+from repro.service import (
+    AsyncServiceClient,
+    Overloaded,
+    ServerConfig,
+    ServiceClient,
+    ServiceError,
+    start_background,
+)
+from repro.service.protocol import read_frame_sync, write_frame_sync
+
+
+def _instance(seed: int = 0, n: int = 30, m: int = 4):
+    rng = np.random.default_rng(seed)
+    return make_instance(
+        sizes=rng.uniform(1.0, 9.0, n),
+        initial=rng.integers(0, m, n),
+        num_processors=m,
+    )
+
+
+def _same_decision(result, scratch):
+    assert np.array_equal(
+        result.assignment.mapping, scratch.assignment.mapping
+    )
+    assert result.guessed_opt == scratch.guessed_opt
+    assert result.planned_moves == scratch.planned_moves
+
+
+@pytest.fixture()
+def server():
+    with start_background(ServerConfig()) as handle:
+        yield handle
+
+
+class TestRebalanceOp:
+    def test_roundtrip_matches_scratch_solver(self, server):
+        inst = _instance()
+        k = 3
+        with ServiceClient(server.host, server.port) as client:
+            result = client.rebalance(inst, k)
+        _same_decision(result, m_partition_rebalance(inst, k))
+        assert result.meta["service"]["latency_s"] > 0.0
+        assert result.meta["service"]["batch"]["size"] >= 1
+
+    def test_sequential_stream_matches_scratch(self, server):
+        rng = np.random.default_rng(3)
+        sizes = rng.uniform(1.0, 9.0, 40)
+        initial = rng.integers(0, 4, 40)
+        k = 2
+        with ServiceClient(server.host, server.port) as client:
+            for _ in range(6):
+                inst = make_instance(
+                    sizes=sizes, initial=initial, num_processors=4
+                )
+                result = client.rebalance(inst, k)
+                _same_decision(result, m_partition_rebalance(inst, k))
+                initial = result.assignment.mapping
+                sizes = sizes * rng.uniform(0.9, 1.1, sizes.size)
+
+    def test_naive_config_matches_scratch(self):
+        inst = _instance(seed=5)
+        with start_background(ServerConfig.naive()) as handle:
+            with ServiceClient(handle.host, handle.port) as client:
+                result = client.rebalance(inst, 2)
+        _same_decision(result, m_partition_rebalance(inst, 2))
+
+    def test_concurrent_identical_requests_deduped(self, server):
+        """Duplicate snapshots in flight together collapse into one
+        solve: every response is identical and at least one batch
+        reports fewer unique solves than its size."""
+        inst = _instance(seed=7)
+        scratch = m_partition_rebalance(inst, 2)
+
+        async def go():
+            clients = [
+                AsyncServiceClient(server.host, server.port)
+                for _ in range(8)
+            ]
+            try:
+                return await asyncio.gather(
+                    *(c.rebalance(inst, 2) for c in clients)
+                )
+            finally:
+                for c in clients:
+                    await c.close()
+
+        results = asyncio.run(go())
+        for result in results:
+            _same_decision(result, scratch)
+        batches = [r.meta["service"]["batch"] for r in results]
+        assert any(b["unique"] < b["size"] for b in batches)
+
+    def test_expired_deadline_is_shed(self, server):
+        with ServiceClient(server.host, server.port, retries=0) as client:
+            with pytest.raises(ServiceError, match="deadline exceeded"):
+                client.rebalance(_instance(), 2, deadline_ms=0.0)
+
+    def test_bad_request_missing_instance(self, server):
+        with ServiceClient(server.host, server.port, retries=0) as client:
+            response = client.call({"op": "rebalance", "k": 2})
+            assert response["ok"] is False
+            assert response["error"] == "bad request"
+
+    def test_bad_request_negative_k(self, server):
+        inst = _instance()
+        with ServiceClient(server.host, server.port, retries=0) as client:
+            response = client.call(
+                {"op": "rebalance", "k": -1, "instance": inst.to_dict()}
+            )
+            assert response["ok"] is False
+            assert response["error"] == "bad request"
+
+    def test_admission_rejects_when_queue_full(self):
+        """naive server, queue depth 1: while a slow solve occupies the
+        solver, the queue holds one follow-up and the rest bounce with
+        ``overloaded`` + a retry hint."""
+        rng = np.random.default_rng(9)
+        big = make_instance(
+            sizes=rng.uniform(1.0, 9.0, 8000),
+            initial=rng.integers(0, 32, 8000),
+            num_processors=32,
+        )
+        config = ServerConfig.naive(max_queue=1)
+
+        async def go(host, port):
+            clients = [
+                AsyncServiceClient(host, port, retries=0) for _ in range(4)
+            ]
+            try:
+                slow = asyncio.ensure_future(clients[0].rebalance(big, 4))
+                # let the batcher drain the slow request into the solver
+                await asyncio.sleep(0.05)
+                rest = await asyncio.gather(
+                    *(c.rebalance(big, 4) for c in clients[1:]),
+                    return_exceptions=True,
+                )
+                return await slow, rest
+            finally:
+                for c in clients:
+                    await c.close()
+
+        with start_background(config) as handle:
+            first, rest = asyncio.run(go(handle.host, handle.port))
+        _same_decision(first, m_partition_rebalance(big, 4))
+        rejections = [r for r in rest if isinstance(r, Overloaded)]
+        served = [r for r in rest if not isinstance(r, Exception)]
+        assert rejections, rest
+        assert all(r.retry_after_ms > 0 for r in rejections)
+        for result in served:
+            _same_decision(result, m_partition_rebalance(big, 4))
+
+
+class TestControlOps:
+    def test_ping(self, server):
+        with ServiceClient(server.host, server.port) as client:
+            assert client.ping()
+
+    def test_status_reports_config_queue_and_shards(self, server):
+        with ServiceClient(server.host, server.port) as client:
+            client.rebalance(_instance(), 2, shard="alpha")
+            status = client.status()
+        assert status["config"]["max_batch"] == 16
+        assert status["queue"]["depth"] == 0
+        assert status["shards"]["alpha"]["decisions"] == 1
+        assert status["metrics"]["counters"]["service.ok"] == 1
+        assert status["uptime_s"] > 0.0
+
+    def test_reset_clears_named_shard(self, server):
+        inst = _instance()
+        with ServiceClient(server.host, server.port) as client:
+            client.rebalance(inst, 2, shard="alpha")
+            client.rebalance(inst, 2, shard="beta")
+            assert client.reset("alpha") == ["alpha"]
+            status = client.status()
+            assert status["shards"]["alpha"]["decisions"] == 0
+            assert status["shards"]["beta"]["decisions"] == 1
+            assert sorted(client.reset()) == ["alpha", "beta"]
+
+    def test_reset_decisions_unchanged_after_reset(self, server):
+        """Engine contract: a reset shard re-derives identical
+        decisions from scratch."""
+        inst = _instance(seed=11)
+        with ServiceClient(server.host, server.port) as client:
+            before = client.rebalance(inst, 2)
+            client.reset()
+            after = client.rebalance(inst, 2)
+        assert np.array_equal(
+            before.assignment.mapping, after.assignment.mapping
+        )
+
+    def test_unknown_op(self, server):
+        with ServiceClient(server.host, server.port, retries=0) as client:
+            response = client.call({"op": "defragment"})
+            assert response["ok"] is False
+            assert response["error"] == "unknown op"
+
+    def test_shard_k_change_rebuilds_engine(self, server):
+        inst = _instance()
+        with ServiceClient(server.host, server.port) as client:
+            client.rebalance(inst, 2, shard="s")
+            result = client.rebalance(inst, 3, shard="s")
+            _same_decision(result, m_partition_rebalance(inst, 3))
+            status = client.status()
+        counters = status["metrics"]["counters"]
+        assert counters["service.shard_rebuilds"] == 1
+
+
+class TestTransport:
+    def test_malformed_frame_gets_error_then_close(self, server):
+        import socket
+
+        with socket.create_connection(
+            (server.host, server.port), timeout=5.0
+        ) as sock:
+            sock.sendall(b"\x00\x00\x00\x03not-json!")
+            response = read_frame_sync(sock)
+            assert response["ok"] is False
+            # server closes the poisoned connection afterwards
+            assert read_frame_sync(sock) is None
+
+    def test_raw_status_op(self, server):
+        import socket
+
+        with socket.create_connection(
+            (server.host, server.port), timeout=5.0
+        ) as sock:
+            write_frame_sync(sock, {"op": "ping"})
+            assert read_frame_sync(sock)["ok"] is True
+
+    def test_client_reconnects_after_server_side_close(self, server):
+        with ServiceClient(server.host, server.port, retries=2) as client:
+            assert client.ping()
+            # Poison the connection server-side with a bad frame: the
+            # server answers it with an error frame and closes.  The
+            # next call reads that stale error (ping -> False), and the
+            # one after hits the closed socket and reconnects cleanly.
+            client._connection().sendall(b"\x00\x00\x00\x02{]")
+            assert not client.ping()
+            assert client.ping()
+
+
+class TestLifecycle:
+    def test_stop_is_idempotent(self):
+        handle = start_background(ServerConfig())
+        with ServiceClient(handle.host, handle.port) as client:
+            assert client.ping()
+        handle.stop()
+        handle.stop()
+
+    def test_two_servers_coexist(self):
+        with start_background(ServerConfig()) as one:
+            with start_background(ServerConfig()) as two:
+                assert one.port != two.port
+                with ServiceClient(one.host, one.port) as c1, \
+                        ServiceClient(two.host, two.port) as c2:
+                    assert c1.ping() and c2.ping()
