@@ -17,6 +17,8 @@ from .experiments import (
     experiment_e12_engine,
     experiment_e13_kernels,
     experiment_e14_service,
+    experiment_e15_wire,
+    wire_sizes,
 )
 from .ablations import (
     ALL_ABLATIONS,
@@ -51,8 +53,10 @@ __all__ = [
     "experiment_e12_engine",
     "experiment_e13_kernels",
     "experiment_e14_service",
+    "experiment_e15_wire",
     "loglog_slope",
     "measure_ratios",
     "measure_scaling",
     "render_table",
+    "wire_sizes",
 ]

@@ -28,7 +28,7 @@ SERVICE_COMMANDS = ("serve", "loadgen")
 
 def _runnable_span() -> str:
     """Compact id summary for ``--help``, derived from the registry so
-    it never goes stale: ``"E1..E14, A1..A3"``."""
+    it never goes stale: ``"E1..E15, A1..A3"``."""
     groups: dict[str, list[str]] = {}
     for key in ALL_RUNNABLE:
         groups.setdefault(key.rstrip("0123456789"), []).append(key)

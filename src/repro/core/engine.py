@@ -221,12 +221,20 @@ class RebalanceEngine:
         self._tables = tables
         return tables
 
-    def rebalance(self, instance: Instance) -> RebalanceResult:
+    def rebalance(
+        self, instance: Instance, *, fingerprint: bytes | None = None
+    ) -> RebalanceResult:
         """Decide one epoch: M-PARTITION on ``instance`` with budget
-        ``k``, served warm from the engine's caches."""
+        ``k``, served warm from the engine's caches.
+
+        ``fingerprint`` lets a caller that already hashed the snapshot
+        (the service layer computes :func:`snapshot_fingerprint` at
+        admission for batching dedupe and delta bases) skip the second
+        blake2b pass; it must be ``snapshot_fingerprint(instance)``.
+        """
         tmark = telemetry.mark()
         self.stats.decisions += 1
-        fp = _fingerprint(instance)
+        fp = fingerprint if fingerprint is not None else _fingerprint(instance)
         cached = self._cache.get(fp)
         if cached is not None:
             self._cache.move_to_end(fp)

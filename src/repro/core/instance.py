@@ -21,7 +21,7 @@ import numpy as np
 
 from .job import Job
 
-__all__ = ["Instance", "make_instance"]
+__all__ = ["Instance", "apply_delta", "compute_delta", "make_instance"]
 
 
 def _as_readonly_f64(values: Sequence[float] | np.ndarray, name: str) -> np.ndarray:
@@ -166,6 +166,24 @@ class Instance:
             "initial": self.initial.tolist(),
         }
 
+    def to_wire(self) -> dict:
+        """Buffer export: like :meth:`to_dict` but with the arrays kept
+        as numpy arrays instead of Python lists.
+
+        The binary wire protocol (:mod:`repro.service.protocol` v2)
+        ships these buffers raw; a JSON encoder listifies them to the
+        exact :meth:`to_dict` output.  :meth:`from_dict` accepts either
+        form, so ``from_dict(to_wire(...))`` round-trips bit-exactly —
+        that is the buffer import path for frames decoded zero-copy via
+        ``np.frombuffer``.
+        """
+        return {
+            "sizes": self.sizes,
+            "costs": self.costs,
+            "num_processors": self.num_processors,
+            "initial": self.initial,
+        }
+
     def to_json(self) -> str:
         """Canonical JSON encoding of this instance."""
         return json.dumps(self.to_dict(), sort_keys=True)
@@ -221,6 +239,69 @@ class Instance:
             num_processors=self.num_processors,
             initial=self.initial,
         )
+
+
+def compute_delta(base: Instance, new: Instance) -> dict | None:
+    """Changed-site delta turning ``base`` into ``new``, or ``None``.
+
+    The delta lists every job index whose size, cost, or initial
+    placement differs, with the new values at those indices — the
+    payload a v2 delta frame carries instead of a full snapshot.
+    ``None`` means the instances are not delta-compatible (different
+    job count or processor count) and a full snapshot must be sent.
+    Comparisons are bit-exact (``!=`` on the raw float64/int64 arrays),
+    so ``apply_delta(base, compute_delta(base, new))`` reconstructs
+    ``new`` bit for bit.
+    """
+    if (
+        base.num_jobs != new.num_jobs
+        or base.num_processors != new.num_processors
+    ):
+        return None
+    changed = (
+        (base.sizes != new.sizes)
+        | (base.costs != new.costs)
+        | (base.initial != new.initial)
+    )
+    idx = np.flatnonzero(changed)
+    return {
+        "idx": idx.astype(np.int64, copy=False),
+        "sizes": new.sizes[idx],
+        "costs": new.costs[idx],
+        "initial": new.initial[idx],
+    }
+
+
+def apply_delta(base: Instance, delta: dict) -> Instance:
+    """Inverse of :func:`compute_delta`: materialize the new snapshot.
+
+    ``delta`` values may be lists (JSON transport) or numpy arrays
+    (binary transport).  Raises :class:`ValueError` on malformed deltas
+    — mismatched array lengths or job indices outside ``[0, n)`` — so
+    wire-facing callers can map it to a ``bad request``.
+    """
+    idx = np.asarray(delta["idx"], dtype=np.int64)
+    sizes_new = np.asarray(delta["sizes"], dtype=np.float64)
+    costs_new = np.asarray(delta["costs"], dtype=np.float64)
+    initial_new = np.asarray(delta["initial"], dtype=np.int64)
+    if not (idx.shape == sizes_new.shape == costs_new.shape == initial_new.shape):
+        raise ValueError("delta arrays must all have the changed-site length")
+    if idx.size and (idx.min() < 0 or idx.max() >= base.num_jobs):
+        raise ValueError(
+            f"delta refers to jobs outside [0, {base.num_jobs})"
+        )
+    sizes = base.sizes.copy()
+    costs = base.costs.copy()
+    initial = base.initial.copy()
+    sizes[idx] = sizes_new
+    costs[idx] = costs_new
+    initial[idx] = initial_new
+    return Instance(
+        sizes=sizes,
+        costs=costs,
+        num_processors=base.num_processors,
+        initial=initial,
+    )
 
 
 def make_instance(

@@ -26,13 +26,19 @@ while returning the identical threshold to the serial scan.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Iterable, Sequence
 
 from . import telemetry
 
-__all__ = ["default_workers", "run_sweep", "run_until"]
+__all__ = [
+    "PersistentWorkerPool",
+    "default_workers",
+    "run_sweep",
+    "run_until",
+]
 
 
 def default_workers() -> int:
@@ -99,6 +105,166 @@ def run_sweep(
             results[idx] = out
             _merge_worker_telemetry(tel)
     return results
+
+
+# ----------------------------------------------------------------------
+# Persistent workers: long-lived processes with addressable state
+# ----------------------------------------------------------------------
+_OK = b"\x00"
+_ERR = b"\x01"
+
+
+def _persistent_worker_loop(conn, handler, initializer, initargs) -> None:
+    """Worker-process main: init once, then serve requests until EOF.
+
+    The reply wire format is one status byte (0 = ok payload follows,
+    1 = utf-8 error text follows) so a handler bug surfaces as a
+    :class:`RuntimeError` in the parent instead of a hung pipe.
+    """
+    try:
+        if initializer is not None:
+            initializer(*initargs)
+    except BaseException as exc:  # report init failure, then exit
+        try:
+            conn.send_bytes(_ERR + f"{type(exc).__name__}: {exc}".encode())
+        finally:
+            conn.close()
+        return
+    conn.send_bytes(_OK)  # ready handshake
+    while True:
+        try:
+            payload = conn.recv_bytes()
+        except (EOFError, OSError):
+            break
+        if not payload:  # empty request = orderly shutdown
+            break
+        try:
+            reply = handler(payload)
+        except BaseException as exc:
+            conn.send_bytes(_ERR + f"{type(exc).__name__}: {exc}".encode())
+            continue
+        conn.send_bytes(_OK + reply)
+    conn.close()
+
+
+class PersistentWorkerPool:
+    """N long-lived worker processes, each owning process-local state.
+
+    :class:`~concurrent.futures.ProcessPoolExecutor` (and
+    :func:`run_sweep` over it) treats workers as interchangeable —
+    right for stateless sweeps, wrong for stateful servers: the service
+    layer's multi-process shard executor needs every request for one
+    shard to land in the *same* process, where that shard's warm
+    :class:`~repro.core.engine.RebalanceEngine` lives.  This pool keeps
+    the workers addressable: the caller picks the worker index, so
+    affinity is the caller's (deterministic) routing function.
+
+    Messages are raw ``bytes`` both ways (``Connection.send_bytes`` —
+    no pickling; the service marshals arrays with its binary wire
+    codec).  ``handler`` must be a picklable module-level function
+    ``bytes -> bytes``; ``initializer(*initargs)`` runs once per worker
+    before the ready handshake.  Workers are started with the ``spawn``
+    context: forking a process that already runs an asyncio loop plus
+    solver threads is undefined behavior, and spawn keeps the workers'
+    import state explicit.
+
+    Concurrency contract: ``request`` is not thread-safe; exactly one
+    thread drives the pool (the service's single solve-executor
+    thread).  A worker that dies mid-request surfaces as
+    :class:`RuntimeError` from ``request``.
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[bytes], bytes],
+        workers: int,
+        *,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple = (),
+    ) -> None:
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        ctx = multiprocessing.get_context("spawn")
+        self._procs = []
+        self._conns = []
+        for _ in range(workers):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_persistent_worker_loop,
+                args=(child, handler, initializer, initargs),
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            self._procs.append(proc)
+            self._conns.append(parent)
+        for index, conn in enumerate(self._conns):
+            try:
+                ready = conn.recv_bytes()
+            except (EOFError, OSError) as exc:
+                self.close()
+                raise RuntimeError(f"worker {index} died during startup") from exc
+            if ready[:1] == _ERR:
+                message = ready[1:].decode("utf-8", "replace")
+                self.close()
+                raise RuntimeError(f"worker {index} failed to initialize: {message}")
+
+    @property
+    def workers(self) -> int:
+        return len(self._procs)
+
+    def request(self, assignments: dict[int, bytes]) -> dict[int, bytes]:
+        """One round: send each worker its payload, gather every reply.
+
+        ``assignments`` maps worker index -> request bytes.  All sends
+        complete before the first receive, so the addressed workers run
+        concurrently; the reply dict has the same keys.
+        """
+        for index, payload in assignments.items():
+            if not payload:
+                raise ValueError("empty payloads are reserved for shutdown")
+            self._conns[index].send_bytes(payload)
+        replies: dict[int, bytes] = {}
+        for index in assignments:
+            try:
+                reply = self._conns[index].recv_bytes()
+            except (EOFError, OSError) as exc:
+                raise RuntimeError(f"worker {index} died mid-request") from exc
+            if reply[:1] == _ERR:
+                raise RuntimeError(
+                    f"worker {index} failed: {reply[1:].decode('utf-8', 'replace')}"
+                )
+            replies[index] = reply[1:]
+        return replies
+
+    def broadcast(self, payload: bytes) -> dict[int, bytes]:
+        """``request`` to every worker at once (stats, resets)."""
+        return self.request({index: payload for index in range(self.workers)})
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Orderly shutdown: EOF every pipe, join, terminate stragglers."""
+        for conn in self._conns:
+            try:
+                conn.send_bytes(b"")
+            except (OSError, ValueError):
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for proc in self._procs:
+            proc.join(timeout)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout)
+        self._procs = []
+        self._conns = []
+
+    def __enter__(self) -> "PersistentWorkerPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
 
 def run_until(

@@ -2,15 +2,18 @@
 
 Everything before this package calls solvers in-process; this package
 puts the paper's online setting on the wire.  A stdlib-asyncio TCP
-server speaks a length-prefixed JSON protocol (``rebalance``,
-``status``, ``reset``, ``ping``), maps requests onto named *shards* —
-one warm :class:`~repro.core.engine.RebalanceEngine` each — and runs
-them through the same pipeline an inference-serving stack uses::
+server speaks two negotiated wire formats on one port — v1
+length-prefixed JSON and v2 binary frames carrying raw array buffers
+and changed-site delta snapshots (``rebalance``, ``status``, ``reset``,
+``ping``) — maps requests onto named *shards* — one warm
+:class:`~repro.core.engine.RebalanceEngine` each — and runs them
+through the same pipeline an inference-serving stack uses::
 
     connections → admission queue → micro-batcher → engine pool
                   (bounded,         (max size +      (per-shard warm
-                   reject +          max wait,        engines, thread
-                   deadline shed)    dedupe)          fan-out)
+                   reject +          max wait,        engines; thread
+                   deadline shed)    dedupe)          fan-out or process
+                                                      workers w/ affinity)
 
 Module map: :mod:`~repro.service.protocol` (framing),
 :mod:`~repro.service.admission` (bounded queue + backpressure),
@@ -29,16 +32,23 @@ from .loadgen import (
     LoadGenReport,
     build_snapshots,
     calibrate_workload,
+    calibrate_wire_workload,
     run_loadgen,
 )
 from .protocol import (
     MAX_FRAME_BYTES,
+    PROTOCOL_V1,
+    PROTOCOL_V2,
     ProtocolError,
     encode_frame,
     error_response,
     ok_response,
+    pack_payload,
     read_frame,
     read_frame_sync,
+    read_frame_sync_versioned,
+    read_frame_versioned,
+    unpack_payload,
     write_frame_sync,
 )
 from .server import (
@@ -58,6 +68,8 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "MicroBatcher",
     "Overloaded",
+    "PROTOCOL_V1",
+    "PROTOCOL_V2",
     "PendingRequest",
     "ProtocolError",
     "RebalanceServer",
@@ -70,12 +82,17 @@ __all__ = [
     "UniqueSolve",
     "build_snapshots",
     "calibrate_workload",
+    "calibrate_wire_workload",
     "encode_frame",
     "error_response",
     "ok_response",
+    "pack_payload",
     "read_frame",
     "read_frame_sync",
+    "read_frame_sync_versioned",
+    "read_frame_versioned",
     "run_loadgen",
     "start_background",
+    "unpack_payload",
     "write_frame_sync",
 ]

@@ -47,6 +47,15 @@ def _server_arguments(parser: argparse.ArgumentParser) -> None:
         help="worker threads fanning out independent shard lanes",
     )
     parser.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+        help="where shard engines live: this process (thread fan-out) "
+        "or a pool of long-lived worker processes with shard affinity",
+    )
+    parser.add_argument(
+        "--process-workers", type=int, default=2,
+        help="worker processes for --executor process",
+    )
+    parser.add_argument(
         "--naive", action="store_true",
         help="one-request-per-solve control mode: batch size 1, no "
         "dedupe, no warm engine (the E14 baseline)",
@@ -57,6 +66,7 @@ def _config_from(args: argparse.Namespace) -> ServerConfig:
     common = dict(
         host=args.host, port=args.port, max_queue=args.max_queue,
         solver_workers=args.solver_workers,
+        executor=args.executor, process_workers=args.process_workers,
     )
     if args.naive:
         return ServerConfig.naive(**common)
@@ -129,6 +139,21 @@ def loadgen_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--k", type=int, default=8)
     parser.add_argument("--deadline-ms", type=float, default=500.0)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--protocol", choices=("json", "binary"),
+                        default="json",
+                        help="wire format: v1 length-prefixed JSON or "
+                        "v2 binary frames with raw array buffers")
+    parser.add_argument("--delta", action="store_true",
+                        help="send changed-site delta snapshots "
+                        "(requires --protocol binary)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="distinct server shards to round-robin "
+                        "(each gets its own snapshot stream lane)")
+    parser.add_argument("--traffic", choices=("drift", "steady"),
+                        default="drift",
+                        help="drift: diurnal+flash (every site moves "
+                        "each epoch); steady: flash crowds only "
+                        "(sparse churn, the delta-friendly regime)")
     parser.add_argument("--json", action="store_true",
                         help="print the full report as JSON")
     parser.add_argument("--assert-clean", action="store_true",
@@ -139,11 +164,15 @@ def loadgen_main(argv: list[str] | None = None) -> int:
                         help="exit 1 if p99 latency exceeds this bound")
     args = parser.parse_args(argv)
 
+    if args.delta and args.protocol != "binary":
+        parser.error("--delta requires --protocol binary")
     config = LoadGenConfig(
         rate=args.rate, duration_s=args.duration,
         connections=args.connections, duplicates=args.duplicates,
         num_sites=args.sites, num_servers=args.servers,
         k=args.k, deadline_ms=args.deadline_ms, seed=args.seed,
+        protocol=args.protocol, delta=args.delta,
+        shards=args.shards, traffic=args.traffic,
     )
 
     handle = None

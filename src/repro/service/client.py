@@ -1,13 +1,25 @@
 """Sync and async clients for the rebalancing service.
 
-Both speak the length-prefixed JSON protocol of
-:mod:`repro.service.protocol`, reconnect on transport failure, honor
-the server's ``overloaded`` backpressure (sleep ``retry_after_ms``,
-then retry, up to ``retries`` times), and rebuild a full
+Both speak the two wire formats of :mod:`repro.service.protocol` —
+``protocol="json"`` (v1 length-prefixed JSON, the default) or
+``protocol="binary"`` (v2 frames whose numeric arrays travel as raw
+little-endian buffers) — reconnect on transport failure, honor the
+server's ``overloaded`` backpressure (sleep ``retry_after_ms``, then
+retry, up to ``retries`` times), and rebuild a full
 :class:`~repro.core.result.RebalanceResult` from the response — the
 returned object is interchangeable with an in-process solver call,
 which is what lets :class:`~repro.websim.policies.ServicePolicy` drive
 the simulator through the wire unchanged.
+
+``delta=True`` (binary protocol only) turns on **delta snapshots**: the
+client remembers, per shard, the last snapshot the server acknowledged
+(by the ``fingerprint`` in its response) and ships only the changed
+sites of the next one (:func:`repro.core.instance.compute_delta`).  A
+server that no longer holds the base answers ``unknown base`` and the
+client transparently resends the full snapshot — delta mode is a pure
+bytes-on-wire optimization, never a different answer.  The
+``deltas_sent`` / ``fulls_sent`` counters expose how often each path
+ran.
 
 :class:`ServiceClient` is the blocking client (tests, simulator
 policies, scripts); :class:`AsyncServiceClient` is the asyncio client
@@ -24,9 +36,11 @@ from typing import Any
 import numpy as np
 
 from ..core.assignment import Assignment
-from ..core.instance import Instance
+from ..core.instance import Instance, compute_delta
 from ..core.result import RebalanceResult
 from .protocol import (
+    PROTOCOL_V1,
+    PROTOCOL_V2,
     ProtocolError,
     encode_frame,
     read_frame,
@@ -85,6 +99,77 @@ def _raise_for(response: dict[str, Any]) -> None:
     raise ServiceError(error, response)
 
 
+class _WireState:
+    """Shared protocol/delta bookkeeping of both client flavors."""
+
+    def __init__(self, protocol: str, delta: bool) -> None:
+        if protocol not in ("json", "binary"):
+            raise ValueError(f"unknown protocol {protocol!r}")
+        if delta and protocol != "binary":
+            raise ValueError("delta snapshots require the binary protocol")
+        self.protocol = protocol
+        self.delta = delta
+        self.version = PROTOCOL_V2 if protocol == "binary" else PROTOCOL_V1
+        # Per shard: (fingerprint hex, instance) of the last snapshot
+        # the server acknowledged — the delta base.
+        self.bases: dict[str, tuple[str, Instance]] = {}
+        self.deltas_sent = 0
+        self.fulls_sent = 0
+
+    def rebalance_message(
+        self,
+        instance: Instance,
+        k: int,
+        shard: str,
+        deadline_ms: float | None,
+        *,
+        full: bool = False,
+    ) -> tuple[dict[str, Any], bool]:
+        """The request body and whether it carries a delta.
+
+        A delta is only worth sending when it is actually smaller on the
+        wire: a full snapshot ships ``3n`` array values, a delta ``4c``
+        (the index array rides along), so ``4c < 3n`` is the cutover.
+        """
+        message: dict[str, Any] = {"op": "rebalance", "shard": shard, "k": k}
+        if deadline_ms is not None:
+            message["deadline_ms"] = deadline_ms
+        sent_delta = False
+        if self.delta and not full:
+            base = self.bases.get(shard)
+            if base is not None:
+                fp_hex, base_instance = base
+                delta = compute_delta(base_instance, instance)
+                if delta is not None and 4 * len(delta["idx"]) < 3 * instance.num_jobs:
+                    message["delta"] = {"base": fp_hex, **delta}
+                    sent_delta = True
+        if not sent_delta:
+            message["instance"] = (
+                instance.to_wire() if self.protocol == "binary"
+                else instance.to_dict()
+            )
+        if sent_delta:
+            self.deltas_sent += 1
+        else:
+            self.fulls_sent += 1
+        return message, sent_delta
+
+    def note_response(
+        self, shard: str, instance: Instance, response: dict[str, Any]
+    ) -> None:
+        if not self.delta:
+            return
+        fp_hex = response.get("fingerprint")
+        if isinstance(fp_hex, str):
+            self.bases[shard] = (fp_hex, instance)
+
+    def forget(self, shard: str | None) -> None:
+        if shard is None:
+            self.bases.clear()
+        else:
+            self.bases.pop(shard, None)
+
+
 class ServiceClient:
     """Blocking client over one lazily (re)connected TCP socket.
 
@@ -100,12 +185,25 @@ class ServiceClient:
         *,
         timeout: float = 30.0,
         retries: int = 3,
+        protocol: str = "json",
+        delta: bool = False,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
         self.retries = retries
+        self._wire = _WireState(protocol, delta)
         self._sock: socket.socket | None = None
+
+    @property
+    def deltas_sent(self) -> int:
+        """Rebalance requests that went out as delta frames."""
+        return self._wire.deltas_sent
+
+    @property
+    def fulls_sent(self) -> int:
+        """Rebalance requests that went out as full snapshots."""
+        return self._wire.fulls_sent
 
     # -- connection management ----------------------------------------
     def _connection(self) -> socket.socket:
@@ -136,7 +234,7 @@ class ServiceClient:
         for attempt in range(self.retries + 1):
             try:
                 sock = self._connection()
-                write_frame_sync(sock, message)
+                write_frame_sync(sock, message, version=self._wire.version)
                 response = read_frame_sync(sock)
             except (OSError, ProtocolError) as exc:
                 # Dead or poisoned connection: drop it and retry fresh.
@@ -169,18 +267,22 @@ class ServiceClient:
     ) -> RebalanceResult:
         """Solve one snapshot remotely; raises :class:`ServiceError` on
         a non-ok response that outlives the retry budget."""
-        message: dict[str, Any] = {
-            "op": "rebalance",
-            "shard": shard,
-            "k": k,
-            "instance": instance.to_dict(),
-        }
-        if deadline_ms is not None:
-            message["deadline_ms"] = deadline_ms
+        message, sent_delta = self._wire.rebalance_message(
+            instance, k, shard, deadline_ms
+        )
         start = time.perf_counter()
         response = self.call(message)
+        if sent_delta and response.get("error") == "unknown base":
+            # The server evicted (or restarted past) our base: fall
+            # back to a full snapshot, once, and rebase from there.
+            self._wire.forget(shard)
+            message, _ = self._wire.rebalance_message(
+                instance, k, shard, deadline_ms, full=True
+            )
+            response = self.call(message)
         if not response.get("ok"):
             _raise_for(response)
+        self._wire.note_response(shard, instance, response)
         return _result_from_response(
             instance, response, time.perf_counter() - start
         )
@@ -198,6 +300,7 @@ class ServiceClient:
         response = self.call(message)
         if not response.get("ok"):
             _raise_for(response)  # pragma: no cover - reset cannot fail
+        self._wire.forget(shard)
         return list(response.get("reset", []))
 
     def ping(self) -> bool:
@@ -214,12 +317,25 @@ class AsyncServiceClient:
         *,
         timeout: float = 30.0,
         retries: int = 3,
+        protocol: str = "json",
+        delta: bool = False,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
         self.retries = retries
+        self._wire = _WireState(protocol, delta)
         self._streams: tuple[asyncio.StreamReader, asyncio.StreamWriter] | None = None
+
+    @property
+    def deltas_sent(self) -> int:
+        """Rebalance requests that went out as delta frames."""
+        return self._wire.deltas_sent
+
+    @property
+    def fulls_sent(self) -> int:
+        """Rebalance requests that went out as full snapshots."""
+        return self._wire.fulls_sent
 
     async def _connection(self) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
         if self._streams is None:
@@ -250,7 +366,7 @@ class AsyncServiceClient:
         for attempt in range(self.retries + 1):
             try:
                 reader, writer = await self._connection()
-                writer.write(encode_frame(message))
+                writer.write(encode_frame(message, version=self._wire.version))
                 await writer.drain()
                 response = await asyncio.wait_for(
                     read_frame(reader), self.timeout
@@ -282,18 +398,20 @@ class AsyncServiceClient:
         shard: str = "default",
         deadline_ms: float | None = None,
     ) -> RebalanceResult:
-        message: dict[str, Any] = {
-            "op": "rebalance",
-            "shard": shard,
-            "k": k,
-            "instance": instance.to_dict(),
-        }
-        if deadline_ms is not None:
-            message["deadline_ms"] = deadline_ms
+        message, sent_delta = self._wire.rebalance_message(
+            instance, k, shard, deadline_ms
+        )
         start = time.perf_counter()
         response = await self.call(message)
+        if sent_delta and response.get("error") == "unknown base":
+            self._wire.forget(shard)
+            message, _ = self._wire.rebalance_message(
+                instance, k, shard, deadline_ms, full=True
+            )
+            response = await self.call(message)
         if not response.get("ok"):
             _raise_for(response)
+        self._wire.note_response(shard, instance, response)
         return _result_from_response(
             instance, response, time.perf_counter() - start
         )

@@ -40,6 +40,7 @@ __all__ = [
     "LoadGenReport",
     "build_snapshots",
     "calibrate_workload",
+    "calibrate_wire_workload",
     "run_loadgen",
 ]
 
@@ -52,6 +53,7 @@ class LoadGenConfig:
     duration_s: float = 2.0      # arrival window
     connections: int = 8         # persistent connection pool size
     shard: str = "default"
+    shards: int = 1              # distinct server shards round-robined
     k: int = 8
     deadline_ms: float | None = 500.0
     duplicates: int = 4          # identical submissions per snapshot
@@ -61,6 +63,9 @@ class LoadGenConfig:
     seed: int = 0
     timeout: float = 30.0
     retries: int = 0             # retrying would distort the open loop
+    protocol: str = "json"       # "json" (v1) | "binary" (v2)
+    delta: bool = False          # changed-site snapshots (binary only)
+    traffic: str = "drift"       # "drift" | "steady" (sparse churn)
 
     def __post_init__(self) -> None:
         if self.rate <= 0:
@@ -69,6 +74,32 @@ class LoadGenConfig:
             raise ValueError("duration_s must be positive")
         if self.duplicates <= 0:
             raise ValueError("duplicates must be positive")
+        if self.shards <= 0:
+            raise ValueError("shards must be positive")
+        if self.protocol not in ("json", "binary"):
+            raise ValueError(f"unknown protocol {self.protocol!r}")
+        if self.delta and self.protocol != "binary":
+            raise ValueError("delta snapshots require the binary protocol")
+        if self.traffic not in ("drift", "steady"):
+            raise ValueError(f"unknown traffic model {self.traffic!r}")
+
+    def shard_for(self, index: int) -> str:
+        """The shard request ``index`` goes to.
+
+        With ``shards == 1`` every request hits ``shard`` (the original
+        single-lane workload).  With more, consecutive ``duplicates``
+        requests share one shard and the shards round-robin, so each of
+        the ``shards`` lanes sees its own coherent snapshot stream —
+        the multi-shard workload the process executor parallelizes.
+        """
+        if self.shards == 1:
+            return self.shard
+        return f"{self.shard}-{(index // self.duplicates) % self.shards}"
+
+    def snapshot_index(self, index: int) -> int:
+        """Which epoch snapshot request ``index`` carries (all shards
+        advance through the same epoch stream in lockstep)."""
+        return index // (self.duplicates * self.shards)
 
 
 @dataclass
@@ -81,6 +112,8 @@ class LoadGenReport:
     rejected: int = 0            # admission backpressure ("overloaded")
     shed: int = 0                # server-side deadline expiry
     errors: int = 0              # transport / protocol / internal
+    deltas_sent: int = 0         # requests shipped as delta frames
+    fulls_sent: int = 0          # requests shipped as full snapshots
     duration_s: float = 0.0
     latency_ms: telemetry.Histogram = field(default_factory=telemetry.Histogram)
 
@@ -108,6 +141,8 @@ class LoadGenReport:
             "rejected": self.rejected,
             "shed": self.shed,
             "errors": self.errors,
+            "deltas_sent": self.deltas_sent,
+            "fulls_sent": self.fulls_sent,
             "duration_s": self.duration_s,
             "goodput_per_s": self.goodput_per_s,
             "p50_ms": self.p50_ms,
@@ -117,7 +152,7 @@ class LoadGenReport:
         }
 
     def render(self) -> str:
-        return (
+        text = (
             f"offered {self.offered} in {self.duration_s:.2f}s | "
             f"goodput {self.goodput_per_s:.1f}/s "
             f"(ok {self.completed}, late {self.late}, "
@@ -126,14 +161,25 @@ class LoadGenReport:
             f"p50 {self.p50_ms:.1f} p95 {self.p95_ms:.1f} "
             f"p99 {self.p99_ms:.1f}"
         )
+        if self.deltas_sent:
+            text += f" | deltas {self.deltas_sent}/{self.deltas_sent + self.fulls_sent}"
+        return text
 
 
 def build_snapshots(config: LoadGenConfig) -> list[Instance]:
     """Pre-generate the epoch snapshot stream the frontends observe.
 
-    One cluster, drifting diurnal + flash-crowd traffic, placement held
-    at round-robin (the load generator measures the service, not the
-    policy — migrating between snapshots would entangle the two).
+    One cluster, placement held at round-robin (the load generator
+    measures the service, not the policy — migrating between snapshots
+    would entangle the two).  Two traffic models:
+
+    * ``"drift"`` (default) — diurnal cycle plus flash crowds.  The
+      diurnal term moves *every* site's load every epoch: the original
+      E14 workload, and the worst case for delta snapshots.
+    * ``"steady"`` — flash crowds only.  Non-spiked sites keep their
+      baseline popularity bit for bit, so consecutive epochs differ in
+      a handful of sites: the steady-state sparse-churn regime delta
+      snapshots exist for.
     """
     from ..websim.simulator import build_cluster
     from ..websim.traffic import (
@@ -144,9 +190,12 @@ def build_snapshots(config: LoadGenConfig) -> list[Instance]:
 
     rng = np.random.default_rng(config.seed)
     cluster = build_cluster(config.num_sites, config.num_servers, rng)
-    traffic = ComposedTraffic(
-        (DiurnalTraffic(), FlashCrowdTraffic(probability=0.1))
-    )
+    if config.traffic == "steady":
+        traffic = FlashCrowdTraffic(probability=0.1)
+    else:
+        traffic = ComposedTraffic(
+            (DiurnalTraffic(), FlashCrowdTraffic(probability=0.1))
+        )
     snapshots = []
     for epoch in range(config.epochs):
         traffic.step(cluster.sites, epoch, rng)
@@ -197,6 +246,63 @@ def calibrate_workload(
         num_sites *= 2
 
 
+def calibrate_wire_workload(
+    *,
+    seed: int = 15,
+    target_codec_s: float = 0.0035,
+    num_servers: int = 16,
+    k: int = 8,
+    shards: int = 4,
+    duplicates: int = 8,
+    epochs: int = 32,
+    max_sites: int = 24_000,
+) -> tuple[LoadGenConfig, float]:
+    """Grow the snapshot until one v1-JSON codec round — encoding a
+    rebalance request plus decoding its response — costs at least
+    ``target_codec_s`` on this host; return the (steady-traffic,
+    multi-shard) config and the measured codec time.
+
+    E15 compares transports, not solvers: what matters is the ratio
+    between the offered rate and the rate the v1 JSON codec can push
+    through a single event loop.  Pinning the codec *time* pins that
+    ratio across hosts, exactly as :func:`calibrate_workload` pins the
+    scratch solve time for E14.  The timed round is the client's own
+    per-request serialization work — ``to_dict`` + request encode, then
+    response ``json.loads`` — which is the v1 pipeline's slowest single
+    stage and therefore its capacity bound no matter how many cores the
+    server side has.
+    """
+    import json
+
+    from .protocol import encode_frame, ok_response
+
+    num_sites = 1500
+    while True:
+        config = LoadGenConfig(
+            num_sites=num_sites, num_servers=num_servers, k=k,
+            epochs=epochs, seed=seed, shards=shards,
+            duplicates=duplicates, traffic="steady",
+        )
+        snapshot = build_snapshots(replace(config, epochs=1))[0]
+        response_frame = encode_frame(ok_response(
+            mapping=list(range(num_servers)) * (num_sites // num_servers + 1),
+            guessed_opt=1.0, planned_moves=0, algorithm="engine",
+            shard="calibrate",
+        ))
+        codec_s = float("inf")
+        for _ in range(2):  # best-of-2 strips scheduler spikes
+            start = time.perf_counter()
+            encode_frame({
+                "op": "rebalance", "shard": "calibrate", "k": k,
+                "deadline_ms": 300.0, "instance": snapshot.to_dict(),
+            })
+            json.loads(response_frame[4:])
+            codec_s = min(codec_s, time.perf_counter() - start)
+        if codec_s >= target_codec_s or num_sites * 2 > max_sites:
+            return config, codec_s
+        num_sites *= 2
+
+
 async def _run_async(
     host: str, port: int, config: LoadGenConfig
 ) -> LoadGenReport:
@@ -204,13 +310,20 @@ async def _run_async(
     report = LoadGenReport()
     loop = asyncio.get_running_loop()
 
+    def make_client() -> AsyncServiceClient:
+        return AsyncServiceClient(
+            host, port, timeout=config.timeout, retries=config.retries,
+            protocol=config.protocol, delta=config.delta,
+        )
+
+    clients: list[AsyncServiceClient] = []
     pool: asyncio.Queue[AsyncServiceClient] = asyncio.Queue()
     for _ in range(config.connections):
-        pool.put_nowait(AsyncServiceClient(
-            host, port, timeout=config.timeout, retries=config.retries
-        ))
+        client = make_client()
+        clients.append(client)
+        pool.put_nowait(client)
 
-    async def one_request(instance: Instance) -> None:
+    async def one_request(instance: Instance, shard: str) -> None:
         # Open loop: if every pooled connection is busy, open an
         # ephemeral one rather than queueing client-side (which would
         # hide server queueing inside client queueing).
@@ -218,15 +331,14 @@ async def _run_async(
             client = pool.get_nowait()
             ephemeral = False
         except asyncio.QueueEmpty:
-            client = AsyncServiceClient(
-                host, port, timeout=config.timeout, retries=config.retries
-            )
+            client = make_client()
+            clients.append(client)
             ephemeral = True
         start = loop.time()
         try:
             await client.rebalance(
                 instance, config.k,
-                shard=config.shard, deadline_ms=config.deadline_ms,
+                shard=shard, deadline_ms=config.deadline_ms,
             )
             latency_ms = 1e3 * (loop.time() - start)
             report.latency_ms.record(latency_ms)
@@ -259,16 +371,20 @@ async def _run_async(
         delay = send_at - loop.time()
         if delay > 0:
             await asyncio.sleep(delay)
-        snapshot = snapshots[(index // config.duplicates) % len(snapshots)]
-        tasks.append(asyncio.create_task(one_request(snapshot)))
+        snapshot = snapshots[config.snapshot_index(index) % len(snapshots)]
+        tasks.append(asyncio.create_task(
+            one_request(snapshot, config.shard_for(index))
+        ))
         index += 1
     report.offered = index
     if tasks:
         await asyncio.gather(*tasks)
     report.duration_s = loop.time() - start
 
-    while not pool.empty():
-        await pool.get_nowait().close()
+    for client in clients:
+        report.deltas_sent += client.deltas_sent
+        report.fulls_sent += client.fulls_sent
+        await client.close()
     return report
 
 

@@ -3,19 +3,40 @@
 ``queue → batcher → engine pool``: connections are parsed on the event
 loop, admitted into the bounded :class:`~repro.service.admission.AdmissionQueue`,
 drained by the :class:`~repro.service.batching.MicroBatcher`, and solved
-on worker threads — one warm
-:class:`~repro.core.engine.RebalanceEngine` per named *shard*, so every
-shard's epoch stream hits the threshold-table and fingerprint caches
-exactly as an in-process engine would.  The event loop never blocks on
-a solve: each batch is one ``run_in_executor`` hop whose inside fans
-independent shard lanes out via :func:`repro.parallel.run_sweep`
-(thread executor — the engines are stateful and stay in-process).
+by per-shard warm :class:`~repro.core.engine.RebalanceEngine` instances,
+so every shard's epoch stream hits the threshold-table and fingerprint
+caches exactly as an in-process engine would.  The event loop never
+blocks on a solve: each batch is one ``run_in_executor`` hop.
+
+Two shard executors (``ServerConfig.executor``):
+
+* ``"thread"`` (default) — shard engines live in this process; the
+  executor hop fans independent shard lanes out via
+  :func:`repro.parallel.run_sweep` worker threads.  Zero setup cost,
+  but all lanes share the GIL.
+* ``"process"`` — shard engines live in ``process_workers`` long-lived
+  worker processes (:class:`repro.parallel.PersistentWorkerPool`);
+  every shard is pinned to one worker by a stable hash, so its warm
+  engine state survives across batches exactly as in thread mode.
+  Request arrays cross the pipe in the v2 binary codec
+  (:func:`repro.service.protocol.pack_payload` — raw buffers, no JSON,
+  no pickle), and independent shards use real cores instead of threads
+  contending on the GIL.
+
+The server speaks both wire formats of :mod:`repro.service.protocol`
+(v1 length-prefixed JSON and v2 binary with delta frames) on one port
+and answers each request in the format it arrived in.  Delta frames
+resolve against a per-shard LRU of recent snapshots keyed by
+fingerprint, so steady-state clients ship only changed sites and the
+warm engine patches only changed buckets — the server never rebuilds
+what it already holds.
 
 Decisions are byte-identical to in-process
 :func:`repro.core.partition.m_partition_rebalance` calls on the same
 snapshots (the engine's transparent-acceleration contract, plus the
 batcher's dedupe only collapsing byte-identical snapshots); the
-end-to-end websim differential test pins this.
+end-to-end websim differential test pins this across v1-JSON,
+v2-binary, and v2-delta transports.
 
 :class:`ServerConfig.naive` is the control: batch size 1, no dedupe,
 no warm engine — the one-request-per-solve server benchmark E14
@@ -27,15 +48,17 @@ from __future__ import annotations
 import asyncio
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Any
+from zlib import crc32
 
 from .. import telemetry
 from ..core.engine import RebalanceEngine, snapshot_fingerprint
-from ..core.instance import Instance
+from ..core.instance import Instance, apply_delta
 from ..core.partition import m_partition_rebalance
-from ..parallel import run_sweep
+from ..parallel import PersistentWorkerPool, run_sweep
 from .admission import AdmissionQueue, PendingRequest
 from .batching import BatchConfig, MicroBatcher, ShardLane
 from .protocol import (
@@ -43,7 +66,9 @@ from .protocol import (
     encode_frame,
     error_response,
     ok_response,
-    read_frame,
+    pack_payload,
+    read_frame_versioned,
+    unpack_payload,
 )
 
 __all__ = [
@@ -68,6 +93,17 @@ class ServerConfig:
     max_queue: int = 128
     solver_workers: int = 4
     engine_cache_size: int = 64
+    executor: str = "thread"  # "thread" | "process"
+    process_workers: int = 2
+    base_cache_size: int = 32  # delta base snapshots kept per shard
+
+    def __post_init__(self) -> None:
+        if self.executor not in ("thread", "process"):
+            raise ValueError(f"unknown executor {self.executor!r}")
+        if self.executor == "process" and self.process_workers <= 0:
+            raise ValueError("process_workers must be positive")
+        if self.base_cache_size < 0:
+            raise ValueError("base_cache_size must be non-negative")
 
     @classmethod
     def naive(cls, **overrides: Any) -> "ServerConfig":
@@ -87,6 +123,9 @@ class ServerConfig:
             "max_queue": self.max_queue,
             "solver_workers": self.solver_workers,
             "engine_cache_size": self.engine_cache_size,
+            "executor": self.executor,
+            "process_workers": self.process_workers,
+            "base_cache_size": self.base_cache_size,
         }
 
 
@@ -107,8 +146,123 @@ class ShardState:
         }
 
 
+def _get_shard_state(
+    shards: dict[str, ShardState],
+    name: str,
+    k: int,
+    use_engine: bool,
+    engine_cache_size: int,
+) -> tuple[ShardState, bool]:
+    """The shard's state, (re)building its engine on a ``k`` change.
+
+    An engine is pinned to one move budget; a request that switches a
+    shard's ``k`` retires the warm engine and starts cold (counted in
+    ``service.shard_rebuilds`` — keep per-``k`` streams on separate
+    shards to avoid the churn).  Shared by the in-process thread path
+    and the worker processes; returns ``(state, rebuilt)``.
+    """
+    state = shards.get(name)
+    rebuilt = False
+    if state is None:
+        state = ShardState(
+            name=name,
+            k=k,
+            engine=RebalanceEngine(k=k, cache_size=engine_cache_size)
+            if use_engine else None,
+        )
+        shards[name] = state
+    elif state.k != k:
+        rebuilt = True
+        state.k = k
+        if use_engine:
+            state.engine = RebalanceEngine(k=k, cache_size=engine_cache_size)
+    return state, rebuilt
+
+
+def _solve_one(
+    state: ShardState, instance: Instance, k: int, fingerprint: bytes | None
+) -> dict[str, Any]:
+    """One solve on one shard; never raises (a failed solve must not
+    take the batch loop — or a worker process — down with it)."""
+    try:
+        if state.engine is not None:
+            result = state.engine.rebalance(instance, fingerprint=fingerprint)
+        else:
+            result = m_partition_rebalance(instance, k)
+        state.decisions += 1
+        return ok_response(
+            mapping=result.assignment.mapping,
+            guessed_opt=float(result.guessed_opt),
+            planned_moves=int(result.planned_moves),
+            algorithm=result.algorithm,
+            shard=state.name,
+        )
+    except Exception as exc:
+        return error_response(
+            "solve failed", message=f"{type(exc).__name__}: {exc}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Process-executor worker side (runs in spawned worker processes)
+# ----------------------------------------------------------------------
+_WORKER: dict[str, Any] = {}
+
+
+def _process_worker_init(config: dict[str, Any]) -> None:
+    """Per-worker initializer: remember the engine config, start empty."""
+    _WORKER["config"] = config
+    _WORKER["shards"] = {}
+    _WORKER["rebuilds"] = 0
+
+
+def _process_worker_handle(payload: bytes) -> bytes:
+    """Worker request loop body: binary codec in, binary codec out."""
+    message = unpack_payload(payload)
+    op = message.get("op")
+    config = _WORKER["config"]
+    shards: dict[str, ShardState] = _WORKER["shards"]
+    if op == "solve":
+        lanes_out = []
+        for lane in message["lanes"]:
+            name = str(lane["shard"])
+            responses = []
+            for solve in lane["solves"]:
+                k = int(solve["k"])
+                state, rebuilt = _get_shard_state(
+                    shards, name, k,
+                    config["use_engine"], config["engine_cache_size"],
+                )
+                if rebuilt:
+                    _WORKER["rebuilds"] += 1
+                instance = Instance.from_dict(solve["instance"])
+                fingerprint = bytes.fromhex(solve["fp"])
+                responses.append(_solve_one(state, instance, k, fingerprint))
+            lanes_out.append(responses)
+        return pack_payload({"lanes": lanes_out})
+    if op == "reset":
+        names = message.get("shards")
+        names = list(shards) if names is None else [str(n) for n in names]
+        reset = []
+        for name in names:
+            state = shards.get(name)
+            if state is None:
+                continue
+            if state.engine is not None:
+                state.engine.reset()
+            state.decisions = 0
+            reset.append(name)
+        return pack_payload({"reset": reset})
+    if op == "stats":
+        return pack_payload({
+            "shards": {name: state.stats() for name, state in shards.items()},
+            "rebuilds": _WORKER["rebuilds"],
+        })
+    raise ValueError(f"unknown worker op {op!r}")
+
+
 class RebalanceServer:
-    """Length-prefixed-JSON TCP server around a pool of shard engines."""
+    """Dual-protocol TCP server around a pool of shard engines."""
 
     def __init__(self, config: ServerConfig | None = None) -> None:
         self.config = config or ServerConfig()
@@ -124,9 +278,14 @@ class RebalanceServer:
             ),
             self.metrics,
         )
+        # Delta bases: per shard, the last few snapshots by fingerprint
+        # hex.  Lives in the serving process (deltas must materialize
+        # before admission/batching), regardless of the executor.
+        self._bases: dict[str, OrderedDict[str, Instance]] = {}
         self._server: asyncio.AbstractServer | None = None
         self._batch_task: asyncio.Task | None = None
         self._executor: ThreadPoolExecutor | None = None
+        self._pool: PersistentWorkerPool | None = None
         self._stop_event: asyncio.Event | None = None
         self._started_at = time.monotonic()
 
@@ -145,6 +304,19 @@ class RebalanceServer:
         if self._server is not None:
             raise RuntimeError("server already started")
         self._stop_event = asyncio.Event()
+        if self.config.executor == "process":
+            # Spawned workers import the package fresh; blocking here
+            # until every ready handshake lands keeps `start` returning
+            # a genuinely warm server.
+            self._pool = PersistentWorkerPool(
+                _process_worker_handle,
+                self.config.process_workers,
+                initializer=_process_worker_init,
+                initargs=({
+                    "use_engine": self.config.use_engine,
+                    "engine_cache_size": self.config.engine_cache_size,
+                },),
+            )
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-solve"
         )
@@ -189,6 +361,9 @@ class RebalanceServer:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -200,17 +375,20 @@ class RebalanceServer:
         try:
             while True:
                 try:
-                    message = await read_frame(reader)
+                    frame = await read_frame_versioned(reader)
                 except ProtocolError as exc:
                     self.metrics.add("service.protocol_errors")
                     writer.write(encode_frame(error_response(
                         "protocol error", message=str(exc))))
                     await writer.drain()
                     break
-                if message is None:
+                if frame is None:
                     break
+                message, version = frame
                 response = await self._dispatch(message)
-                writer.write(encode_frame(response))
+                # Answer in the format the request arrived in: implicit
+                # per-frame negotiation, old JSON clients never see v2.
+                writer.write(encode_frame(response, version=version))
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
             pass
@@ -226,13 +404,36 @@ class RebalanceServer:
         if op == "rebalance":
             return await self._op_rebalance(message)
         if op == "status":
-            return self._op_status()
+            return await self._op_status()
         if op == "reset":
-            return self._op_reset(message)
+            return await self._op_reset(message)
         if op == "ping":
             return ok_response(op="ping")
         self.metrics.add("service.protocol_errors")
         return error_response("unknown op", op=op)
+
+    # ------------------------------------------------------------------
+    # Delta bases
+    # ------------------------------------------------------------------
+    def _remember_base(self, shard: str, fp_hex: str, instance: Instance) -> None:
+        if self.config.base_cache_size == 0:
+            return
+        bases = self._bases.get(shard)
+        if bases is None:
+            bases = self._bases[shard] = OrderedDict()
+        bases[fp_hex] = instance
+        bases.move_to_end(fp_hex)
+        while len(bases) > self.config.base_cache_size:
+            bases.popitem(last=False)
+
+    def _base_for(self, shard: str, fp_hex: str) -> Instance | None:
+        bases = self._bases.get(shard)
+        if bases is None:
+            return None
+        instance = bases.get(fp_hex)
+        if instance is not None:
+            bases.move_to_end(fp_hex)
+        return instance
 
     # ------------------------------------------------------------------
     # Operations
@@ -245,18 +446,33 @@ class RebalanceServer:
             k = int(message.get("k", 2))
             if k < 0:
                 raise ValueError("k must be non-negative")
-            instance = Instance.from_dict(message["instance"])
+            delta = message.get("delta")
+            if delta is not None:
+                base = self._base_for(shard, str(delta.get("base", "")))
+                if base is None:
+                    # Not an error in the protocol sense: the client
+                    # holds a fingerprint this server no longer (or
+                    # never) had, and falls back to a full snapshot.
+                    self.metrics.add("service.delta_misses")
+                    return error_response("unknown base", shard=shard)
+                instance = apply_delta(base, delta)
+                self.metrics.add("service.delta_applied")
+            else:
+                instance = Instance.from_dict(message["instance"])
         except (KeyError, TypeError, ValueError) as exc:
             self.metrics.add("service.bad_requests")
             return error_response("bad request", message=str(exc))
 
+        fingerprint = snapshot_fingerprint(instance)
+        fp_hex = fingerprint.hex()
+        self._remember_base(shard, fp_hex, instance)
         deadline_ms = message.get("deadline_ms")
         now = loop.time()
         request = PendingRequest(
             shard=shard,
             k=k,
             instance=instance,
-            fingerprint=snapshot_fingerprint(instance),
+            fingerprint=fingerprint,
             enqueued_at=now,
             deadline=None if deadline_ms is None else now + deadline_ms / 1e3,
             future=loop.create_future(),
@@ -270,31 +486,68 @@ class RebalanceServer:
         self.metrics.observe("service.latency_ms", latency_ms)
         if response.get("ok"):
             self.metrics.add("service.ok")
+            # The fingerprint names this snapshot as a future delta
+            # base.  Copy before annotating: deduped requests share one
+            # response object.
+            response = dict(response)
+            response["fingerprint"] = fp_hex
         return response
 
-    def _op_status(self) -> dict[str, Any]:
+    async def _op_status(self) -> dict[str, Any]:
+        shards = {name: s.stats() for name, s in self.shards.items()}
+        if self._pool is not None:
+            # Worker pipes are only ever driven from the solve thread;
+            # hop there so stats never race an in-flight batch.
+            loop = asyncio.get_running_loop()
+            assert self._executor is not None
+            shards = await loop.run_in_executor(self._executor, self._pool_stats)
         return ok_response(
             uptime_s=time.monotonic() - self._started_at,
             config=self.config.as_dict(),
             queue=self.queue.stats(),
-            shards={name: s.stats() for name, s in self.shards.items()},
+            shards=shards,
             metrics=self.metrics.as_dict(),
         )
 
-    def _op_reset(self, message: dict[str, Any]) -> dict[str, Any]:
+    def _pool_stats(self) -> dict[str, Any]:
+        assert self._pool is not None
+        shards: dict[str, Any] = {}
+        for reply in self._pool.broadcast(pack_payload({"op": "stats"})).values():
+            stats = unpack_payload(reply)
+            shards.update(stats["shards"])
+        return shards
+
+    async def _op_reset(self, message: dict[str, Any]) -> dict[str, Any]:
         shard = message.get("shard")
-        names = [shard] if shard is not None else list(self.shards)
-        reset = []
-        for name in names:
-            state = self.shards.get(name)
-            if state is None:
-                continue
-            if state.engine is not None:
-                state.engine.reset()
-            state.decisions = 0
-            reset.append(name)
+        names = [str(shard)] if shard is not None else None
+        for name in (names if names is not None else list(self._bases)):
+            self._bases.pop(name, None)
+        if self._pool is not None:
+            loop = asyncio.get_running_loop()
+            assert self._executor is not None
+            reset = await loop.run_in_executor(
+                self._executor, self._pool_reset, names
+            )
+        else:
+            reset = []
+            for name in (names if names is not None else list(self.shards)):
+                state = self.shards.get(name)
+                if state is None:
+                    continue
+                if state.engine is not None:
+                    state.engine.reset()
+                state.decisions = 0
+                reset.append(name)
         self.metrics.add("service.resets")
-        return ok_response(reset=sorted(reset))
+        return ok_response(reset=sorted(set(reset)))
+
+    def _pool_reset(self, names: list[str] | None) -> list[str]:
+        assert self._pool is not None
+        payload = pack_payload({"op": "reset", "shards": names})
+        reset: list[str] = []
+        for reply in self._pool.broadcast(payload).values():
+            reset.extend(unpack_payload(reply)["reset"])
+        return reset
 
     # ------------------------------------------------------------------
     # Batch loop and solving
@@ -341,45 +594,22 @@ class RebalanceServer:
             for solve, outcome in zip(lane.solves, lane_outcomes):
                 if isinstance(outcome, dict) and outcome.get("ok"):
                     outcome["batch"] = batch_info
+                else:
+                    self.metrics.add("service.solve_errors")
                 for request in solve.requests:
                     if not request.future.done():
                         request.future.set_result(outcome)
 
-    def _shard_state(self, name: str, k: int) -> ShardState:
-        """The shard's state, (re)building its engine on a ``k`` change.
-
-        An engine is pinned to one move budget; a request that switches
-        a shard's ``k`` retires the warm engine and starts cold (counted
-        in ``service.shard_rebuilds`` — keep per-``k`` streams on
-        separate shards to avoid the churn).
-        """
-        state = self.shards.get(name)
-        if state is None:
-            state = ShardState(
-                name=name,
-                k=k,
-                engine=RebalanceEngine(
-                    k=k, cache_size=self.config.engine_cache_size
-                ) if self.config.use_engine else None,
-            )
-            self.shards[name] = state
-        elif state.k != k:
-            self.metrics.add("service.shard_rebuilds")
-            state.k = k
-            if self.config.use_engine:
-                state.engine = RebalanceEngine(
-                    k=k, cache_size=self.config.engine_cache_size
-                )
-        return state
-
     def _solve_lanes(self, lanes: list[ShardLane]) -> list[list[dict[str, Any]]]:
-        """Executor-side: fan independent shard lanes out over threads.
+        """Executor-side: fan independent shard lanes out.
 
         Returns, per lane, one response dict per unique solve (in lane
         order).  Runs on the dedicated solve thread; shard states are
         only ever touched from here (one batch at a time), so engines
-        need no locking.
+        need no locking in either executor mode.
         """
+        if self._pool is not None:
+            return self._solve_lanes_process(lanes)
         return run_sweep(
             self._solve_lane,
             lanes,
@@ -390,26 +620,60 @@ class RebalanceServer:
     def _solve_lane(self, lane: ShardLane) -> list[dict[str, Any]]:
         responses = []
         for solve in lane.solves:
-            state = self._shard_state(lane.shard, solve.k)
-            try:
-                if state.engine is not None:
-                    result = state.engine.rebalance(solve.instance)
-                else:
-                    result = m_partition_rebalance(solve.instance, solve.k)
-                state.decisions += 1
-                responses.append(ok_response(
-                    mapping=[int(p) for p in result.assignment.mapping],
-                    guessed_opt=result.guessed_opt,
-                    planned_moves=result.planned_moves,
-                    algorithm=result.algorithm,
-                    shard=lane.shard,
-                ))
-            except Exception as exc:  # defensive: a failed solve must
-                # never take the batch loop down with it.
-                self.metrics.add("service.solve_errors")
-                responses.append(error_response(
-                    "solve failed", message=f"{type(exc).__name__}: {exc}"))
+            state, rebuilt = _get_shard_state(
+                self.shards, lane.shard, solve.k,
+                self.config.use_engine, self.config.engine_cache_size,
+            )
+            if rebuilt:
+                self.metrics.add("service.shard_rebuilds")
+            responses.append(_solve_one(
+                state, solve.instance, solve.k,
+                solve.requests[0].fingerprint,
+            ))
         return responses
+
+    def _worker_for(self, shard: str) -> int:
+        """Stable shard → worker affinity (``hash()`` is per-process
+        seeded, so crc32 it is)."""
+        return crc32(shard.encode("utf-8")) % self.config.process_workers
+
+    def _solve_lanes_process(
+        self, lanes: list[ShardLane]
+    ) -> list[list[dict[str, Any]]]:
+        """Route lanes to their affine workers over the binary codec."""
+        groups: dict[int, list[int]] = {}
+        for index, lane in enumerate(lanes):
+            groups.setdefault(self._worker_for(lane.shard), []).append(index)
+        assignments: dict[int, bytes] = {}
+        for worker, lane_indices in groups.items():
+            payload = pack_payload({
+                "op": "solve",
+                "lanes": [
+                    {
+                        "shard": lanes[i].shard,
+                        "solves": [
+                            {
+                                "k": solve.k,
+                                "fp": solve.requests[0].fingerprint.hex(),
+                                "instance": solve.instance.to_wire(),
+                            }
+                            for solve in lanes[i].solves
+                        ],
+                    }
+                    for i in lane_indices
+                ],
+            })
+            self.metrics.add("service.ipc_bytes_out", len(payload))
+            assignments[worker] = payload
+        assert self._pool is not None
+        replies = self._pool.request(assignments)
+        results: list[list[dict[str, Any]]] = [[] for _ in lanes]
+        for worker, lane_indices in groups.items():
+            reply = replies[worker]
+            self.metrics.add("service.ipc_bytes_in", len(reply))
+            for i, lane_out in zip(lane_indices, unpack_payload(reply)["lanes"]):
+                results[i] = lane_out
+        return results
 
 
 # ----------------------------------------------------------------------
@@ -473,8 +737,8 @@ def start_background(config: ServerConfig | None = None) -> ServerHandle:
         target=runner, name="repro-serve", daemon=True
     )
     thread.start()
-    if not started.wait(timeout=30.0):  # pragma: no cover
-        raise RuntimeError("server failed to start within 30s")
+    if not started.wait(timeout=60.0):  # pragma: no cover
+        raise RuntimeError("server failed to start within 60s")
     if "error" in box:
         raise box["error"]
     return ServerHandle(box["server"], box["loop"], thread)

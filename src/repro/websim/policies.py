@@ -118,9 +118,13 @@ class ServicePolicy:
     are byte-identical to from-scratch M-PARTITION, so a simulation
     driven through the wire must match :class:`EngineMPartitionPolicy`
     in-process decision for decision (the differential test enforces
-    it).  The client socket is created lazily and is *not* deep-copied:
-    :class:`~repro.websim.simulator.Simulation` deep-copies policies per
-    run, and each copy opens its own connection to the same server.
+    it) — regardless of the transport: ``protocol="json"`` (v1 frames),
+    ``protocol="binary"`` (v2 raw-buffer frames), or binary with
+    ``delta=True`` (changed-site snapshots) all carry the same
+    decisions.  The client socket is created lazily and is *not*
+    deep-copied: :class:`~repro.websim.simulator.Simulation` deep-copies
+    policies per run, and each copy opens its own connection (with its
+    own delta bases) to the same server.
     """
 
     host: str
@@ -129,6 +133,8 @@ class ServicePolicy:
     shard: str = "websim"
     timeout: float = 30.0
     retries: int = 3
+    protocol: str = "json"
+    delta: bool = False
     name: str = "service"
 
     def __post_init__(self) -> None:
@@ -145,13 +151,15 @@ class ServicePolicy:
             self._client = ServiceClient(
                 self.host, self.port,
                 timeout=self.timeout, retries=self.retries,
+                protocol=self.protocol, delta=self.delta,
             )
         return self._client
 
     def __deepcopy__(self, memo: dict) -> "ServicePolicy":
         return ServicePolicy(
             host=self.host, port=self.port, k=self.k, shard=self.shard,
-            timeout=self.timeout, retries=self.retries, name=self.name,
+            timeout=self.timeout, retries=self.retries,
+            protocol=self.protocol, delta=self.delta, name=self.name,
         )
 
     def reset(self) -> None:

@@ -269,3 +269,152 @@ class TestLifecycle:
                 with ServiceClient(one.host, one.port) as c1, \
                         ServiceClient(two.host, two.port) as c2:
                     assert c1.ping() and c2.ping()
+
+
+@pytest.fixture(scope="class")
+def process_server():
+    """One process-executor server shared by the class (spawn is slow)."""
+    config = ServerConfig(executor="process", process_workers=2)
+    with start_background(config) as handle:
+        yield handle
+
+
+class TestProcessExecutor:
+    def test_decisions_match_scratch_across_shards(self, process_server):
+        insts = [_instance(seed=s) for s in (1, 2, 3)]
+        with ServiceClient(process_server.host, process_server.port) as client:
+            for i, inst in enumerate(insts):
+                result = client.rebalance(inst, 3, shard=f"shard-{i}")
+                _same_decision(result, m_partition_rebalance(inst, 3))
+
+    def test_warm_engine_state_survives_across_batches(self, process_server):
+        inst = _instance(seed=9)
+        with ServiceClient(process_server.host, process_server.port) as client:
+            client.rebalance(inst, 2, shard="warm")
+            client.rebalance(inst, 2, shard="warm")
+            status = client.status()
+        # The repeated byte-identical snapshot must hit the worker's
+        # warm decision cache — proof the shard stayed in one process.
+        assert status["shards"]["warm"]["engine"]["cache_hits"] >= 1
+
+    def test_status_merges_worker_stats(self, process_server):
+        with ServiceClient(process_server.host, process_server.port) as client:
+            client.rebalance(_instance(seed=4), 2, shard="stats-a")
+            client.rebalance(_instance(seed=5), 2, shard="stats-b")
+            status = client.status()
+        assert status["config"]["executor"] == "process"
+        assert status["shards"]["stats-a"]["decisions"] >= 1
+        assert status["shards"]["stats-b"]["decisions"] >= 1
+
+    def test_reset_spans_workers(self, process_server):
+        with ServiceClient(process_server.host, process_server.port) as client:
+            client.rebalance(_instance(seed=6), 2, shard="reset-a")
+            client.rebalance(_instance(seed=7), 2, shard="reset-b")
+            reset = client.reset()
+            status = client.status()
+        assert {"reset-a", "reset-b"} <= set(reset)
+        assert status["shards"]["reset-a"]["decisions"] == 0
+        assert status["shards"]["reset-b"]["decisions"] == 0
+
+    def test_k_change_rebuilds_worker_engine(self, process_server):
+        inst = _instance(seed=8)
+        with ServiceClient(process_server.host, process_server.port) as client:
+            client.rebalance(inst, 2, shard="kchange")
+            result = client.rebalance(inst, 4, shard="kchange")
+        _same_decision(result, m_partition_rebalance(inst, 4))
+
+    def test_invalid_executor_config_rejected(self):
+        with pytest.raises(ValueError):
+            ServerConfig(executor="fiber")
+        with pytest.raises(ValueError):
+            ServerConfig(executor="process", process_workers=0)
+
+
+class TestBinaryAndDelta:
+    def test_binary_client_matches_scratch(self, server):
+        inst = _instance(seed=20)
+        with ServiceClient(
+            server.host, server.port, protocol="binary"
+        ) as client:
+            result = client.rebalance(inst, 3)
+        _same_decision(result, m_partition_rebalance(inst, 3))
+
+    def test_delta_stream_counters_and_decisions(self, server):
+        from repro.core.instance import Instance
+
+        base = _instance(seed=21, n=40)
+        sizes = base.sizes.copy()
+        sizes[3] *= 2.0
+        changed = Instance(
+            sizes=sizes, costs=base.costs,
+            num_processors=base.num_processors, initial=base.initial,
+        )
+        with ServiceClient(
+            server.host, server.port, protocol="binary", delta=True
+        ) as client:
+            first = client.rebalance(base, 2, shard="d")
+            second = client.rebalance(changed, 2, shard="d")
+            assert client.fulls_sent == 1
+            assert client.deltas_sent == 1
+        _same_decision(first, m_partition_rebalance(base, 2))
+        _same_decision(second, m_partition_rebalance(changed, 2))
+
+    def test_ok_response_carries_fingerprint(self, server):
+        from repro.core.engine import snapshot_fingerprint
+
+        inst = _instance(seed=22)
+        with ServiceClient(server.host, server.port, retries=0) as client:
+            response = client.call({
+                "op": "rebalance", "shard": "fp", "k": 2,
+                "instance": inst.to_dict(),
+            })
+        assert response["ok"] is True
+        assert response["fingerprint"] == snapshot_fingerprint(inst).hex()
+
+    def test_unknown_base_raw_error(self, server):
+        with ServiceClient(
+            server.host, server.port, retries=0, protocol="binary"
+        ) as client:
+            response = client.call({
+                "op": "rebalance", "shard": "nb", "k": 2,
+                "delta": {"base": "ff" * 16, "idx": [], "sizes": [],
+                          "costs": [], "initial": []},
+            })
+        assert response["ok"] is False
+        assert response["error"] == "unknown base"
+
+    def test_client_falls_back_to_full_on_unknown_base(self, server):
+        inst = _instance(seed=23, n=40)
+        with ServiceClient(
+            server.host, server.port, protocol="binary", delta=True
+        ) as client, ServiceClient(server.host, server.port) as probe:
+            client.rebalance(inst, 2, shard="fb")
+            # Server-side reset evicts the delta bases; the client
+            # still believes its base is current.
+            probe.reset("fb")
+            result = client.rebalance(inst, 2, shard="fb")
+            assert client.deltas_sent == 1   # the attempt that bounced
+            assert client.fulls_sent == 2    # initial + fallback
+        _same_decision(result, m_partition_rebalance(inst, 2))
+
+    def test_delta_requires_binary_protocol(self, server):
+        with pytest.raises(ValueError):
+            ServiceClient(server.host, server.port, delta=True)
+
+    def test_malformed_delta_is_bad_request(self, server):
+        inst = _instance(seed=24)
+        with ServiceClient(
+            server.host, server.port, retries=0, protocol="binary"
+        ) as client:
+            ok = client.call({
+                "op": "rebalance", "shard": "md", "k": 2,
+                "instance": inst.to_dict(),
+            })
+            response = client.call({
+                "op": "rebalance", "shard": "md", "k": 2,
+                "delta": {"base": ok["fingerprint"],
+                          "idx": [0, 99999], "sizes": [1.0, 1.0],
+                          "costs": [1.0, 1.0], "initial": [0, 0]},
+            })
+        assert response["ok"] is False
+        assert response["error"] == "bad request"

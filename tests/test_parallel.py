@@ -210,3 +210,101 @@ class TestThreadExecutor:
 
     def test_serial_ignores_executor_kind(self):
         assert run_sweep(_square, [3], workers=1, executor="thread") == [9]
+
+
+# ----------------------------------------------------------------------
+# PersistentWorkerPool (module-level handlers: spawn must pickle them)
+# ----------------------------------------------------------------------
+_PWP_STATE = {"count": 0, "tag": ""}
+
+
+def _pwp_echo(payload: bytes) -> bytes:
+    return b"echo:" + payload
+
+
+def _pwp_count(payload: bytes) -> bytes:
+    _PWP_STATE["count"] += 1
+    return b"%d" % _PWP_STATE["count"]
+
+
+def _pwp_fail_on_boom(payload: bytes) -> bytes:
+    if payload == b"boom":
+        raise ValueError("kaput")
+    return payload
+
+
+def _pwp_init_tag(tag: str) -> None:
+    _PWP_STATE["tag"] = tag
+
+
+def _pwp_read_tag(payload: bytes) -> bytes:
+    return _PWP_STATE["tag"].encode()
+
+
+def _pwp_bad_init() -> None:
+    raise RuntimeError("init exploded")
+
+
+class TestPersistentWorkerPool:
+    def test_echo_round_trip(self):
+        from repro.parallel import PersistentWorkerPool
+
+        with PersistentWorkerPool(_pwp_echo, workers=2) as pool:
+            replies = pool.request({0: b"a", 1: b"b"})
+        assert replies == {0: b"echo:a", 1: b"echo:b"}
+
+    def test_worker_state_is_addressable(self):
+        """Repeated requests to one worker index hit the same process
+        (its counter keeps climbing) while another stays independent —
+        the shard-affinity property the service executor relies on."""
+        from repro.parallel import PersistentWorkerPool
+
+        with PersistentWorkerPool(_pwp_count, workers=2) as pool:
+            assert pool.request({0: b"x"}) == {0: b"1"}
+            assert pool.request({0: b"x"}) == {0: b"2"}
+            assert pool.request({1: b"x"}) == {1: b"1"}
+            assert pool.request({0: b"x", 1: b"x"}) == {0: b"3", 1: b"2"}
+
+    def test_initializer_runs_per_worker(self):
+        from repro.parallel import PersistentWorkerPool
+
+        with PersistentWorkerPool(
+            _pwp_read_tag, workers=2,
+            initializer=_pwp_init_tag, initargs=("ready",),
+        ) as pool:
+            assert pool.broadcast(b"?") == {0: b"ready", 1: b"ready"}
+
+    def test_handler_error_surfaces_and_worker_survives(self):
+        from repro.parallel import PersistentWorkerPool
+
+        with PersistentWorkerPool(_pwp_fail_on_boom, workers=1) as pool:
+            with pytest.raises(RuntimeError, match="kaput"):
+                pool.request({0: b"boom"})
+            # The worker served the error and keeps serving.
+            assert pool.request({0: b"fine"}) == {0: b"fine"}
+
+    def test_failed_initializer_raises_at_construction(self):
+        from repro.parallel import PersistentWorkerPool
+
+        with pytest.raises(RuntimeError, match="init exploded"):
+            PersistentWorkerPool(_pwp_echo, workers=1, initializer=_pwp_bad_init)
+
+    def test_empty_payload_reserved(self):
+        from repro.parallel import PersistentWorkerPool
+
+        with PersistentWorkerPool(_pwp_echo, workers=1) as pool:
+            with pytest.raises(ValueError):
+                pool.request({0: b""})
+
+    def test_close_is_idempotent(self):
+        from repro.parallel import PersistentWorkerPool
+
+        pool = PersistentWorkerPool(_pwp_echo, workers=1)
+        pool.close()
+        pool.close()
+
+    def test_zero_workers_rejected(self):
+        from repro.parallel import PersistentWorkerPool
+
+        with pytest.raises(ValueError):
+            PersistentWorkerPool(_pwp_echo, workers=0)

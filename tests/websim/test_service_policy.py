@@ -94,6 +94,85 @@ class TestServicePolicyDifferential:
                 assert ours.migrations == theirs.migrations
 
 
+class TestTransportDifferential:
+    """The PR's acceptance test: the same simulation driven over
+    v1-JSON, v2-binary, and v2-delta transports — and through the
+    multi-process shard executor — produces byte-identical
+    trajectories.  The wire format and the executor are pure transport;
+    the decision stream never changes."""
+
+    TRANSPORTS = (
+        {"protocol": "json"},
+        {"protocol": "binary"},
+        {"protocol": "binary", "delta": True},
+    )
+
+    @staticmethod
+    def _trajectory(host, port, seed, **kwargs):
+        policy = ServicePolicy(host, port, k=K, **kwargs)
+        try:
+            return _simulation(policy, seed=seed).run(EPOCHS)
+        finally:
+            policy.close()
+
+    @staticmethod
+    def _assert_identical(got, want):
+        assert len(got.records) == len(want.records) == EPOCHS
+        for ours, theirs in zip(got.records, want.records):
+            assert ours.makespan == theirs.makespan
+            assert ours.migrations == theirs.migrations
+            assert ours.migration_cost == theirs.migration_cost
+            assert ours.imbalance == theirs.imbalance
+
+    def test_all_transports_identical_to_in_process(self, server):
+        want = _simulation(EngineMPartitionPolicy(k=K), seed=33).run(EPOCHS)
+        for index, kwargs in enumerate(self.TRANSPORTS):
+            got = self._trajectory(
+                server.host, server.port, 33,
+                shard=f"transport-{index}", **kwargs,
+            )
+            self._assert_identical(got, want)
+
+    def test_delta_transport_actually_sent_deltas(self, server):
+        # Flash crowds only: the diurnal term would move every site
+        # every epoch, making full snapshots the (correctly) cheaper
+        # choice.  Sparse churn is the regime deltas exist for.
+        rng = np.random.default_rng(34)
+        policy = ServicePolicy(
+            server.host, server.port, k=K,
+            shard="delta-count", protocol="binary", delta=True,
+        )
+        sim = Simulation(
+            cluster=build_cluster(80, 6, rng),
+            # probability=1: one spiking site every epoch — churn is
+            # guaranteed yet sparse, so every epoch after the first
+            # clears the client's delta-vs-full size cutover.
+            traffic=FlashCrowdTraffic(probability=1.0),
+            policy=policy,
+            seed=34,
+        )
+        try:
+            sim.run(EPOCHS)
+            # Simulation.run deep-copies the policy, so the counters
+            # live on the copy's client; the server's metric is the
+            # observable ground truth that deltas arrived and applied.
+            with ServiceClient(server.host, server.port) as probe:
+                counters = probe.status()["metrics"]["counters"]
+            assert counters.get("service.delta_applied", 0) > 0
+        finally:
+            policy.close()
+
+    def test_process_executor_trajectory_identical(self):
+        config = ServerConfig(executor="process", process_workers=2)
+        want = _simulation(EngineMPartitionPolicy(k=K), seed=35).run(EPOCHS)
+        with start_background(config) as handle:
+            got = self._trajectory(
+                handle.host, handle.port, 35,
+                shard="proc", protocol="binary", delta=True,
+            )
+        self._assert_identical(got, want)
+
+
 class TestServicePolicyMechanics:
     def test_deepcopy_detaches_client(self, server):
         policy = ServicePolicy(server.host, server.port, k=K)
