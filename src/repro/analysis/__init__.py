@@ -18,6 +18,7 @@ from .experiments import (
     experiment_e13_kernels,
     experiment_e14_service,
     experiment_e15_wire,
+    experiment_e16_shm,
     wire_sizes,
 )
 from .ablations import (
@@ -54,6 +55,7 @@ __all__ = [
     "experiment_e13_kernels",
     "experiment_e14_service",
     "experiment_e15_wire",
+    "experiment_e16_shm",
     "loglog_slope",
     "measure_ratios",
     "measure_scaling",

@@ -159,13 +159,24 @@ def snapshot_fingerprint(instance: Instance) -> bytes:
     Shared by the engine's decision cache and the service layer's
     within-batch dedupe (:mod:`repro.service.batching`): two instances
     with equal fingerprints are byte-identical snapshots.
+
+    The digest is memoized on the instance — its arrays are read-only,
+    so the bytes can never change — which matters at service rates:
+    clients and the server both fingerprint every epoch snapshot they
+    touch, and hashing three ``n``-element arrays is an O(n) cost that
+    would otherwise recur per request instead of per snapshot.
     """
+    memo = instance.__dict__.get("_snapshot_digest")
+    if memo is not None:
+        return memo
     h = hashlib.blake2b(digest_size=16)
     h.update(instance.num_processors.to_bytes(8, "little"))
     h.update(instance.sizes.tobytes())
     h.update(instance.costs.tobytes())
     h.update(instance.initial.tobytes())
-    return h.digest()
+    digest = h.digest()
+    object.__setattr__(instance, "_snapshot_digest", digest)
+    return digest
 
 
 _fingerprint = snapshot_fingerprint
@@ -198,6 +209,38 @@ class RebalanceEngine:
         self.stats = EngineStats()
         self._tables = None
         self._cache.clear()
+
+    @property
+    def retained_snapshot(self) -> Instance | None:
+        """The snapshot the warm threshold tables still reference.
+
+        ``patch_tables`` diffs the next snapshot against this one, so
+        its arrays stay live between decisions.  Callers that hand the
+        engine borrowed array views (the service's shared-memory
+        snapshot plane) use this to know when the borrow ends: once a
+        later snapshot replaces it here, the old one's memory may be
+        recycled.
+        """
+        return self._tables.instance if self._tables is not None else None
+
+    def cached(self, fingerprint: bytes) -> RebalanceResult | None:
+        """Decision-cache lookup by fingerprint alone.
+
+        On a hit this counts a full decision (``decisions`` and
+        ``cache_hits``) and returns the cached result — byte-identical
+        to what :meth:`rebalance` would return — without the caller ever
+        materializing the snapshot.  On a miss it returns ``None`` and
+        touches no counters; the caller must follow up with
+        :meth:`rebalance`.
+        """
+        cached = self._cache.get(fingerprint)
+        if cached is None:
+            return None
+        self._cache.move_to_end(fingerprint)
+        self.stats.decisions += 1
+        self.stats.cache_hits += 1
+        telemetry.count("cache_hits")
+        return cached
 
     # ------------------------------------------------------------------
     def _update_tables(self, instance: Instance) -> ThresholdTables:
@@ -233,14 +276,11 @@ class RebalanceEngine:
         blake2b pass; it must be ``snapshot_fingerprint(instance)``.
         """
         tmark = telemetry.mark()
-        self.stats.decisions += 1
         fp = fingerprint if fingerprint is not None else _fingerprint(instance)
-        cached = self._cache.get(fp)
+        cached = self.cached(fp)
         if cached is not None:
-            self._cache.move_to_end(fp)
-            self.stats.cache_hits += 1
-            telemetry.count("cache_hits")
             return cached
+        self.stats.decisions += 1
 
         tables = self._update_tables(instance)
         if instance.num_jobs == 0:

@@ -24,20 +24,34 @@ from .job import Job
 __all__ = ["Instance", "apply_delta", "compute_delta", "make_instance"]
 
 
-def _as_readonly_f64(values: Sequence[float] | np.ndarray, name: str) -> np.ndarray:
-    arr = np.asarray(values, dtype=np.float64).copy()
+def _as_readonly(arr: np.ndarray, values: object, name: str) -> np.ndarray:
+    """Freeze ``arr`` (the ``asarray`` of ``values``) without copying
+    when that is safe.
+
+    Already-read-only input arrays pass through untouched — this is the
+    zero-copy path the shared-memory snapshot plane relies on: a worker
+    builds ``np.frombuffer`` views over shm pages, marks them read-only,
+    and constructs an :class:`Instance` around them with no per-array
+    copy.  A writable array is defensively copied only when the caller
+    may still hold a writable alias (it *is* the input, or it is a view
+    into the input); arrays freshly materialized from lists or dtype
+    casts are frozen in place.
+    """
     if arr.ndim != 1:
         raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
-    arr.setflags(write=False)
+    if arr.flags.writeable:
+        if arr is values or arr.base is not None:
+            arr = arr.copy()
+        arr.setflags(write=False)
     return arr
+
+
+def _as_readonly_f64(values: Sequence[float] | np.ndarray, name: str) -> np.ndarray:
+    return _as_readonly(np.asarray(values, dtype=np.float64), values, name)
 
 
 def _as_readonly_i64(values: Sequence[int] | np.ndarray, name: str) -> np.ndarray:
-    arr = np.asarray(values, dtype=np.int64).copy()
-    if arr.ndim != 1:
-        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
-    arr.setflags(write=False)
-    return arr
+    return _as_readonly(np.asarray(values, dtype=np.int64), values, name)
 
 
 @dataclass(frozen=True)
@@ -80,6 +94,10 @@ class Instance:
                 f"initial assignment has length {self.initial.shape[0]} "
                 f"but there are {n} jobs"
             )
+        if n and not np.isfinite(self.sizes).all():
+            raise ValueError("all job sizes must be finite")
+        if n and not np.isfinite(self.costs).all():
+            raise ValueError("all relocation costs must be finite")
         if n and self.sizes.min() <= 0:
             raise ValueError("all job sizes must be strictly positive")
         if n and self.costs.min() < 0:

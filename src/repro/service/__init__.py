@@ -31,6 +31,7 @@ from .loadgen import (
     LoadGenConfig,
     LoadGenReport,
     build_snapshots,
+    calibrate_shm_workload,
     calibrate_workload,
     calibrate_wire_workload,
     run_loadgen,
@@ -81,6 +82,7 @@ __all__ = [
     "ShardState",
     "UniqueSolve",
     "build_snapshots",
+    "calibrate_shm_workload",
     "calibrate_workload",
     "calibrate_wire_workload",
     "encode_frame",

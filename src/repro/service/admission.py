@@ -40,7 +40,10 @@ class PendingRequest:
 
     ``deadline`` is an absolute :func:`asyncio.AbstractEventLoop.time`
     instant (``None`` = no deadline).  ``future`` resolves to the
-    response dict the connection handler writes back.
+    response dict the connection handler writes back.  ``shm`` is the
+    snapshot's ``(slot, generation)`` token in the server's shared-
+    memory ring when the snapshot plane holds it (``None`` otherwise);
+    the submitting handler pins the slot for this request's lifetime.
     """
 
     shard: str
@@ -50,6 +53,7 @@ class PendingRequest:
     enqueued_at: float
     deadline: float | None
     future: asyncio.Future = field(repr=False)
+    shm: tuple[int, int] | None = None
 
     def expired(self, now: float) -> bool:
         return self.deadline is not None and now > self.deadline

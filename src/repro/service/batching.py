@@ -62,12 +62,19 @@ class BatchConfig:
 
 @dataclass
 class UniqueSolve:
-    """One distinct snapshot within a batch and everyone awaiting it."""
+    """One distinct snapshot within a batch and everyone awaiting it.
+
+    ``shm`` is the snapshot's ``(slot, generation)`` ring token,
+    inherited from the first request of the group: deduped requests
+    share one fingerprint, hence one slot, and each of them holds its
+    own pin, so the token outlives the whole solve.
+    """
 
     shard: str
     k: int
     instance: Instance
     requests: list[PendingRequest] = field(default_factory=list)
+    shm: tuple[int, int] | None = None
 
 
 @dataclass
@@ -123,7 +130,7 @@ class MicroBatcher:
                 continue
             solve = UniqueSolve(
                 shard=request.shard, k=request.k, instance=request.instance,
-                requests=[request],
+                requests=[request], shm=request.shm,
             )
             index[key] = solve
             lane = lanes.get(request.shard)

@@ -56,6 +56,21 @@ def _server_arguments(parser: argparse.ArgumentParser) -> None:
         help="worker processes for --executor process",
     )
     parser.add_argument(
+        "--no-shm", action="store_true",
+        help="disable the shared-memory snapshot plane (--executor "
+        "process defaults to shm: workers read snapshots zero-copy "
+        "from a shm ring instead of receiving arrays over the pipe)",
+    )
+    parser.add_argument(
+        "--shm-slots", type=int, default=128,
+        help="snapshot ring slots (distinct live snapshots)",
+    )
+    parser.add_argument(
+        "--shm-slot-bytes", type=int, default=1 << 20,
+        help="bytes per ring slot (bounds the largest shm snapshot; "
+        "bigger snapshots fall back to the inline codec path)",
+    )
+    parser.add_argument(
         "--naive", action="store_true",
         help="one-request-per-solve control mode: batch size 1, no "
         "dedupe, no warm engine (the E14 baseline)",
@@ -67,6 +82,8 @@ def _config_from(args: argparse.Namespace) -> ServerConfig:
         host=args.host, port=args.port, max_queue=args.max_queue,
         solver_workers=args.solver_workers,
         executor=args.executor, process_workers=args.process_workers,
+        shm=not args.no_shm, shm_slots=args.shm_slots,
+        shm_slot_bytes=args.shm_slot_bytes,
     )
     if args.naive:
         return ServerConfig.naive(**common)
@@ -149,11 +166,13 @@ def loadgen_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--shards", type=int, default=1,
                         help="distinct server shards to round-robin "
                         "(each gets its own snapshot stream lane)")
-    parser.add_argument("--traffic", choices=("drift", "steady"),
+    parser.add_argument("--traffic", choices=("drift", "steady", "churn"),
                         default="drift",
                         help="drift: diurnal+flash (every site moves "
                         "each epoch); steady: flash crowds only "
-                        "(sparse churn, the delta-friendly regime)")
+                        "(sparse churn, the delta-friendly regime); "
+                        "churn: one flash crowd every epoch (sparse "
+                        "but every snapshot distinct)")
     parser.add_argument("--json", action="store_true",
                         help="print the full report as JSON")
     parser.add_argument("--assert-clean", action="store_true",

@@ -100,7 +100,17 @@ def _raise_for(response: dict[str, Any]) -> None:
 
 
 class _WireState:
-    """Shared protocol/delta bookkeeping of both client flavors."""
+    """Shared protocol/delta bookkeeping of both client flavors.
+
+    One instance may be shared by several :class:`AsyncServiceClient`
+    connections (see ``wire_state=``): the delta base is a property of
+    the *frontend* that observed the snapshot, not of any single TCP
+    connection, and the server resolves bases per shard regardless of
+    which connection named them.  With concurrent in-flight requests
+    the base can update out of order; a delta against a slightly stale
+    base is still correct (the server retains a window of recent
+    bases, and "unknown base" falls back to a full snapshot).
+    """
 
     def __init__(self, protocol: str, delta: bool) -> None:
         if protocol not in ("json", "binary"):
@@ -319,12 +329,15 @@ class AsyncServiceClient:
         retries: int = 3,
         protocol: str = "json",
         delta: bool = False,
+        wire_state: _WireState | None = None,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
         self.retries = retries
-        self._wire = _WireState(protocol, delta)
+        # A caller-supplied wire state shares the delta-base registry
+        # (and delta/full counters) across a pool of connections.
+        self._wire = wire_state if wire_state is not None else _WireState(protocol, delta)
         self._streams: tuple[asyncio.StreamReader, asyncio.StreamWriter] | None = None
 
     @property

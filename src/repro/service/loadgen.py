@@ -32,13 +32,14 @@ import numpy as np
 
 from .. import telemetry
 from ..core.instance import Instance
-from .client import AsyncServiceClient, Overloaded, ServiceError
+from .client import AsyncServiceClient, Overloaded, ServiceError, _WireState
 from .protocol import ProtocolError
 
 __all__ = [
     "LoadGenConfig",
     "LoadGenReport",
     "build_snapshots",
+    "calibrate_shm_workload",
     "calibrate_workload",
     "calibrate_wire_workload",
     "run_loadgen",
@@ -80,7 +81,7 @@ class LoadGenConfig:
             raise ValueError(f"unknown protocol {self.protocol!r}")
         if self.delta and self.protocol != "binary":
             raise ValueError("delta snapshots require the binary protocol")
-        if self.traffic not in ("drift", "steady"):
+        if self.traffic not in ("drift", "steady", "churn"):
             raise ValueError(f"unknown traffic model {self.traffic!r}")
 
     def shard_for(self, index: int) -> str:
@@ -180,6 +181,11 @@ def build_snapshots(config: LoadGenConfig) -> list[Instance]:
       baseline popularity bit for bit, so consecutive epochs differ in
       a handful of sites: the steady-state sparse-churn regime delta
       snapshots exist for.
+    * ``"churn"`` — flash crowds every epoch (probability one).  Like
+      ``"steady"`` the churn is sparse, but *every* snapshot is
+      guaranteed distinct, so no two consecutive requests share a
+      fingerprint and the server's dedupe can never collapse them: the
+      regime that isolates per-request transport cost (E16).
     """
     from ..websim.simulator import build_cluster
     from ..websim.traffic import (
@@ -192,6 +198,8 @@ def build_snapshots(config: LoadGenConfig) -> list[Instance]:
     cluster = build_cluster(config.num_sites, config.num_servers, rng)
     if config.traffic == "steady":
         traffic = FlashCrowdTraffic(probability=0.1)
+    elif config.traffic == "churn":
+        traffic = FlashCrowdTraffic(probability=1.0)
     else:
         traffic = ComposedTraffic(
             (DiurnalTraffic(), FlashCrowdTraffic(probability=0.1))
@@ -303,6 +311,70 @@ def calibrate_wire_workload(
         num_sites *= 2
 
 
+def calibrate_shm_workload(
+    *,
+    seed: int = 16,
+    target_marshal_s: float = 0.0012,
+    num_servers: int = 12,
+    k: int = 8,
+    epochs: int = 32,
+    max_sites: int = 48_000,
+) -> tuple[LoadGenConfig, float]:
+    """Grow the snapshot until one inline worker-pipe marshal round —
+    packing a solve entry with full arrays, unpacking it, and rebuilding
+    the :class:`Instance` the way a worker process does — costs at
+    least ``target_marshal_s`` on this host; return the (churn-traffic,
+    delta-transport) config and the measured marshal time.
+
+    E16 compares snapshot transports *between* the serving process and
+    its workers: the inline codec path pays this marshal round per
+    dispatched solve, the shm plane pays O(1) per dispatch after one
+    ring write per distinct snapshot.  Pinning the marshal time pins
+    the inline leg's per-request overhead across hosts, exactly as
+    :func:`calibrate_wire_workload` pins the v1 codec time for E15.
+    Churn traffic (every snapshot distinct, sparsely) keeps the
+    fingerprint dedupe and the decision memo from collapsing repeated
+    requests, so every request prices the transport.
+
+    ``max_sites`` is deliberately tight: both legs pay the O(n)
+    response mapping on the pipe and the TCP socket, so past the cap
+    that *shared* cost dominates and the comparison stops isolating
+    the request-side snapshot transport.
+    """
+    from ..core.instance import Instance
+    from .protocol import pack_payload, unpack_payload
+
+    num_sites = 6000
+    while True:
+        config = LoadGenConfig(
+            num_sites=num_sites, num_servers=num_servers, k=k,
+            epochs=epochs, seed=seed, duplicates=1,
+            protocol="binary", delta=True, traffic="churn",
+        )
+        snapshot = build_snapshots(replace(config, epochs=1))[0]
+        marshal_s = float("inf")
+        for _ in range(2):  # best-of-2 strips scheduler spikes
+            start = time.perf_counter()
+            payload = pack_payload({
+                "op": "solve",
+                "lanes": [{
+                    "shard": "calibrate",
+                    "solves": [{
+                        "k": k, "fp": "00" * 16,
+                        "instance": snapshot.to_wire(),
+                    }],
+                }],
+            })
+            message = unpack_payload(payload)
+            Instance.from_dict(
+                message["lanes"][0]["solves"][0]["instance"]
+            )
+            marshal_s = min(marshal_s, time.perf_counter() - start)
+        if marshal_s >= target_marshal_s or num_sites * 2 > max_sites:
+            return config, marshal_s
+        num_sites *= 2
+
+
 async def _run_async(
     host: str, port: int, config: LoadGenConfig
 ) -> LoadGenReport:
@@ -310,10 +382,19 @@ async def _run_async(
     report = LoadGenReport()
     loop = asyncio.get_running_loop()
 
+    # All connections share one wire state: the delta base belongs to
+    # the frontend that observed the snapshot, not to a TCP connection.
+    # Without this, every ephemeral overflow connection's first request
+    # is a full O(n) snapshot — so a transient latency spike breeds
+    # ephemerals, whose fulls deepen the spike, and the open loop
+    # collapses into a full-snapshot storm the server never recovers
+    # from.  Sharing the base keeps overflow connections on deltas.
+    wire = _WireState(config.protocol, config.delta)
+
     def make_client() -> AsyncServiceClient:
         return AsyncServiceClient(
             host, port, timeout=config.timeout, retries=config.retries,
-            protocol=config.protocol, delta=config.delta,
+            wire_state=wire,
         )
 
     clients: list[AsyncServiceClient] = []
@@ -381,9 +462,9 @@ async def _run_async(
         await asyncio.gather(*tasks)
     report.duration_s = loop.time() - start
 
+    report.deltas_sent = wire.deltas_sent
+    report.fulls_sent = wire.fulls_sent
     for client in clients:
-        report.deltas_sent += client.deltas_sent
-        report.fulls_sent += client.fulls_sent
         await client.close()
     return report
 

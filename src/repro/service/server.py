@@ -46,6 +46,8 @@ measures against.
 from __future__ import annotations
 
 import asyncio
+import hashlib
+import math
 import threading
 import time
 from collections import OrderedDict
@@ -54,13 +56,16 @@ from dataclasses import dataclass, replace
 from typing import Any
 from zlib import crc32
 
+import numpy as np
+
 from .. import telemetry
 from ..core.engine import RebalanceEngine, snapshot_fingerprint
 from ..core.instance import Instance, apply_delta
 from ..core.partition import m_partition_rebalance
-from ..parallel import PersistentWorkerPool, run_sweep
+from ..core.result import RebalanceResult
+from ..parallel import PersistentWorkerPool, SnapshotRing, run_sweep
 from .admission import AdmissionQueue, PendingRequest
-from .batching import BatchConfig, MicroBatcher, ShardLane
+from .batching import BatchConfig, MicroBatcher, ShardLane, UniqueSolve
 from .protocol import (
     ProtocolError,
     encode_frame,
@@ -96,6 +101,21 @@ class ServerConfig:
     executor: str = "thread"  # "thread" | "process"
     process_workers: int = 2
     base_cache_size: int = 32  # delta base snapshots kept per shard
+    # Shared-memory snapshot plane (process executor only): decoded
+    # snapshots are written once into a shm ring and workers rebuild
+    # zero-copy views, so solve requests stop carrying arrays.  ``shm``
+    # opts out; the slot geometry bounds the plane's footprint at
+    # ``shm_slots * shm_slot_bytes``.  Snapshots too big for one slot
+    # transparently fall back to the inline codec path.
+    shm: bool = True
+    shm_slots: int = 128
+    shm_slot_bytes: int = 1 << 20
+    # Server-side decision memo (process executor only): repeated
+    # ``(shard, k, fingerprint)`` solves answer on the event loop
+    # without a worker-pipe round trip — the steady-state fast path
+    # that keeps p50 at loop latency when the cluster barely changes.
+    # 0 disables (the worker's own decision cache still applies).
+    decision_cache_size: int = 128
 
     def __post_init__(self) -> None:
         if self.executor not in ("thread", "process"):
@@ -104,6 +124,12 @@ class ServerConfig:
             raise ValueError("process_workers must be positive")
         if self.base_cache_size < 0:
             raise ValueError("base_cache_size must be non-negative")
+        if self.shm_slots <= 0:
+            raise ValueError("shm_slots must be positive")
+        if self.shm_slot_bytes <= 0 or self.shm_slot_bytes % 8:
+            raise ValueError("shm_slot_bytes must be positive and 8-byte aligned")
+        if self.decision_cache_size < 0:
+            raise ValueError("decision_cache_size must be non-negative")
 
     @classmethod
     def naive(cls, **overrides: Any) -> "ServerConfig":
@@ -111,7 +137,11 @@ class ServerConfig:
         dedupe, no warm engine — every request is a from-scratch
         ``m_partition_rebalance`` call."""
         return replace(
-            cls(max_batch=1, dedupe=False, use_engine=False), **overrides
+            cls(
+                max_batch=1, dedupe=False, use_engine=False,
+                decision_cache_size=0,
+            ),
+            **overrides,
         )
 
     def as_dict(self) -> dict[str, Any]:
@@ -126,6 +156,10 @@ class ServerConfig:
             "executor": self.executor,
             "process_workers": self.process_workers,
             "base_cache_size": self.base_cache_size,
+            "shm": self.shm,
+            "shm_slots": self.shm_slots,
+            "shm_slot_bytes": self.shm_slot_bytes,
+            "decision_cache_size": self.decision_cache_size,
         }
 
 
@@ -179,6 +213,16 @@ def _get_shard_state(
     return state, rebuilt
 
 
+def _result_response(state: ShardState, result: RebalanceResult) -> dict[str, Any]:
+    return ok_response(
+        mapping=result.assignment.mapping,
+        guessed_opt=float(result.guessed_opt),
+        planned_moves=int(result.planned_moves),
+        algorithm=result.algorithm,
+        shard=state.name,
+    )
+
+
 def _solve_one(
     state: ShardState, instance: Instance, k: int, fingerprint: bytes | None
 ) -> dict[str, Any]:
@@ -190,17 +234,137 @@ def _solve_one(
         else:
             result = m_partition_rebalance(instance, k)
         state.decisions += 1
-        return ok_response(
-            mapping=result.assignment.mapping,
-            guessed_opt=float(result.guessed_opt),
-            planned_moves=int(result.planned_moves),
-            algorithm=result.algorithm,
-            shard=state.name,
-        )
+        return _result_response(state, result)
     except Exception as exc:
         return error_response(
             "solve failed", message=f"{type(exc).__name__}: {exc}"
         )
+
+
+class _SnapshotPlane:
+    """Server-side allocator/accountant for the :class:`SnapshotRing`.
+
+    Keyed by snapshot fingerprint: the first time a fingerprint is seen
+    it is written into a free (or recycled) slot; every later reference
+    is a dictionary lookup — write-once, attach-many.  A slot is
+    recyclable only when nothing can still read it:
+
+    * ``holds`` — delta-base LRU entries referencing the fingerprint
+      (one per shard whose LRU holds it);
+    * ``pins`` — in-flight requests (pinned from admission until the
+      response future resolves, so a slot under a live solve is never
+      rewritten mid-read);
+    * worker retention — each worker's engines keep the last snapshot
+      per shard alive for table diffing; workers report those slots
+      with every reply and the plane refuses to recycle them.
+
+    Allocation and hold/pin bookkeeping run on the event loop only;
+    the solve thread only replaces per-worker retained maps (atomic
+    dict assignment), which is the single cross-thread touch point.
+    A retained map is always reported *after* the round whose request
+    pins covered the newly retained slots, so the event loop never
+    recycles a slot between a worker acquiring it and reporting it.
+    """
+
+    def __init__(self, ring: SnapshotRing, metrics: telemetry.Collector) -> None:
+        self.ring = ring
+        self.metrics = metrics
+        self._slot_of: dict[str, int] = {}
+        self._fp_of: list[str | None] = [None] * ring.slots
+        self._generations: list[int] = [0] * ring.slots
+        self._holds: list[int] = [0] * ring.slots
+        self._pins: list[int] = [0] * ring.slots
+        self._order: OrderedDict[int, None] = OrderedDict()  # assigned, LRU
+        self._free: list[int] = list(range(ring.slots - 1, -1, -1))
+        self._retained: dict[int, dict[str, int]] = {}  # worker -> shard -> slot
+
+    # -- event-loop side -----------------------------------------------
+    def _retained_slots(self) -> set[int]:
+        slots: set[int] = set()
+        for mapping in self._retained.values():
+            slots.update(mapping.values())
+        return slots
+
+    def _allocate(self) -> int | None:
+        if self._free:
+            return self._free.pop()
+        retained = self._retained_slots()
+        for slot in self._order:  # least recently used first
+            if (
+                self._holds[slot] == 0
+                and self._pins[slot] == 0
+                and slot not in retained
+            ):
+                return slot
+        return None
+
+    def _ensure(self, fp_hex: str, instance: Instance) -> int | None:
+        slot = self._slot_of.get(fp_hex)
+        if slot is not None:
+            self._order.move_to_end(slot)
+            return slot
+        if not self.ring.fits(instance.num_jobs):
+            self.metrics.add("service.shm_oversize")
+            return None
+        slot = self._allocate()
+        if slot is None:
+            self.metrics.add("service.shm_full")
+            return None
+        evicted = self._fp_of[slot]
+        if evicted is not None:
+            del self._slot_of[evicted]
+        generation = self._generations[slot] + 1
+        self.ring.write(
+            slot, generation, instance.sizes, instance.costs, instance.initial
+        )
+        self._generations[slot] = generation
+        self._fp_of[slot] = fp_hex
+        self._slot_of[fp_hex] = slot
+        self._order[slot] = None
+        self._order.move_to_end(slot)
+        self.metrics.add("service.shm_writes")
+        return slot
+
+    def pin(self, fp_hex: str, instance: Instance) -> tuple[int, int] | None:
+        """Slot token for one in-flight request (``None`` = no slot:
+        oversize snapshot or every slot busy — callers fall back to the
+        inline codec path)."""
+        slot = self._ensure(fp_hex, instance)
+        if slot is None:
+            return None
+        self._pins[slot] += 1
+        return slot, self._generations[slot]
+
+    def unpin(self, slot: int) -> None:
+        self._pins[slot] = max(0, self._pins[slot] - 1)
+
+    def hold(self, fp_hex: str, instance: Instance) -> None:
+        """A delta-base LRU entry now references ``fp_hex``."""
+        slot = self._ensure(fp_hex, instance)
+        if slot is not None:
+            self._holds[slot] += 1
+
+    def release_hold(self, fp_hex: str) -> None:
+        slot = self._slot_of.get(fp_hex)
+        if slot is not None:
+            self._holds[slot] = max(0, self._holds[slot] - 1)
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "slots": self.ring.slots,
+            "slot_bytes": self.ring.slot_bytes,
+            "assigned": len(self._slot_of),
+            "pinned": sum(1 for p in self._pins if p),
+            "held": sum(1 for h in self._holds if h),
+            "worker_retained": len(self._retained_slots()),
+        }
+
+    # -- solve-thread side ---------------------------------------------
+    def note_worker_retained(self, worker: int, mapping: dict[str, Any]) -> None:
+        """Replace ``worker``'s retained map (reported with each reply)."""
+        self._retained[worker] = {
+            str(shard): int(slot) for shard, slot in mapping.items()
+        }
 
 
 # ----------------------------------------------------------------------
@@ -210,36 +374,101 @@ _WORKER: dict[str, Any] = {}
 
 
 def _process_worker_init(config: dict[str, Any]) -> None:
-    """Per-worker initializer: remember the engine config, start empty."""
+    """Per-worker initializer: remember the engine config, start empty.
+
+    When the server created a snapshot ring, attach to it here so an
+    attach failure surfaces through the pool's ready handshake (the
+    server then fails start() instead of limping along half-attached).
+    """
     _WORKER["config"] = config
     _WORKER["shards"] = {}
     _WORKER["rebuilds"] = 0
+    _WORKER["retained"] = {}
+    ring = None
+    if config.get("shm_name"):
+        ring = SnapshotRing.attach(
+            config["shm_name"], config["shm_slots"], config["shm_slot_bytes"]
+        )
+    _WORKER["ring"] = ring
+
+
+def _worker_solve_lane(
+    lane: dict[str, Any],
+    shards: dict[str, ShardState],
+    config: dict[str, Any],
+    ring: SnapshotRing | None,
+    retained: dict[str, int],
+) -> list[dict[str, Any]]:
+    name = str(lane["shard"])
+    responses = []
+    for solve in lane["solves"]:
+        k = int(solve["k"])
+        state, rebuilt = _get_shard_state(
+            shards, name, k,
+            config["use_engine"], config["engine_cache_size"],
+        )
+        if rebuilt:
+            _WORKER["rebuilds"] += 1
+            retained.pop(name, None)  # the old engine's borrow ended
+        fingerprint = bytes.fromhex(solve["fp"])
+        if state.engine is not None:
+            # Fingerprint-only fast path: a decision-cache hit needs no
+            # snapshot at all, so shm solves skip even the view rebuild.
+            result = state.engine.cached(fingerprint)
+            if result is not None:
+                state.decisions += 1
+                responses.append(_result_response(state, result))
+                continue
+        slot = solve.get("slot")
+        if slot is not None:
+            views = None
+            if ring is not None:
+                views = ring.read(
+                    int(slot), int(solve["gen"]), int(solve["n"])
+                )
+            if views is None:
+                # Generation mismatch (or no ring): tell the server to
+                # re-send this solve with inline arrays.
+                responses.append(error_response("stale segment", shard=name))
+                continue
+            sizes, costs, initial = views
+            instance = Instance(
+                sizes=sizes, costs=costs,
+                num_processors=int(solve["m"]), initial=initial,
+            )
+        else:
+            instance = Instance.from_dict(solve["instance"])
+        responses.append(_solve_one(state, instance, k, fingerprint))
+        if state.engine is not None and state.engine.retained_snapshot is instance:
+            # The engine's tables now reference this snapshot's arrays;
+            # report the slot so the server keeps it off the free list
+            # (inline solves clear the previous borrow instead).
+            if slot is not None:
+                retained[name] = int(slot)
+            else:
+                retained.pop(name, None)
+    return responses
 
 
 def _process_worker_handle(payload: bytes) -> bytes:
-    """Worker request loop body: binary codec in, binary codec out."""
+    """Worker request loop body: binary codec in, binary codec out.
+
+    Every reply carries the worker's current ``retained`` map
+    (shard -> ring slot its warm engine still references) so the
+    server's slot recycling always sees fresh borrows.
+    """
     message = unpack_payload(payload)
     op = message.get("op")
     config = _WORKER["config"]
     shards: dict[str, ShardState] = _WORKER["shards"]
+    retained: dict[str, int] = _WORKER["retained"]
     if op == "solve":
-        lanes_out = []
-        for lane in message["lanes"]:
-            name = str(lane["shard"])
-            responses = []
-            for solve in lane["solves"]:
-                k = int(solve["k"])
-                state, rebuilt = _get_shard_state(
-                    shards, name, k,
-                    config["use_engine"], config["engine_cache_size"],
-                )
-                if rebuilt:
-                    _WORKER["rebuilds"] += 1
-                instance = Instance.from_dict(solve["instance"])
-                fingerprint = bytes.fromhex(solve["fp"])
-                responses.append(_solve_one(state, instance, k, fingerprint))
-            lanes_out.append(responses)
-        return pack_payload({"lanes": lanes_out})
+        ring: SnapshotRing | None = _WORKER.get("ring")
+        lanes_out = [
+            _worker_solve_lane(lane, shards, config, ring, retained)
+            for lane in message["lanes"]
+        ]
+        return pack_payload({"lanes": lanes_out, "retained": dict(retained)})
     if op == "reset":
         names = message.get("shards")
         names = list(shards) if names is None else [str(n) for n in names]
@@ -251,12 +480,14 @@ def _process_worker_handle(payload: bytes) -> bytes:
             if state.engine is not None:
                 state.engine.reset()
             state.decisions = 0
+            retained.pop(name, None)
             reset.append(name)
-        return pack_payload({"reset": reset})
+        return pack_payload({"reset": reset, "retained": dict(retained)})
     if op == "stats":
         return pack_payload({
             "shards": {name: state.stats() for name, state in shards.items()},
             "rebuilds": _WORKER["rebuilds"],
+            "retained": dict(retained),
         })
     raise ValueError(f"unknown worker op {op!r}")
 
@@ -282,6 +513,21 @@ class RebalanceServer:
         # hex.  Lives in the serving process (deltas must materialize
         # before admission/batching), regardless of the executor.
         self._bases: dict[str, OrderedDict[str, Instance]] = {}
+        # Delta-transition memo: per shard, (base fp, delta digest) ->
+        # resulting fp.  A steady epoch stream cycles through the same
+        # transitions, so a hit skips apply_delta *and* the full-array
+        # fingerprint hash — the request decodes in O(changed sites).
+        self._transitions: dict[str, OrderedDict[tuple[str, bytes], str]] = {}
+        self._transitions_cap = max(64, 4 * self.config.base_cache_size)
+        # Server-side decision memo (process executor): (shard, k,
+        # fingerprint hex) -> the worker's ok response.  A hit answers
+        # without a worker-pipe round trip; identical fingerprints get
+        # identical decisions by the engine contract, so replaying the
+        # reply is byte-equivalent to re-asking the worker.
+        self._decisions: OrderedDict[tuple[str, int, str], dict[str, Any]] = (
+            OrderedDict()
+        )
+        self._plane: _SnapshotPlane | None = None
         self._server: asyncio.AbstractServer | None = None
         self._batch_task: asyncio.Task | None = None
         self._executor: ThreadPoolExecutor | None = None
@@ -305,18 +551,41 @@ class RebalanceServer:
             raise RuntimeError("server already started")
         self._stop_event = asyncio.Event()
         if self.config.executor == "process":
+            ring = None
+            if self.config.shm:
+                try:
+                    ring = SnapshotRing.create(
+                        self.config.shm_slots, self.config.shm_slot_bytes
+                    )
+                except OSError:
+                    # No usable /dev/shm (or quota): serve via the
+                    # inline codec path exactly as PR 5 did.
+                    self.metrics.add("service.shm_unavailable")
             # Spawned workers import the package fresh; blocking here
             # until every ready handshake lands keeps `start` returning
-            # a genuinely warm server.
-            self._pool = PersistentWorkerPool(
-                _process_worker_handle,
-                self.config.process_workers,
-                initializer=_process_worker_init,
-                initargs=({
-                    "use_engine": self.config.use_engine,
-                    "engine_cache_size": self.config.engine_cache_size,
-                },),
-            )
+            # a genuinely warm server.  The pool owns the ring: its
+            # close() unlinks the segment after the workers exit, and a
+            # failed spawn/handshake cleans it up the same way.
+            try:
+                self._pool = PersistentWorkerPool(
+                    _process_worker_handle,
+                    self.config.process_workers,
+                    initializer=_process_worker_init,
+                    initargs=({
+                        "use_engine": self.config.use_engine,
+                        "engine_cache_size": self.config.engine_cache_size,
+                        "shm_name": ring.name if ring is not None else None,
+                        "shm_slots": self.config.shm_slots,
+                        "shm_slot_bytes": self.config.shm_slot_bytes,
+                    },),
+                    ring=ring,
+                )
+            except BaseException:
+                if ring is not None:
+                    ring.close()  # idempotent if the pool got that far
+                raise
+            if ring is not None:
+                self._plane = _SnapshotPlane(ring, self.metrics)
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-solve"
         )
@@ -362,8 +631,9 @@ class RebalanceServer:
             self._executor.shutdown(wait=True)
             self._executor = None
         if self._pool is not None:
-            self._pool.close()
+            self._pool.close()  # also unlinks the snapshot ring
             self._pool = None
+        self._plane = None
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -421,10 +691,17 @@ class RebalanceServer:
         bases = self._bases.get(shard)
         if bases is None:
             bases = self._bases[shard] = OrderedDict()
+        if fp_hex not in bases and self._plane is not None:
+            # The LRU entry keeps the snapshot's ring slot held: the
+            # ring is keyed by the same fingerprints as the base cache,
+            # so eviction here is what frees slots for recycling.
+            self._plane.hold(fp_hex, instance)
         bases[fp_hex] = instance
         bases.move_to_end(fp_hex)
         while len(bases) > self.config.base_cache_size:
-            bases.popitem(last=False)
+            evicted, _ = bases.popitem(last=False)
+            if self._plane is not None:
+                self._plane.release_hold(evicted)
 
     def _base_for(self, shard: str, fp_hex: str) -> Instance | None:
         bases = self._bases.get(shard)
@@ -434,6 +711,45 @@ class RebalanceServer:
         if instance is not None:
             bases.move_to_end(fp_hex)
         return instance
+
+    def _materialize_delta(
+        self, shard: str, base_hex: str, base: Instance, delta: dict[str, Any]
+    ) -> tuple[Instance, bytes]:
+        """Snapshot + fingerprint for a delta frame, memoized.
+
+        A steady client cycles through a fixed set of epoch
+        transitions; hashing the (small) delta arrays identifies a
+        repeat, and when the resulting snapshot is still in the base
+        LRU the whole decode — ``apply_delta``'s three O(n) copies and
+        the O(n) fingerprint hash — collapses to the digest of the
+        changed sites.  Raises like ``apply_delta`` on malformed deltas.
+        """
+        idx = np.asarray(delta["idx"], dtype=np.int64)
+        sizes = np.asarray(delta["sizes"], dtype=np.float64)
+        costs = np.asarray(delta["costs"], dtype=np.float64)
+        initial = np.asarray(delta["initial"], dtype=np.int64)
+        h = hashlib.blake2b(digest_size=16)
+        for arr in (idx, sizes, costs, initial):
+            h.update(arr.tobytes())
+        memo = self._transitions.setdefault(shard, OrderedDict())
+        key = (base_hex, h.digest())
+        known_hex = memo.get(key)
+        if known_hex is not None:
+            memo.move_to_end(key)
+            known = self._base_for(shard, known_hex)
+            if known is not None:
+                self.metrics.add("service.delta_applied")
+                self.metrics.add("service.delta_memo_hits")
+                return known, bytes.fromhex(known_hex)
+        instance = apply_delta(
+            base, {"idx": idx, "sizes": sizes, "costs": costs, "initial": initial}
+        )
+        self.metrics.add("service.delta_applied")
+        fingerprint = snapshot_fingerprint(instance)
+        memo[key] = fingerprint.hex()
+        while len(memo) > self._transitions_cap:
+            memo.popitem(last=False)
+        return instance, fingerprint
 
     # ------------------------------------------------------------------
     # Operations
@@ -446,42 +762,82 @@ class RebalanceServer:
             k = int(message.get("k", 2))
             if k < 0:
                 raise ValueError("k must be non-negative")
+            # Deadline parsing lives inside the guarded block: a
+            # non-numeric deadline is a bad request, not a connection-
+            # killing TypeError.
+            deadline_ms = message.get("deadline_ms")
+            if deadline_ms is not None:
+                if isinstance(deadline_ms, bool) or not isinstance(
+                    deadline_ms, (int, float)
+                ):
+                    raise ValueError("deadline_ms must be a number")
+                deadline_ms = float(deadline_ms)
+                if not math.isfinite(deadline_ms):
+                    raise ValueError("deadline_ms must be finite")
             delta = message.get("delta")
             if delta is not None:
-                base = self._base_for(shard, str(delta.get("base", "")))
+                base_hex = str(delta.get("base", ""))
+                base = self._base_for(shard, base_hex)
                 if base is None:
                     # Not an error in the protocol sense: the client
                     # holds a fingerprint this server no longer (or
                     # never) had, and falls back to a full snapshot.
                     self.metrics.add("service.delta_misses")
                     return error_response("unknown base", shard=shard)
-                instance = apply_delta(base, delta)
-                self.metrics.add("service.delta_applied")
+                instance, fingerprint = self._materialize_delta(
+                    shard, base_hex, base, delta
+                )
             else:
                 instance = Instance.from_dict(message["instance"])
+                fingerprint = snapshot_fingerprint(instance)
         except (KeyError, TypeError, ValueError) as exc:
             self.metrics.add("service.bad_requests")
             return error_response("bad request", message=str(exc))
 
-        fingerprint = snapshot_fingerprint(instance)
         fp_hex = fingerprint.hex()
         self._remember_base(shard, fp_hex, instance)
-        deadline_ms = message.get("deadline_ms")
         now = loop.time()
-        request = PendingRequest(
-            shard=shard,
-            k=k,
-            instance=instance,
-            fingerprint=fingerprint,
-            enqueued_at=now,
-            deadline=None if deadline_ms is None else now + deadline_ms / 1e3,
-            future=loop.create_future(),
+        # Event-loop fast path: a decision-memo hit needs no admission,
+        # no batch, and no solve-thread hop — the decision is a pure
+        # function of (fingerprint, k), so in-flight solves cannot
+        # change the answer.  Plain ``get`` only: the solve thread owns
+        # the memo's LRU reordering and eviction.
+        if self._pool is not None and self.config.decision_cache_size:
+            cached = self._decisions.get((shard, k, fp_hex))
+            if cached is not None:
+                self.metrics.add("service.decision_hits")
+                self.metrics.add("service.ok")
+                self.metrics.observe(
+                    "service.latency_ms", 1e3 * (loop.time() - now)
+                )
+                response = dict(cached)
+                response["fingerprint"] = fp_hex
+                return response
+        # Pin the snapshot's ring slot for the request's whole lifetime
+        # so it is never rewritten under an in-flight solve.
+        token = (
+            self._plane.pin(fp_hex, instance)
+            if self._plane is not None else None
         )
-        if not self.queue.try_submit(request):
-            return error_response(
-                "overloaded", retry_after_ms=self.queue.retry_after_ms()
+        try:
+            request = PendingRequest(
+                shard=shard,
+                k=k,
+                instance=instance,
+                fingerprint=fingerprint,
+                enqueued_at=now,
+                deadline=None if deadline_ms is None else now + deadline_ms / 1e3,
+                future=loop.create_future(),
+                shm=token,
             )
-        response = await request.future
+            if not self.queue.try_submit(request):
+                return error_response(
+                    "overloaded", retry_after_ms=self.queue.retry_after_ms()
+                )
+            response = await request.future
+        finally:
+            if token is not None:
+                self._plane.unpin(token[0])
         latency_ms = 1e3 * (loop.time() - request.enqueued_at)
         self.metrics.observe("service.latency_ms", latency_ms)
         if response.get("ok"):
@@ -494,34 +850,62 @@ class RebalanceServer:
         return response
 
     async def _op_status(self) -> dict[str, Any]:
-        shards = {name: s.stats() for name, s in self.shards.items()}
+        loop = asyncio.get_running_loop()
+        assert self._executor is not None
         if self._pool is not None:
             # Worker pipes are only ever driven from the solve thread;
             # hop there so stats never race an in-flight batch.
-            loop = asyncio.get_running_loop()
-            assert self._executor is not None
             shards = await loop.run_in_executor(self._executor, self._pool_stats)
+        else:
+            # Thread-mode shard states are created by the solve thread
+            # mid-batch; snapshot them on that same thread so status
+            # never iterates the dict during an insert.
+            shards = await loop.run_in_executor(
+                self._executor, self._thread_shard_stats
+            )
         return ok_response(
             uptime_s=time.monotonic() - self._started_at,
             config=self.config.as_dict(),
             queue=self.queue.stats(),
             shards=shards,
+            shm=self._plane.stats() if self._plane is not None else None,
             metrics=self.metrics.as_dict(),
         )
+
+    def _thread_shard_stats(self) -> dict[str, Any]:
+        return {name: state.stats() for name, state in self.shards.items()}
 
     def _pool_stats(self) -> dict[str, Any]:
         assert self._pool is not None
         shards: dict[str, Any] = {}
-        for reply in self._pool.broadcast(pack_payload({"op": "stats"})).values():
+        for worker, reply in self._pool.broadcast(
+            pack_payload({"op": "stats"})
+        ).items():
             stats = unpack_payload(reply)
+            self._note_retained(worker, stats)
             shards.update(stats["shards"])
         return shards
+
+    def _note_retained(self, worker: int, message: dict[str, Any]) -> None:
+        """Fold a worker reply's retained map into the snapshot plane."""
+        if self._plane is not None and "retained" in message:
+            self._plane.note_worker_retained(worker, message["retained"])
 
     async def _op_reset(self, message: dict[str, Any]) -> dict[str, Any]:
         shard = message.get("shard")
         names = [str(shard)] if shard is not None else None
         for name in (names if names is not None else list(self._bases)):
-            self._bases.pop(name, None)
+            bases = self._bases.pop(name, None)
+            if bases and self._plane is not None:
+                for fp_hex in bases:
+                    self._plane.release_hold(fp_hex)
+        for name in (names if names is not None else list(self._transitions)):
+            self._transitions.pop(name, None)
+        if names is None:
+            self._decisions.clear()
+        else:
+            for key in [k for k in self._decisions if k[0] in names]:
+                del self._decisions[key]
         if self._pool is not None:
             loop = asyncio.get_running_loop()
             assert self._executor is not None
@@ -545,8 +929,10 @@ class RebalanceServer:
         assert self._pool is not None
         payload = pack_payload({"op": "reset", "shards": names})
         reset: list[str] = []
-        for reply in self._pool.broadcast(payload).values():
-            reset.extend(unpack_payload(reply)["reset"])
+        for worker, reply in self._pool.broadcast(payload).items():
+            message = unpack_payload(reply)
+            self._note_retained(worker, message)
+            reset.extend(message["reset"])
         return reset
 
     # ------------------------------------------------------------------
@@ -637,13 +1023,53 @@ class RebalanceServer:
         seeded, so crc32 it is)."""
         return crc32(shard.encode("utf-8")) % self.config.process_workers
 
+    def _wire_solve(self, solve: UniqueSolve, *, inline: bool) -> dict[str, Any]:
+        """One solve's wire form: an O(1) shm slot reference when the
+        snapshot plane holds the snapshot, inline arrays otherwise."""
+        entry: dict[str, Any] = {
+            "k": solve.k,
+            "fp": solve.requests[0].fingerprint.hex(),
+        }
+        if not inline and solve.shm is not None:
+            slot, generation = solve.shm
+            entry["slot"] = slot
+            entry["gen"] = generation
+            entry["n"] = solve.instance.num_jobs
+            entry["m"] = solve.instance.num_processors
+        else:
+            entry["instance"] = solve.instance.to_wire()
+        return entry
+
     def _solve_lanes_process(
         self, lanes: list[ShardLane]
     ) -> list[list[dict[str, Any]]]:
-        """Route lanes to their affine workers over the binary codec."""
+        """Route lanes to their affine workers over the binary codec.
+
+        Solves whose ``(shard, k, fingerprint)`` is in the server-side
+        decision memo are answered here; only the misses cross the
+        worker pipe.  Replies scatter back into the original solve
+        positions, so downstream bookkeeping never sees the split.
+        """
+        memo = self.config.decision_cache_size
+        results: list[list[dict[str, Any]]] = [
+            [None] * len(lane.solves) for lane in lanes  # type: ignore[list-item]
+        ]
+        pending: dict[int, list[int]] = {}
+        for i, lane in enumerate(lanes):
+            for j, solve in enumerate(lane.solves):
+                key = (lane.shard, solve.k, solve.requests[0].fingerprint.hex())
+                cached = self._decisions.get(key) if memo else None
+                if cached is not None:
+                    self._decisions.move_to_end(key)
+                    self.metrics.add("service.decision_hits")
+                    results[i][j] = dict(cached)
+                else:
+                    pending.setdefault(i, []).append(j)
+        if not pending:
+            return results
         groups: dict[int, list[int]] = {}
-        for index, lane in enumerate(lanes):
-            groups.setdefault(self._worker_for(lane.shard), []).append(index)
+        for i in pending:
+            groups.setdefault(self._worker_for(lanes[i].shard), []).append(i)
         assignments: dict[int, bytes] = {}
         for worker, lane_indices in groups.items():
             payload = pack_payload({
@@ -652,12 +1078,8 @@ class RebalanceServer:
                     {
                         "shard": lanes[i].shard,
                         "solves": [
-                            {
-                                "k": solve.k,
-                                "fp": solve.requests[0].fingerprint.hex(),
-                                "instance": solve.instance.to_wire(),
-                            }
-                            for solve in lanes[i].solves
+                            self._wire_solve(lanes[i].solves[j], inline=False)
+                            for j in pending[i]
                         ],
                     }
                     for i in lane_indices
@@ -667,13 +1089,76 @@ class RebalanceServer:
             assignments[worker] = payload
         assert self._pool is not None
         replies = self._pool.request(assignments)
-        results: list[list[dict[str, Any]]] = [[] for _ in lanes]
+        stale: dict[int, list[tuple[int, int]]] = {}
         for worker, lane_indices in groups.items():
             reply = replies[worker]
             self.metrics.add("service.ipc_bytes_in", len(reply))
-            for i, lane_out in zip(lane_indices, unpack_payload(reply)["lanes"]):
-                results[i] = lane_out
+            message = unpack_payload(reply)
+            self._note_retained(worker, message)
+            for i, lane_out in zip(lane_indices, message["lanes"]):
+                for j, outcome in zip(pending[i], lane_out):
+                    results[i][j] = outcome
+                    if (
+                        isinstance(outcome, dict)
+                        and outcome.get("error") == "stale segment"
+                    ):
+                        stale.setdefault(worker, []).append((i, j))
+        if stale:
+            self._retry_stale(lanes, results, stale)
+        if memo:
+            for i, where in pending.items():
+                for j in where:
+                    outcome = results[i][j]
+                    if isinstance(outcome, dict) and outcome.get("ok"):
+                        solve = lanes[i].solves[j]
+                        key = (
+                            lanes[i].shard, solve.k,
+                            solve.requests[0].fingerprint.hex(),
+                        )
+                        self._decisions[key] = dict(outcome)
+            while len(self._decisions) > memo:
+                self._decisions.popitem(last=False)
         return results
+
+    def _retry_stale(
+        self,
+        lanes: list[ShardLane],
+        results: list[list[dict[str, Any]]],
+        stale: dict[int, list[tuple[int, int]]],
+    ) -> None:
+        """Re-send stale-segment solves with inline arrays.
+
+        Request pins make slot recycling under an in-flight solve
+        unreachable, so this path guards the exceptional cases — a
+        worker without a ring attachment or a ring restart — with the
+        PR 5 codec behavior instead of a failed request.
+        """
+        assignments: dict[int, bytes] = {}
+        for worker, where in stale.items():
+            payload = pack_payload({
+                "op": "solve",
+                "lanes": [
+                    {
+                        "shard": lanes[i].shard,
+                        "solves": [
+                            self._wire_solve(lanes[i].solves[j], inline=True)
+                        ],
+                    }
+                    for i, j in where
+                ],
+            })
+            self.metrics.add("service.shm_stale", len(where))
+            self.metrics.add("service.ipc_bytes_out", len(payload))
+            assignments[worker] = payload
+        assert self._pool is not None
+        replies = self._pool.request(assignments)
+        for worker, where in stale.items():
+            reply = replies[worker]
+            self.metrics.add("service.ipc_bytes_in", len(reply))
+            message = unpack_payload(reply)
+            self._note_retained(worker, message)
+            for (i, j), lane_out in zip(where, message["lanes"]):
+                results[i][j] = lane_out[0]
 
 
 # ----------------------------------------------------------------------

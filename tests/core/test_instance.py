@@ -60,6 +60,26 @@ class TestValidation:
         with pytest.raises(ValueError):
             Instance(sizes=[1.0], costs=[1.0], num_processors=0, initial=[0])
 
+    def test_rejects_nan_size(self):
+        with pytest.raises(ValueError, match="finite"):
+            make_instance(sizes=[1.0, float("nan")], initial=[0, 0])
+
+    def test_rejects_infinite_size(self):
+        with pytest.raises(ValueError, match="finite"):
+            make_instance(sizes=[float("inf")], initial=[0])
+
+    def test_rejects_nan_cost(self):
+        with pytest.raises(ValueError, match="finite"):
+            make_instance(
+                sizes=[1.0], initial=[0], costs=[float("nan")]
+            )
+
+    def test_rejects_infinite_cost(self):
+        with pytest.raises(ValueError, match="finite"):
+            make_instance(
+                sizes=[1.0], initial=[0], costs=[float("inf")]
+            )
+
 
 class TestDerivedQuantities:
     def test_initial_loads(self):

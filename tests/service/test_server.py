@@ -125,6 +125,52 @@ class TestRebalanceOp:
             assert response["ok"] is False
             assert response["error"] == "bad request"
 
+    def test_bad_request_non_numeric_deadline(self, server):
+        """Regression: a string deadline used to raise ``TypeError``
+        outside the bad-request guard, killing the connection instead
+        of answering it."""
+        inst = _instance()
+        with ServiceClient(server.host, server.port, retries=0) as client:
+            for deadline in ("50", True, [50]):
+                response = client.call({
+                    "op": "rebalance", "k": 2, "instance": inst.to_dict(),
+                    "deadline_ms": deadline,
+                })
+                assert response["ok"] is False
+                assert response["error"] == "bad request"
+            # The connection survived every malformed request.
+            assert client.call({"op": "ping"})["ok"] is True
+
+    def test_bad_request_nonfinite_deadline(self, server):
+        # Python's json module happily emits bare NaN, so it arrives.
+        inst = _instance()
+        with ServiceClient(server.host, server.port, retries=0) as client:
+            response = client.call({
+                "op": "rebalance", "k": 2, "instance": inst.to_dict(),
+                "deadline_ms": float("nan"),
+            })
+            assert response["ok"] is False
+            assert response["error"] == "bad request"
+
+    def test_bad_request_nonfinite_snapshot(self, server):
+        """Regression: NaN/inf sizes or costs ride through v1 JSON
+        unharmed and used to reach the solver; instance validation must
+        bounce them as bad requests."""
+        inst = _instance()
+        nan_sizes = inst.to_dict()
+        nan_sizes["sizes"][0] = float("nan")
+        inf_costs = inst.to_dict()
+        inf_costs["costs"][0] = float("inf")
+        with ServiceClient(server.host, server.port, retries=0) as client:
+            for body in (nan_sizes, inf_costs):
+                response = client.call(
+                    {"op": "rebalance", "k": 2, "instance": body}
+                )
+                assert response["ok"] is False
+                assert response["error"] == "bad request"
+                assert "finite" in response["message"]
+            assert client.call({"op": "ping"})["ok"] is True
+
     def test_admission_rejects_when_queue_full(self):
         """naive server, queue depth 1: while a slow solve occupies the
         solver, the queue holds one follow-up and the rest bounce with
@@ -209,6 +255,28 @@ class TestControlOps:
             assert response["ok"] is False
             assert response["error"] == "unknown op"
 
+    def test_status_snapshots_shards_on_solve_thread(self, server):
+        """Regression: thread-mode status used to iterate the shards
+        dict on the event loop while the solve thread inserts new
+        shards mid-batch — "dictionary changed size during iteration"
+        under load.  The snapshot must run on the solve thread, where
+        it serializes against in-flight batches."""
+        import threading
+
+        seen: list[str] = []
+
+        class Recording(dict):
+            def items(self):
+                seen.append(threading.current_thread().name)
+                return super().items()
+
+        server.server.shards = Recording(server.server.shards)
+        with ServiceClient(server.host, server.port) as client:
+            client.rebalance(_instance(), 2)
+            client.status()
+        assert seen
+        assert all(name.startswith("repro-solve") for name in seen)
+
     def test_shard_k_change_rebuilds_engine(self, server):
         inst = _instance()
         with ServiceClient(server.host, server.port) as client:
@@ -287,15 +355,42 @@ class TestProcessExecutor:
                 result = client.rebalance(inst, 3, shard=f"shard-{i}")
                 _same_decision(result, m_partition_rebalance(inst, 3))
 
-    def test_warm_engine_state_survives_across_batches(self, process_server):
+    def test_warm_engine_state_survives_across_batches(self):
+        # Memo off so the repeat actually reaches the worker: the
+        # byte-identical snapshot must hit the worker's warm decision
+        # cache — proof the shard stayed in one process.
+        config = ServerConfig(
+            executor="process", process_workers=2, decision_cache_size=0
+        )
         inst = _instance(seed=9)
-        with ServiceClient(process_server.host, process_server.port) as client:
-            client.rebalance(inst, 2, shard="warm")
-            client.rebalance(inst, 2, shard="warm")
-            status = client.status()
-        # The repeated byte-identical snapshot must hit the worker's
-        # warm decision cache — proof the shard stayed in one process.
+        with start_background(config) as handle:
+            with ServiceClient(handle.host, handle.port) as client:
+                client.rebalance(inst, 2, shard="warm")
+                client.rebalance(inst, 2, shard="warm")
+                status = client.status()
         assert status["shards"]["warm"]["engine"]["cache_hits"] >= 1
+
+    def test_repeated_snapshot_hits_server_decision_memo(
+        self, process_server
+    ):
+        """A repeated (shard, k, fingerprint) answers from the server's
+        decision memo without another worker round trip — and with the
+        same decision the worker gave the first time."""
+        inst = _instance(seed=29)
+        with ServiceClient(process_server.host, process_server.port) as client:
+            first = client.rebalance(inst, 2, shard="memo")
+            before = client.status()["metrics"]["counters"]
+            again = client.rebalance(inst, 2, shard="memo")
+            after = client.status()["metrics"]["counters"]
+        _same_decision(again, m_partition_rebalance(inst, 2))
+        assert np.array_equal(
+            again.assignment.mapping, first.assignment.mapping
+        )
+        assert after.get("service.decision_hits", 0) > before.get(
+            "service.decision_hits", 0
+        )
+        # The memo hit must not have crossed the worker pipe.
+        assert after["service.ipc_bytes_out"] == before["service.ipc_bytes_out"]
 
     def test_status_merges_worker_stats(self, process_server):
         with ServiceClient(process_server.host, process_server.port) as client:
@@ -400,6 +495,37 @@ class TestBinaryAndDelta:
     def test_delta_requires_binary_protocol(self, server):
         with pytest.raises(ValueError):
             ServiceClient(server.host, server.port, delta=True)
+
+    def test_delta_base_evicted_by_lru_falls_back_to_full(self):
+        """Distinct snapshots streaming through a shard push older
+        delta bases out of the bounded LRU; a delta against an evicted
+        base bounces as ``unknown base`` and the client transparently
+        re-sends the full snapshot."""
+        from repro.core.instance import Instance
+
+        config = ServerConfig(base_cache_size=2)
+        inst = _instance(seed=30, n=40)
+        sizes = inst.sizes.copy()
+        sizes[5] *= 1.5
+        changed = Instance(
+            sizes=sizes, costs=inst.costs,
+            num_processors=inst.num_processors, initial=inst.initial,
+        )
+        with start_background(config) as handle:
+            with ServiceClient(
+                handle.host, handle.port, protocol="binary", delta=True
+            ) as client, ServiceClient(handle.host, handle.port) as probe:
+                client.rebalance(inst, 2, shard="ev")
+                # Two more distinct snapshots through the same shard
+                # evict the delta client's base from the size-2 LRU.
+                probe.rebalance(_instance(seed=31, n=40), 2, shard="ev")
+                probe.rebalance(_instance(seed=32, n=40), 2, shard="ev")
+                result = client.rebalance(changed, 2, shard="ev")
+                assert client.deltas_sent == 1  # the bounced attempt
+                assert client.fulls_sent == 2   # initial + fallback
+                counters = probe.status()["metrics"]["counters"]
+                assert counters.get("service.delta_misses", 0) >= 1
+        _same_decision(result, m_partition_rebalance(changed, 2))
 
     def test_malformed_delta_is_bad_request(self, server):
         inst = _instance(seed=24)
