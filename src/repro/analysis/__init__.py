@@ -19,6 +19,7 @@ from .experiments import (
     experiment_e14_service,
     experiment_e15_wire,
     experiment_e16_shm,
+    experiment_e17_cluster,
     wire_sizes,
 )
 from .ablations import (
@@ -56,6 +57,7 @@ __all__ = [
     "experiment_e14_service",
     "experiment_e15_wire",
     "experiment_e16_shm",
+    "experiment_e17_cluster",
     "loglog_slope",
     "measure_ratios",
     "measure_scaling",

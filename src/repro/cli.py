@@ -5,9 +5,10 @@ Runs the named experiments (default: all) and prints their tables.
 fans independent experiments out over worker processes (output order
 and content are identical to a serial run).
 
-Two service subcommands short-circuit the experiment runner:
-``python -m repro serve`` starts the rebalancing server and
-``python -m repro loadgen`` drives one (see :mod:`repro.service.cli`).
+Three service subcommands short-circuit the experiment runner:
+``python -m repro serve`` starts the rebalancing server,
+``python -m repro router`` starts the cluster-tier coordinator, and
+``python -m repro loadgen`` drives either (see :mod:`repro.service.cli`).
 """
 
 from __future__ import annotations
@@ -23,7 +24,7 @@ from .parallel import run_sweep
 
 ALL_RUNNABLE = {**ALL_EXPERIMENTS, **ALL_ABLATIONS}
 
-SERVICE_COMMANDS = ("serve", "loadgen")
+SERVICE_COMMANDS = ("serve", "loadgen", "router")
 
 
 def _runnable_span() -> str:
@@ -60,9 +61,13 @@ def _run_one_experiment(payload: tuple[str, bool]) -> tuple:
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if argv and argv[0] in SERVICE_COMMANDS:
-        from .service.cli import loadgen_main, serve_main
+        from .service.cli import loadgen_main, router_main, serve_main
 
-        handler = serve_main if argv[0] == "serve" else loadgen_main
+        handler = {
+            "serve": serve_main,
+            "loadgen": loadgen_main,
+            "router": router_main,
+        }[argv[0]]
         return handler(argv[1:])
 
     parser = argparse.ArgumentParser(

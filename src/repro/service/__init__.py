@@ -20,13 +20,26 @@ Module map: :mod:`~repro.service.protocol` (framing),
 :mod:`~repro.service.batching` (dynamic micro-batches),
 :mod:`~repro.service.server` (the asyncio server),
 :mod:`~repro.service.client` (sync + async clients),
+:mod:`~repro.service.cluster` (the multi-node router: consistent-hash
+shard placement, delta-replay replication, failover, live migration),
 :mod:`~repro.service.loadgen` (open-loop load generator),
-:mod:`~repro.service.cli` (``repro serve`` / ``repro loadgen``).
+:mod:`~repro.service.cli` (``repro serve`` / ``repro router`` /
+``repro loadgen``).
 """
 
 from .admission import AdmissionQueue, PendingRequest
 from .batching import BatchConfig, MicroBatcher, ShardLane, UniqueSolve
 from .client import AsyncServiceClient, Overloaded, ServiceClient, ServiceError
+from .cluster import (
+    BackendSpec,
+    ClusterRouter,
+    HashRing,
+    RouterConfig,
+    RouterHandle,
+    ServeProcess,
+    spawn_serve_process,
+    start_router_background,
+)
 from .loadgen import (
     LoadGenConfig,
     LoadGenReport,
@@ -63,7 +76,13 @@ from .server import (
 __all__ = [
     "AdmissionQueue",
     "AsyncServiceClient",
+    "BackendSpec",
     "BatchConfig",
+    "ClusterRouter",
+    "HashRing",
+    "RouterConfig",
+    "RouterHandle",
+    "ServeProcess",
     "LoadGenConfig",
     "LoadGenReport",
     "MAX_FRAME_BYTES",
@@ -94,7 +113,9 @@ __all__ = [
     "read_frame_sync_versioned",
     "read_frame_versioned",
     "run_loadgen",
+    "spawn_serve_process",
     "start_background",
+    "start_router_background",
     "unpack_payload",
     "write_frame_sync",
 ]

@@ -91,9 +91,15 @@ class AdmissionQueue:
         return max(self.min_retry_after_ms, estimate)
 
     def note_service_time(self, seconds_per_request: float) -> None:
-        """Feed the drain-rate estimate after a batch completes."""
+        """Feed the drain-rate estimate after a batch completes.
+
+        The sample is clamped to >= 0: a backwards clock adjustment can
+        hand us a negative duration, and repeatedly averaging those in
+        would drag the EWMA toward (or below) zero and collapse every
+        ``retry_after_ms`` hint to the floor.
+        """
         self._service_time_ewma += 0.2 * (
-            seconds_per_request - self._service_time_ewma
+            max(0.0, seconds_per_request) - self._service_time_ewma
         )
 
     # ------------------------------------------------------------------

@@ -2,11 +2,18 @@
 
 ``python -m repro serve`` (or the ``repro-serve`` console script)
 starts the asyncio server; ``python -m repro loadgen`` drives a server
-— an existing one via ``--connect host:port``, or a fresh in-process
-one via ``--spawn`` — with the open-loop generator and prints the
-latency/goodput report.  ``loadgen`` doubles as the CI smoke check:
-``--assert-clean`` exits non-zero on any protocol error and
-``--p99-bound`` bounds the observed tail latency.
+— an existing one via ``--connect host:port``, a fresh in-process one
+via ``--spawn``, or a freshly spawned cluster (router + N backend
+processes) via ``--router N`` — with the open-loop generator and
+prints the latency/goodput report.  ``loadgen`` doubles as the CI
+smoke check: ``--assert-clean`` exits non-zero on any protocol error
+and ``--p99-bound`` bounds the observed tail latency.
+
+``python -m repro router`` starts the cluster tier's coordinator: it
+speaks the same protocol as ``serve`` toward clients and places shards
+on the backends named by ``--backends`` (or spawned by ``--spawn N``)
+via consistent hashing, with delta-replay replication and failover
+(see :mod:`repro.service.cluster`).
 """
 
 from __future__ import annotations
@@ -18,10 +25,18 @@ import signal
 import sys
 from pathlib import Path
 
+from .cluster import (
+    BackendSpec,
+    ClusterRouter,
+    RouterConfig,
+    ServeProcess,
+    spawn_serve_process,
+    start_router_background,
+)
 from .loadgen import LoadGenConfig, run_loadgen
 from .server import RebalanceServer, ServerConfig, start_background
 
-__all__ = ["loadgen_main", "serve_main"]
+__all__ = ["loadgen_main", "router_main", "serve_main"]
 
 
 def _server_arguments(parser: argparse.ArgumentParser) -> None:
@@ -75,6 +90,13 @@ def _server_arguments(parser: argparse.ArgumentParser) -> None:
         help="one-request-per-solve control mode: batch size 1, no "
         "dedupe, no warm engine (the E14 baseline)",
     )
+    parser.add_argument(
+        "--solve-delay-ms", type=float, default=0.0,
+        help="synthetic per-solve service-time floor (thread executor "
+        "only): sleeps on the solve thread, releasing the GIL, so a "
+        "node's capacity is pinned regardless of host CPU — used by "
+        "capacity-pinned benchmarks like E17",
+    )
 
 
 def _config_from(args: argparse.Namespace) -> ServerConfig:
@@ -84,6 +106,7 @@ def _config_from(args: argparse.Namespace) -> ServerConfig:
         executor=args.executor, process_workers=args.process_workers,
         shm=not args.no_shm, shm_slots=args.shm_slots,
         shm_slot_bytes=args.shm_slot_bytes,
+        solve_delay_s=args.solve_delay_ms / 1e3,
     )
     if args.naive:
         return ServerConfig.naive(**common)
@@ -127,6 +150,130 @@ def serve_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def _spawn_backends(
+    count: int, args: argparse.Namespace
+) -> tuple[list[ServeProcess], tuple[BackendSpec, ...]]:
+    """Spawn ``count`` real ``serve`` OS processes (cluster scale needs
+    processes, not threads) and name them for the ring."""
+    extra: list[str] = ["--executor", args.executor]
+    if args.executor == "process":
+        extra += ["--process-workers", str(args.process_workers)]
+        if args.no_shm:
+            extra.append("--no-shm")
+    if args.naive:
+        extra.append("--naive")
+    processes: list[ServeProcess] = []
+    try:
+        for _ in range(count):
+            processes.append(spawn_serve_process(*extra))
+    except BaseException:
+        for proc in processes:
+            proc.terminate()
+        raise
+    specs = tuple(
+        BackendSpec(name=f"backend-{i}", host=proc.host, port=proc.port)
+        for i, proc in enumerate(processes)
+    )
+    return processes, specs
+
+
+def router_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-router",
+        description="Cluster-tier coordinator: route shards onto N "
+        "backend serve nodes (consistent hashing), replicate each "
+        "shard's delta stream to a standby, and fail over on backend "
+        "death.  Speaks the same protocol as 'serve' toward clients.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0 = let the OS pick a free one)",
+    )
+    parser.add_argument(
+        "--port-file", type=Path, default=None,
+        help="write the bound port here once listening",
+    )
+    target = parser.add_mutually_exclusive_group(required=True)
+    target.add_argument(
+        "--backends", metavar="[NAME=]HOST:PORT,...",
+        help="comma-separated running backends to place shards on",
+    )
+    target.add_argument(
+        "--spawn", type=int, metavar="N",
+        help="spawn N backend serve processes for the router's lifetime",
+    )
+    parser.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+        help="executor for --spawn backends",
+    )
+    parser.add_argument("--process-workers", type=int, default=2)
+    parser.add_argument("--no-shm", action="store_true")
+    parser.add_argument("--naive", action="store_true")
+    parser.add_argument(
+        "--vnodes", type=int, default=64,
+        help="virtual nodes per backend on the hash ring",
+    )
+    parser.add_argument(
+        "--health-interval", type=float, default=0.25, metavar="S",
+        help="seconds between health probes per backend",
+    )
+    parser.add_argument(
+        "--health-misses", type=int, default=2,
+        help="consecutive probe misses before a backend is declared dead",
+    )
+    parser.add_argument(
+        "--no-replicate", action="store_true",
+        help="disable delta-replay replication to shard standbys",
+    )
+    args = parser.parse_args(argv)
+
+    processes: list[ServeProcess] = []
+    if args.spawn is not None:
+        if args.spawn <= 0:
+            parser.error("--spawn must be positive")
+        processes, specs = _spawn_backends(args.spawn, args)
+    else:
+        try:
+            specs = tuple(
+                BackendSpec.parse(text.strip(), i)
+                for i, text in enumerate(args.backends.split(","))
+            )
+        except ValueError as exc:
+            parser.error(str(exc))
+    config = RouterConfig(
+        backends=specs, host=args.host, port=args.port,
+        vnodes=args.vnodes, replicate=not args.no_replicate,
+        health_interval_s=args.health_interval,
+        health_misses=args.health_misses,
+    )
+
+    async def main() -> None:
+        router = ClusterRouter(config)
+        await router.start()
+        backends = ", ".join(f"{b.name}@{b.host}:{b.port}" for b in specs)
+        print(
+            f"repro-router listening on {config.host}:{router.port} "
+            f"-> [{backends}]",
+            flush=True,
+        )
+        if args.port_file is not None:
+            args.port_file.write_text(f"{router.port}\n")
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, router.request_stop)
+        await router.serve_forever()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler race
+        pass
+    finally:
+        for proc in processes:
+            proc.terminate()
+    return 0
+
+
 def loadgen_main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-loadgen",
@@ -141,6 +288,11 @@ def loadgen_main(argv: list[str] | None = None) -> int:
     target.add_argument(
         "--spawn", action="store_true",
         help="start an in-process server for the duration of the run",
+    )
+    target.add_argument(
+        "--router", type=int, metavar="N",
+        help="spawn N backend serve processes plus a cluster router "
+        "and drive the run through the router",
     )
     _server_arguments(parser)
     parser.add_argument("--rate", type=float, default=50.0,
@@ -195,9 +347,22 @@ def loadgen_main(argv: list[str] | None = None) -> int:
     )
 
     handle = None
+    router_handle = None
+    processes: list[ServeProcess] = []
     if args.spawn:
         handle = start_background(_config_from(args))
         host, port = handle.host, handle.port
+    elif args.router is not None:
+        if args.router <= 0:
+            parser.error("--router must be positive")
+        processes, specs = _spawn_backends(args.router, args)
+        try:
+            router_handle = start_router_background(RouterConfig(backends=specs))
+        except BaseException:
+            for proc in processes:
+                proc.terminate()
+            raise
+        host, port = router_handle.host, router_handle.port
     else:
         host, _, port_text = args.connect.rpartition(":")
         if not host or not port_text.isdigit():
@@ -208,6 +373,10 @@ def loadgen_main(argv: list[str] | None = None) -> int:
     finally:
         if handle is not None:
             handle.stop()
+        if router_handle is not None:
+            router_handle.stop()
+        for proc in processes:
+            proc.terminate()
 
     if args.json:
         print(json.dumps(report.as_dict(), indent=2))

@@ -3,9 +3,13 @@
 Both speak the two wire formats of :mod:`repro.service.protocol` —
 ``protocol="json"`` (v1 length-prefixed JSON, the default) or
 ``protocol="binary"`` (v2 frames whose numeric arrays travel as raw
-little-endian buffers) — reconnect on transport failure, honor the
-server's ``overloaded`` backpressure (sleep ``retry_after_ms``, then
-retry, up to ``retries`` times), and rebuild a full
+little-endian buffers) — reconnect on transport failure with jittered
+exponential backoff (capped at ``timeout``; a dead server is probed,
+not hammered), honor the server's ``overloaded`` backpressure (sleep
+``retry_after_ms``, then retry, up to ``retries`` times; the
+:class:`Overloaded` raised when the final attempt is still overloaded
+carries that final response's ``retry_after_ms`` hint so callers can
+keep honoring it), and rebuild a full
 :class:`~repro.core.result.RebalanceResult` from the response — the
 returned object is interchangeable with an in-process solver call,
 which is what lets :class:`~repro.websim.policies.ServicePolicy` drive
@@ -29,6 +33,7 @@ the load generator fans out with.
 from __future__ import annotations
 
 import asyncio
+import random
 import socket
 import time
 from typing import Any
@@ -99,6 +104,21 @@ def _raise_for(response: dict[str, Any]) -> None:
     raise ServiceError(error, response)
 
 
+# Transport-retry backoff: first retry waits ~50ms, doubling per
+# attempt, jittered into [0.5, 1.0] of the nominal delay so a fleet of
+# clients losing one server does not reconnect in lockstep.  The cap is
+# the client's own timeout — waiting longer than we would wait for a
+# response makes no sense.
+_BACKOFF_BASE_S = 0.05
+
+
+def _transport_backoff_s(attempt: int, timeout: float) -> float:
+    """Jittered exponential backoff before transport-failure retry
+    number ``attempt`` (0-based), capped at ``timeout`` seconds."""
+    nominal = min(max(0.0, timeout), _BACKOFF_BASE_S * (2.0 ** attempt))
+    return nominal * random.uniform(0.5, 1.0)
+
+
 class _WireState:
     """Shared protocol/delta bookkeeping of both client flavors.
 
@@ -134,14 +154,17 @@ class _WireState:
         deadline_ms: float | None,
         *,
         full: bool = False,
+        op: str = "rebalance",
     ) -> tuple[dict[str, Any], bool]:
         """The request body and whether it carries a delta.
 
         A delta is only worth sending when it is actually smaller on the
         wire: a full snapshot ships ``3n`` array values, a delta ``4c``
         (the index array rides along), so ``4c < 3n`` is the cutover.
+        ``op`` lets the cluster router reuse the same delta machinery
+        for node-to-node ``replicate`` frames.
         """
-        message: dict[str, Any] = {"op": "rebalance", "shard": shard, "k": k}
+        message: dict[str, Any] = {"op": op, "shard": shard, "k": k}
         if deadline_ms is not None:
             message["deadline_ms"] = deadline_ms
         sent_delta = False
@@ -204,6 +227,9 @@ class ServiceClient:
         self.retries = retries
         self._wire = _WireState(protocol, delta)
         self._sock: socket.socket | None = None
+        # Observability for retry behavior (tests pin the no-spin fix).
+        self.transport_retries = 0
+        self.backoff_slept_s = 0.0
 
     @property
     def deltas_sent(self) -> int:
@@ -239,23 +265,33 @@ class ServiceClient:
     # -- raw request/response -----------------------------------------
     def call(self, message: dict[str, Any]) -> dict[str, Any]:
         """One round-trip, with reconnect-and-retry on transport
-        failure and overload backoff.  Returns the raw response."""
+        failure (jittered exponential backoff, capped at ``timeout``)
+        and overload backoff.  Returns the raw response."""
         last_error: Exception | None = None
         for attempt in range(self.retries + 1):
             try:
                 sock = self._connection()
                 write_frame_sync(sock, message, version=self._wire.version)
                 response = read_frame_sync(sock)
-            except (OSError, ProtocolError) as exc:
-                # Dead or poisoned connection: drop it and retry fresh.
+                if response is None:
+                    raise ServiceError("server closed the connection")
+            except (OSError, ProtocolError, ServiceError) as exc:
+                # Dead or poisoned connection: drop it and retry fresh —
+                # after a backoff, so a dead server sees a probe per
+                # backoff window instead of a tight reconnect spin.
                 self.close()
                 last_error = exc
-                continue
-            if response is None:
-                self.close()
-                last_error = ServiceError("server closed the connection")
+                if attempt < self.retries:
+                    self.transport_retries += 1
+                    delay = _transport_backoff_s(attempt, self.timeout)
+                    self.backoff_slept_s += delay
+                    time.sleep(delay)
                 continue
             if not response.get("ok") and response.get("error") == "overloaded":
+                # The raised Overloaded (below, after the last attempt)
+                # carries this response, so its retry_after_ms hint
+                # survives to the caller even when every attempt was
+                # rejected.
                 last_error = Overloaded("overloaded", response)
                 if attempt < self.retries:
                     time.sleep(
@@ -339,6 +375,9 @@ class AsyncServiceClient:
         # (and delta/full counters) across a pool of connections.
         self._wire = wire_state if wire_state is not None else _WireState(protocol, delta)
         self._streams: tuple[asyncio.StreamReader, asyncio.StreamWriter] | None = None
+        # Observability for retry behavior (tests pin the no-spin fix).
+        self.transport_retries = 0
+        self.backoff_slept_s = 0.0
 
     @property
     def deltas_sent(self) -> int:
@@ -374,7 +413,14 @@ class AsyncServiceClient:
         await self.close()
 
     async def call(self, message: dict[str, Any]) -> dict[str, Any]:
-        """One round-trip with reconnect/overload retry (async)."""
+        """One round-trip with reconnect/overload retry (async).
+
+        Same semantics as :meth:`ServiceClient.call`: transport
+        failures back off exponentially with jitter (capped at
+        ``timeout``) before the reconnect, overloaded responses sleep
+        the server's ``retry_after_ms`` hint, and the final attempt's
+        failure is what the caller sees.
+        """
         last_error: Exception | None = None
         for attempt in range(self.retries + 1):
             try:
@@ -384,15 +430,25 @@ class AsyncServiceClient:
                 response = await asyncio.wait_for(
                     read_frame(reader), self.timeout
                 )
-            except (OSError, ProtocolError, asyncio.TimeoutError) as exc:
+                if response is None:
+                    raise ServiceError("server closed the connection")
+            except (OSError, ProtocolError, asyncio.TimeoutError, ServiceError) as exc:
+                # Dead or poisoned connection: drop it and retry fresh —
+                # after a backoff, so a dead server sees a probe per
+                # backoff window instead of a tight reconnect spin.
                 await self.close()
                 last_error = exc
-                continue
-            if response is None:
-                await self.close()
-                last_error = ServiceError("server closed the connection")
+                if attempt < self.retries:
+                    self.transport_retries += 1
+                    delay = _transport_backoff_s(attempt, self.timeout)
+                    self.backoff_slept_s += delay
+                    await asyncio.sleep(delay)
                 continue
             if not response.get("ok") and response.get("error") == "overloaded":
+                # The raised Overloaded (below, after the last attempt)
+                # carries this response, so its retry_after_ms hint
+                # survives to the caller even when every attempt was
+                # rejected.
                 last_error = Overloaded("overloaded", response)
                 if attempt < self.retries:
                     await asyncio.sleep(
@@ -434,6 +490,19 @@ class AsyncServiceClient:
         if not response.get("ok"):
             _raise_for(response)  # pragma: no cover - status cannot fail
         return response
+
+    async def reset(self, shard: str | None = None) -> list[str]:
+        """Reset server shard state; mirrors :meth:`ServiceClient.reset`
+        (including dropping the local delta base, so the next snapshot
+        goes out full instead of naming a base the server forgot)."""
+        message: dict[str, Any] = {"op": "reset"}
+        if shard is not None:
+            message["shard"] = shard
+        response = await self.call(message)
+        if not response.get("ok"):
+            _raise_for(response)  # pragma: no cover - reset cannot fail
+        self._wire.forget(shard)
+        return list(response.get("reset", []))
 
     async def ping(self) -> bool:
         return bool((await self.call({"op": "ping"})).get("ok"))

@@ -65,6 +65,29 @@ response has an ``ok`` field.  The operations are:
 
 ``ping`` additionally answers ``{"ok": true}`` so clients and process
 supervisors can probe liveness without touching solver state.
+
+Node-to-node operations (spoken between the cluster router of
+:mod:`repro.service.cluster` and its backend ``serve`` nodes — same
+codec, same port, no separate control plane):
+
+``health``
+    ``{"op": "health"}`` → ``{"ok": true, "uptime_s": float,
+    "queue_depth": int, "executor": str}``.  Answered on the event
+    loop without touching the solve thread, so the router's health
+    loop measures liveness rather than solver backlog.
+``replicate``
+    ``{"op": "replicate", "shard": str, "instance": ...}`` or the same
+    ``delta`` body as ``rebalance`` → ``{"ok": true, "shard": str,
+    "fingerprint": hex}``.  Installs the snapshot into the node's
+    delta-base LRU without solving; the router replays each shard's
+    fingerprinted delta stream at a standby this way (the delta log
+    *is* the replication log), and ``unknown base`` degrades to one
+    full snapshot exactly as on the primary path.
+``migrate``
+    ``{"op": "migrate", "shard": str}`` → ``{"ok": true, "found":
+    bool, "fingerprint": hex?, "instance": ...?}``.  Exports the
+    shard's newest delta base so the router can ship it to a new
+    owner during live migration.
 """
 
 from __future__ import annotations

@@ -116,6 +116,13 @@ class ServerConfig:
     # that keeps p50 at loop latency when the cluster barely changes.
     # 0 disables (the worker's own decision cache still applies).
     decision_cache_size: int = 128
+    # Synthetic per-solve service-time floor (thread executor only):
+    # each solve sleeps this long on the solve thread after computing.
+    # Sleeping releases the GIL and the core, so a node's capacity
+    # becomes ~1/(solve + floor) regardless of host CPU — the knob
+    # capacity-pinned benchmarks (E17) use to measure *cluster* scale-
+    # out on machines with fewer cores than backend processes.
+    solve_delay_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.executor not in ("thread", "process"):
@@ -130,6 +137,10 @@ class ServerConfig:
             raise ValueError("shm_slot_bytes must be positive and 8-byte aligned")
         if self.decision_cache_size < 0:
             raise ValueError("decision_cache_size must be non-negative")
+        if self.solve_delay_s < 0:
+            raise ValueError("solve_delay_s must be non-negative")
+        if self.solve_delay_s and self.executor == "process":
+            raise ValueError("solve_delay_s requires the thread executor")
 
     @classmethod
     def naive(cls, **overrides: Any) -> "ServerConfig":
@@ -160,6 +171,7 @@ class ServerConfig:
             "shm_slots": self.shm_slots,
             "shm_slot_bytes": self.shm_slot_bytes,
             "decision_cache_size": self.decision_cache_size,
+            "solve_delay_s": self.solve_delay_s,
         }
 
 
@@ -679,6 +691,12 @@ class RebalanceServer:
             return await self._op_reset(message)
         if op == "ping":
             return ok_response(op="ping")
+        if op == "health":
+            return self._op_health()
+        if op == "replicate":
+            return self._op_replicate(message)
+        if op == "migrate":
+            return self._op_migrate(message)
         self.metrics.add("service.protocol_errors")
         return error_response("unknown op", op=op)
 
@@ -849,6 +867,80 @@ class RebalanceServer:
             response["fingerprint"] = fp_hex
         return response
 
+    def _op_health(self) -> dict[str, Any]:
+        """Liveness probe for the cluster router's health loop.
+
+        Unlike ``status`` this never hops to the solve thread or the
+        worker pipes, so it answers at event-loop latency even while a
+        batch is solving — a health check must not queue behind the
+        work it is checking.
+        """
+        return ok_response(
+            op="health",
+            uptime_s=time.monotonic() - self._started_at,
+            queue_depth=self.queue.depth,
+            executor=self.config.executor,
+        )
+
+    def _op_replicate(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Install a snapshot into the delta-base LRU without solving.
+
+        This is the standby half of cluster replication: the router
+        replays a shard's fingerprinted delta frames here (the delta
+        log *is* the replication log), so on promotion the standby
+        already holds warm bases and the first failover request can go
+        out as a delta.  Same decode path as ``rebalance`` — including
+        the ``unknown base`` degradation to one full snapshot — minus
+        admission, batching, and the solve.
+        """
+        self.metrics.add("service.replicate_requests")
+        try:
+            shard = str(message.get("shard", "default"))
+            delta = message.get("delta")
+            if delta is not None:
+                base_hex = str(delta.get("base", ""))
+                base = self._base_for(shard, base_hex)
+                if base is None:
+                    self.metrics.add("service.delta_misses")
+                    return error_response("unknown base", shard=shard)
+                instance, fingerprint = self._materialize_delta(
+                    shard, base_hex, base, delta
+                )
+            else:
+                instance = Instance.from_dict(message["instance"])
+                fingerprint = snapshot_fingerprint(instance)
+        except (KeyError, TypeError, ValueError) as exc:
+            self.metrics.add("service.bad_requests")
+            return error_response("bad request", message=str(exc))
+        fp_hex = fingerprint.hex()
+        self._remember_base(shard, fp_hex, instance)
+        self.metrics.add("service.replicated")
+        return ok_response(op="replicate", shard=shard, fingerprint=fp_hex)
+
+    def _op_migrate(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Export a shard's latest snapshot for live migration.
+
+        The router drains the shard's lane, pulls the newest delta base
+        from the current owner here, ships it to the new owner as a
+        ``replicate`` frame, and flips routing.  ``found: false`` (not
+        an error) when this node never saw the shard — the router then
+        falls back to its own copy of the snapshot.
+        """
+        shard = str(message.get("shard", "default"))
+        bases = self._bases.get(shard)
+        if not bases:
+            return ok_response(op="migrate", shard=shard, found=False)
+        fp_hex = next(reversed(bases))
+        instance = bases[fp_hex]
+        self.metrics.add("service.migrations")
+        return ok_response(
+            op="migrate",
+            shard=shard,
+            found=True,
+            fingerprint=fp_hex,
+            instance=instance.to_wire(),
+        )
+
     async def _op_status(self) -> dict[str, Any]:
         loop = asyncio.get_running_loop()
         assert self._executor is not None
@@ -1016,6 +1108,8 @@ class RebalanceServer:
                 state, solve.instance, solve.k,
                 solve.requests[0].fingerprint,
             ))
+            if self.config.solve_delay_s:
+                time.sleep(self.config.solve_delay_s)
         return responses
 
     def _worker_for(self, shard: str) -> int:

@@ -87,6 +87,22 @@ class TestAdmissionQueue:
             queue.note_service_time(0.2)
         assert queue._service_time_ewma == pytest.approx(0.2, rel=0.05)
 
+    def test_negative_service_time_sample_is_clamped(self):
+        """Regression: a backwards clock adjustment hands the queue a
+        negative duration; averaging it in raw would drag the EWMA
+        below zero and collapse every retry_after_ms hint to the
+        floor.  The sample must be clamped to zero, not trusted."""
+        queue = AdmissionQueue(4, telemetry.Collector())
+        for _ in range(50):
+            queue.note_service_time(0.2)
+        settled = queue._service_time_ewma
+        queue.note_service_time(-60.0)
+        # A -60s sample averaged in raw would leave the EWMA at about
+        # -11.8s; clamped to a 0s sample it decays by one EWMA step.
+        assert queue._service_time_ewma == pytest.approx(0.8 * settled)
+        queue.note_service_time(-1e9)
+        assert queue._service_time_ewma > 0.0
+
     def test_shed_expired_resolves_only_stale_requests(self):
         async def go():
             loop = asyncio.get_running_loop()
