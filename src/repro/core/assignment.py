@@ -32,8 +32,27 @@ class Assignment:
     instance: Instance
     mapping: np.ndarray
     _loads: np.ndarray = field(repr=False, compare=False, default=None)  # type: ignore[assignment]
+    _moved: np.ndarray = field(repr=False, compare=False, default=None)  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
+        if self._loads is not None:
+            # Sparse fast path (solver constructors): the caller hands
+            # over a fresh, exclusively-owned int64 mapping plus the
+            # exact per-processor loads it maintained while building it
+            # (and optionally the ascending moved-job set), so the O(n)
+            # copy/scan/scatter-add below is skipped.  ``validate()``
+            # still recomputes loads from scratch when called.
+            mapping = self.mapping
+            if mapping.shape != (self.instance.num_jobs,):
+                raise ValueError(
+                    f"mapping has shape {mapping.shape}; expected "
+                    f"({self.instance.num_jobs},)"
+                )
+            mapping.setflags(write=False)
+            self._loads.setflags(write=False)
+            if self._moved is not None:
+                self._moved.setflags(write=False)
+            return
         mapping = np.asarray(self.mapping, dtype=np.int64).copy()
         if mapping.shape != (self.instance.num_jobs,):
             raise ValueError(
@@ -107,16 +126,22 @@ class Assignment:
     @property
     def moved_jobs(self) -> np.ndarray:
         """Indices of jobs whose processor differs from the initial one."""
+        if self._moved is not None:
+            return self._moved
         return np.flatnonzero(self.mapping != self.instance.initial)
 
     @property
     def num_moves(self) -> int:
         """Number of relocated jobs (the paper's ``k`` budget metric)."""
+        if self._moved is not None:
+            return int(self._moved.shape[0])
         return int((self.mapping != self.instance.initial).sum())
 
     @property
     def relocation_cost(self) -> float:
         """Total relocation cost ``sum(c_i for moved i)`` (budget ``B``)."""
+        if self._moved is not None:
+            return float(self.instance.costs[self._moved].sum())
         moved = self.mapping != self.instance.initial
         return float(self.instance.costs[moved].sum())
 
@@ -137,6 +162,11 @@ class Assignment:
         recomputed = np.zeros(self.instance.num_processors)
         np.add.at(recomputed, self.mapping, self.instance.sizes)
         assert np.allclose(recomputed, self._loads), "load bookkeeping corrupt"
+        if self._moved is not None:
+            actual = np.flatnonzero(self.mapping != self.instance.initial)
+            assert np.array_equal(self._moved, actual), (
+                "moved-job cache disagrees with the mapping"
+            )
         assert abs(self._loads.sum() - self.instance.total_size) <= atol * max(
             1.0, self.instance.total_size
         ), "load not conserved"

@@ -41,26 +41,69 @@ on :attr:`RebalanceEngine.stats`): ``cache_hits``, ``tables_reused``,
 
 from __future__ import annotations
 
-import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
 
 from .. import telemetry
+from . import rollhash
 from .assignment import Assignment
 from .instance import Instance
 from .partition import GuessEvaluation, _construct, _finalize_evaluation
+from .partition_incremental import scan_incremental
 from .result import RebalanceResult
 from .thresholds import (
     ThresholdTables,
     build_tables,
     candidate_guesses,
     patch_tables,
+    patch_tables_hint,
     scan_start,
 )
 
-__all__ = ["EngineStats", "RebalanceEngine", "snapshot_fingerprint"]
+__all__ = ["ChurnHint", "EngineStats", "RebalanceEngine", "snapshot_fingerprint"]
+
+# A churn hint names the jobs that changed since the engine's tables
+# were last valid: (idx, old_sizes, old_costs, old_initial), with the
+# *new* values read from the snapshot itself.  ``old_sizes``/``old_costs``
+# ride along so fingerprints can be rolled by the same tuple; the table
+# patch itself only consumes ``idx`` and ``old_initial``.
+ChurnHint = tuple
+
+
+def _normalize_hint(hint: tuple) -> tuple:
+    """Unique-ify a churn hint by job index (first occurrence wins).
+
+    Hints accumulated across epochs may repeat a job; the *first* old
+    value recorded for it is its value as of the tables' state, which is
+    what the patch and fingerprint roll both need.
+    """
+    idx = np.asarray(hint[0], dtype=np.int64)
+    old_sizes = np.asarray(hint[1], dtype=np.float64)
+    old_costs = np.asarray(hint[2], dtype=np.float64)
+    old_initial = np.asarray(hint[3], dtype=np.int64)
+    already_canonical = idx.shape[0] < 2 or bool(np.all(idx[:-1] < idx[1:]))
+    if already_canonical:
+        return (idx, old_sizes, old_costs, old_initial)
+    uniq, first = np.unique(idx, return_index=True)
+    return (uniq, old_sizes[first], old_costs[first], old_initial[first])
+
+
+def _merge_hints(pending: tuple | None, fresh: tuple | None) -> tuple | None:
+    """Net-merge two normalized hints; ``pending`` is the older one."""
+    if pending is None:
+        return fresh
+    if fresh is None:
+        return pending
+    return _normalize_hint(
+        (
+            np.concatenate((pending[0], fresh[0])),
+            np.concatenate((pending[1], fresh[1])),
+            np.concatenate((pending[2], fresh[2])),
+            np.concatenate((pending[3], fresh[3])),
+        )
+    )
 
 
 @dataclass
@@ -77,6 +120,8 @@ class EngineStats:
     buckets_patched: int = 0
     full_builds: int = 0
     thresholds_tried: int = 0
+    incremental_decides: int = 0
+    churn_fallbacks: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -86,6 +131,8 @@ class EngineStats:
             "buckets_patched": self.buckets_patched,
             "full_builds": self.full_builds,
             "thresholds_tried": self.thresholds_tried,
+            "incremental_decides": self.incremental_decides,
+            "churn_fallbacks": self.churn_fallbacks,
         }
 
 
@@ -160,6 +207,13 @@ def snapshot_fingerprint(instance: Instance) -> bytes:
     within-batch dedupe (:mod:`repro.service.batching`): two instances
     with equal fingerprints are byte-identical snapshots.
 
+    Since the O(churn) decide path landed this is the *additive rolling
+    hash* of :mod:`repro.core.rollhash`, not blake2b: the full digest
+    here is still one O(n) vectorized pass, but a server holding the
+    roll-capable state updates it from a churn of ``c`` sites in O(c)
+    and lands on the byte-identical digest.  The digest stays 16 opaque
+    bytes; every consumer treats it as a cache key.
+
     The digest is memoized on the instance — its arrays are read-only,
     so the bytes can never change — which matters at service rates:
     clients and the server both fingerprint every epoch snapshot they
@@ -169,12 +223,7 @@ def snapshot_fingerprint(instance: Instance) -> bytes:
     memo = instance.__dict__.get("_snapshot_digest")
     if memo is not None:
         return memo
-    h = hashlib.blake2b(digest_size=16)
-    h.update(instance.num_processors.to_bytes(8, "little"))
-    h.update(instance.sizes.tobytes())
-    h.update(instance.costs.tobytes())
-    h.update(instance.initial.tobytes())
-    digest = h.digest()
+    digest = rollhash.instance_fingerprint(instance)
     object.__setattr__(instance, "_snapshot_digest", digest)
     return digest
 
@@ -193,22 +242,72 @@ class RebalanceEngine:
     answer.
     """
 
-    def __init__(self, k: int, cache_size: int = 64) -> None:
+    #: Above this fraction of changed jobs, the incremental scan stops
+    #: paying for itself and the engine falls back to the vectorized
+    #: full path (the tables are still hint-patched either way).
+    churn_limit: float = 0.25
+
+    def __init__(
+        self, k: int, cache_size: int = 64, churn_limit: float | None = None
+    ) -> None:
         if k < 0:
             raise ValueError("k must be non-negative")
         if cache_size < 0:
             raise ValueError("cache_size must be non-negative")
         self.k = k
         self.cache_size = cache_size
+        if churn_limit is not None:
+            self.churn_limit = churn_limit
         self.stats = EngineStats()
         self._tables: ThresholdTables | None = None
         self._cache: OrderedDict[bytes, RebalanceResult] = OrderedDict()
+        # O(churn) path state: a pending (not yet applied) churn hint,
+        # and whether _tables.sizes_asc has gone stale under hint
+        # patching (it is only refreshed on full-scan decides).
+        self._pending: tuple | None = None
+        self._sizes_stale = False
 
     def reset(self) -> None:
         """Drop all cached state (tables, decisions, counters)."""
         self.stats = EngineStats()
         self._tables = None
         self._cache.clear()
+        self._pending = None
+        self._sizes_stale = False
+
+    def note_churn(
+        self,
+        idx: np.ndarray,
+        old_sizes: np.ndarray,
+        old_costs: np.ndarray,
+        old_initial: np.ndarray,
+    ) -> None:
+        """Record churn that happened *without* a decide.
+
+        The server's solve plane applies every wire delta onto the
+        shard's resident arrays in arrival order, but not every delta
+        triggers a decision (deadline-shed requests and decision-memo
+        hits still advance the state).  Those churn sets accumulate here
+        and are folded into the next :meth:`rebalance` hint, keeping the
+        warm tables patchable even though the arrays they alias have
+        already moved on.
+        """
+        self._pending = _merge_hints(
+            self._pending, _normalize_hint((idx, old_sizes, old_costs, old_initial))
+        )
+
+    @property
+    def has_pending_churn(self) -> bool:
+        """True when churn recorded via :meth:`note_churn` (or a cache
+        hit with a hint) has not yet been folded into a decide.
+
+        The server's solve plane checks this before handing the engine
+        an arbitrary replacement snapshot with no hint: pending churn
+        only describes the sites it names, so such a snapshot must be
+        preceded by a :meth:`reset` (the pending hint cannot account
+        for the other sites' differences).
+        """
+        return self._pending is not None
 
     @property
     def retained_snapshot(self) -> Instance | None:
@@ -265,25 +364,87 @@ class RebalanceEngine:
         return tables
 
     def rebalance(
-        self, instance: Instance, *, fingerprint: bytes | None = None
+        self,
+        instance: Instance,
+        *,
+        fingerprint: bytes | None = None,
+        changed: tuple | None = None,
     ) -> RebalanceResult:
         """Decide one epoch: M-PARTITION on ``instance`` with budget
         ``k``, served warm from the engine's caches.
 
         ``fingerprint`` lets a caller that already hashed the snapshot
-        (the service layer computes :func:`snapshot_fingerprint` at
+        (the service layer rolls :func:`snapshot_fingerprint` at
         admission for batching dedupe and delta bases) skip the second
-        blake2b pass; it must be ``snapshot_fingerprint(instance)``.
+        hashing pass; it must be ``snapshot_fingerprint(instance)``.
+
+        ``changed`` is an optional churn hint ``(idx, old_sizes,
+        old_costs, old_initial)`` naming exactly the jobs that differ
+        from the snapshot the engine's tables describe (plus any churn
+        recorded via :meth:`note_churn`).  With a hint the engine never
+        diffs arrays — which is what makes it correct for the O(churn)
+        server path, where ``instance`` is a read-only view of resident
+        arrays mutated in place, aliasing the tables' own snapshot.
+        When the hinted churn is at most ``churn_limit * n`` the decide
+        runs the windowed incremental scan
+        (:func:`~repro.core.partition_incremental.scan_incremental`) —
+        O(churn · bucket + scanned · log) instead of O(n log n) — and is
+        byte-identical to the full path by construction (differential
+        tests enforce it).
         """
         tmark = telemetry.mark()
         fp = fingerprint if fingerprint is not None else _fingerprint(instance)
         cached = self.cached(fp)
         if cached is not None:
+            if changed is not None:
+                # The arrays advanced even though the decision was
+                # cached; remember the churn for the next real decide.
+                self._pending = _merge_hints(
+                    self._pending, _normalize_hint(changed)
+                )
             return cached
         self.stats.decisions += 1
 
-        tables = self._update_tables(instance)
-        if instance.num_jobs == 0:
+        hint = _merge_hints(
+            self._pending,
+            _normalize_hint(changed) if changed is not None else None,
+        )
+        self._pending = None
+        n = instance.num_jobs
+        hint_usable = (
+            hint is not None
+            and self._tables is not None
+            and self._tables.instance.num_jobs == n
+            and self._tables.instance.num_processors == instance.num_processors
+            and n > 0
+        )
+        incremental = False
+        if hint_usable:
+            with telemetry.span("engine.patch_tables"):
+                tables, changed_procs = patch_tables_hint(
+                    self._tables, instance, hint[0], hint[3]
+                )
+            self._tables = tables
+            self._sizes_stale = True
+            self.stats.tables_reused += 1
+            self.stats.buckets_patched += int(changed_procs.shape[0])
+            telemetry.count("tables_reused")
+            telemetry.count("buckets_patched", int(changed_procs.shape[0]))
+            incremental = hint[0].shape[0] <= self.churn_limit * n
+            if not incremental:
+                self.stats.churn_fallbacks += 1
+                telemetry.count("churn_fallbacks")
+        else:
+            if self._sizes_stale or (hint is not None and self._tables is not None):
+                # The warm tables were hint-patched against arrays that
+                # mutate in place (or the hint does not match their
+                # shape), so a value diff against them is meaningless —
+                # rebuild from the snapshot.
+                self._tables = None
+                self._sizes_stale = False
+            tables = self._update_tables(instance)
+
+        if n == 0:
             result = RebalanceResult(
                 assignment=Assignment.initial(instance),
                 algorithm="m-partition-engine",
@@ -292,6 +453,73 @@ class RebalanceEngine:
             )
             self._remember(fp, result)
             return result
+
+        if incremental:
+            with telemetry.span("engine.scan_incremental"):
+                scan = scan_incremental(tables, self.k, instance.average_load)
+            if scan is not None:
+                stop_guess, k_hat, tried, refreshes, state = scan
+                self.stats.thresholds_tried += tried
+                self.stats.incremental_decides += 1
+                telemetry.count("thresholds_tried", tried)
+                telemetry.count("incremental_refreshes", refreshes)
+                # The scan state holds every processor's exact values at
+                # the stop guess (values change only at a processor's
+                # own thresholds, all of which are in its stream), so
+                # the Step-3 selection finalizes straight from it.
+                ev = _finalize_evaluation(
+                    stop_guess,
+                    state.total_large_jobs,
+                    state.a,
+                    state.b,
+                    state.has_large,
+                )
+                assert ev.planned_moves == k_hat, (
+                    f"incremental k-hat {k_hat} disagrees with rescan "
+                    f"{ev.planned_moves} at guess {stop_guess}"
+                )
+                with telemetry.span("engine.construct"):
+                    assignment = _construct(instance, tables, ev)
+                # O(moves) post-condition on the steady path: the O(n)
+                # load-recompute guard of ``validate`` runs on every
+                # full decide (and fallback), and the incremental
+                # construction is additionally pinned by the k-hat
+                # rescan assert above plus the differential tests.
+                assert assignment.num_moves <= self.k, (
+                    f"{assignment.num_moves} moves exceeds budget {self.k}"
+                )
+                result = RebalanceResult(
+                    assignment=assignment,
+                    algorithm="m-partition-engine",
+                    guessed_opt=ev.guess,
+                    planned_moves=ev.planned_moves,
+                    meta=telemetry.attach(
+                        {
+                            "L_T": ev.total_large,
+                            "m_L": ev.large_processors,
+                            "L_E": ev.extra_large,
+                            "thresholds_tried": tried,
+                            "engine": self.stats.as_dict(),
+                        },
+                        tmark,
+                    ),
+                )
+                self._remember(fp, result)
+                return result
+            # Candidate streams exhausted without a feasible stop —
+            # fall through to the full scan, which reproduces the full
+            # path's result or error semantics exactly.
+
+        if self._sizes_stale:
+            # Hint patching leaves the global ascending sizes stale; the
+            # vectorized scan needs them fresh.
+            tables = ThresholdTables(
+                instance=instance,
+                processors=tables.processors,
+                sizes_asc=np.sort(instance.sizes),
+            )
+            self._tables = tables
+            self._sizes_stale = False
 
         candidates = candidate_guesses(tables)
         flat = _FlatTables(tables)

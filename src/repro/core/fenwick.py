@@ -29,6 +29,10 @@ class ValueMultisetFenwick:
         self._counts = [0] * (self._size + 1)  # 1-based Fenwick arrays
         self._sums = [0] * (self._size + 1)
         self._total = 0
+        bit = 1
+        while bit * 2 <= self._size:
+            bit *= 2
+        self._top_bit = bit  # highest power of two <= size, for descents
 
     def __len__(self) -> int:
         return self._total
@@ -66,9 +70,7 @@ class ValueMultisetFenwick:
         idx = 0
         remaining = count
         acc = 0
-        bit = 1
-        while bit * 2 <= self._size:
-            bit *= 2
+        bit = self._top_bit
         while bit:
             nxt = idx + bit
             if nxt <= self._size and self._counts[nxt] < remaining:

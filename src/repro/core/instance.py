@@ -112,6 +112,37 @@ class Instance:
         loads.setflags(write=False)
         object.__setattr__(self, "_loads", loads)
 
+    @classmethod
+    def trusted(
+        cls,
+        sizes: np.ndarray,
+        costs: np.ndarray,
+        num_processors: int,
+        initial: np.ndarray,
+    ) -> "Instance":
+        """Zero-copy, zero-validation constructor for pre-validated arrays.
+
+        The O(churn) server path keeps each shard's snapshot resident as
+        arrays it mutates in place; every epoch it wraps read-only views
+        of those arrays in an ``Instance`` for the engine.  Paying the
+        full ``__post_init__`` — three O(n) finite/range scans plus the
+        O(n) load accumulation — per epoch would defeat the point, so
+        this constructor skips validation entirely and defers the load
+        vector until :attr:`initial_loads` is first read.
+
+        Callers own the precondition: the arrays must be 1-D, equal
+        length, validated at admission (the wire layer validates each
+        delta's changed sites in O(c)), and must not be mutated while
+        this instance is reachable.
+        """
+        obj = object.__new__(cls)
+        object.__setattr__(obj, "sizes", sizes)
+        object.__setattr__(obj, "costs", costs)
+        object.__setattr__(obj, "num_processors", int(num_processors))
+        object.__setattr__(obj, "initial", initial)
+        object.__setattr__(obj, "_loads", None)
+        return obj
+
     # ------------------------------------------------------------------
     # Basic accessors
     # ------------------------------------------------------------------
@@ -122,7 +153,17 @@ class Instance:
 
     @property
     def initial_loads(self) -> np.ndarray:
-        """Per-processor load of the initial assignment (read-only)."""
+        """Per-processor load of the initial assignment (read-only).
+
+        Computed eagerly by the validating constructor; instances built
+        via :meth:`trusted` compute it on first access (same
+        accumulation order, so the floats are bit-identical).
+        """
+        if self._loads is None:
+            loads = np.zeros(self.num_processors, dtype=np.float64)
+            np.add.at(loads, self.initial, self.sizes)
+            loads.setflags(write=False)
+            object.__setattr__(self, "_loads", loads)
         return self._loads
 
     @property
@@ -130,7 +171,7 @@ class Instance:
         """Makespan (maximum load) of the initial assignment."""
         if self.num_processors == 0:
             return 0.0
-        return float(self._loads.max())
+        return float(self.initial_loads.max())
 
     @property
     def total_size(self) -> float:

@@ -129,15 +129,24 @@ def _finalize_evaluation(
     )
 
 
-def evaluate_guess(tables: ThresholdTables, guess: float) -> GuessEvaluation:
+def evaluate_guess(
+    tables: ThresholdTables, guess: float, *, total_large: int | None = None
+) -> GuessEvaluation:
     """Compute ``(L_T, a, b, c)``, the Step-3 selection and the planned
     move count for one guess, without constructing the assignment.
 
     A guess is infeasible when ``L_T > m`` (more large jobs than
     processors; no half-optimal configuration exists at this guess).
+
+    ``total_large`` lets a caller that already knows ``L_T`` at this
+    guess (e.g. a scan maintaining it incrementally) skip the
+    ``tables.sizes_asc`` lookup — necessary whenever the global
+    ascending size array is stale, as it is between the engine's
+    full-scan decides on the O(churn) path.
     """
     m = len(tables.processors)
-    total_large = tables.total_large(guess)
+    if total_large is None:
+        total_large = tables.total_large(guess)
     a = np.empty(m, dtype=np.int64)
     b = np.empty(m, dtype=np.int64)
     has_large = np.empty(m, dtype=bool)
@@ -157,7 +166,13 @@ def _construct(
     guess = ev.guess
     m = instance.num_processors
     mapping = np.array(instance.initial, dtype=np.int64)
-    loads = np.array(instance.initial_loads, dtype=np.float64)
+    # Per-processor totals already exist as the bucket prefix sums'
+    # last entries — O(m), versus the O(n) scatter-add behind
+    # ``instance.initial_loads``.
+    loads = np.fromiter(
+        (float(proc.prefix[-1]) for proc in tables.processors),
+        dtype=np.float64, count=m,
+    )
     sel_mask = np.zeros(m, dtype=bool)
     sel_mask[ev.selected] = True
 
@@ -210,6 +225,7 @@ def _construct(
     for j, i in zip(floating_large, large_free_selected):
         mapping[j] = i
         loads[i] += instance.sizes[j]
+    touched = list(floating_large)
 
     # Step 6: greedy min-load placement of removed small jobs.  The
     # paper allows any order; descending size (Graham/LPT style) is the
@@ -233,7 +249,20 @@ def _construct(
         heapq.heappush(heap, (float(loads[i]), version[i], i))
     telemetry.count("heap_pops", heap_pops)
 
-    return Assignment(instance=instance, mapping=mapping)
+    # Only jobs touched above can differ from the initial assignment (a
+    # removed job may be placed back on its origin at zero real cost),
+    # so the actual-relocation set — and the exact loads maintained all
+    # along — are known here in O(moves): hand both to ``Assignment``
+    # to skip its O(n) copy/scatter-add accounting.
+    touched.extend(removed_small)
+    if touched:
+        cand = np.unique(np.asarray(touched, dtype=np.int64))
+        moved = cand[mapping[cand] != np.asarray(instance.initial)[cand]]
+    else:
+        moved = np.empty(0, dtype=np.int64)
+    return Assignment(
+        instance=instance, mapping=mapping, _loads=loads, _moved=moved
+    )
 
 
 def partition_rebalance(

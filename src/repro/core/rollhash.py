@@ -1,0 +1,163 @@
+"""Rolling additive snapshot fingerprints.
+
+The engine's decision cache, the server's delta-base chain, and the
+router's replication stream all key off a 16-byte snapshot fingerprint.
+Through PR 7 that fingerprint was a blake2b over the full ``sizes`` /
+``costs`` / ``initial`` arrays — O(n) per epoch even when only a handful
+of sites changed.  This module replaces it with an *additive* hash: each
+site contributes a 2x64-bit term that depends only on its own
+``(index, size, cost, initial)`` tuple, and the fingerprint state is the
+wrapping uint64 sum of all terms (two independent lanes).  Updating the
+fingerprint after a churn of ``c`` sites is then O(c): subtract the old
+terms, add the new ones — no full-array rehash.
+
+Per-site terms are ``mix(idx*P1 + size_bits*P2 + cost_bits*P3 +
+init*P4 + G)`` where ``mix`` is the splitmix64 finalizer and
+``size_bits``/``cost_bits`` are the raw IEEE-754 bit patterns (so the
+hash sees *byte* identity, exactly like the old blake2b).  The two lanes
+use independent constants.  The final digest mixes both sums with
+``n`` and ``m`` so shape changes always change the fingerprint.
+
+This is an almost-universal 128-bit hash, not a cryptographic one: an
+adversary who knows the constants can construct collisions.  Every
+consumer treats fingerprints as opaque cache keys for *trusted* inputs
+(the client hashes its own snapshots), so almost-universal is the right
+trade for an O(churn) steady state.  The construction is pure integer
+arithmetic — deterministic across processes and machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "RollingFingerprint",
+    "fingerprint_state",
+    "instance_fingerprint",
+]
+
+_MASK = (1 << 64) - 1
+
+# Lane 1 / lane 2 per-field multipliers (odd 64-bit constants).
+_P1 = np.uint64(0x9E3779B97F4A7C15)
+_P2 = np.uint64(0xC2B2AE3D27D4EB4F)
+_P3 = np.uint64(0x165667B19E3779F9)
+_P4 = np.uint64(0x27D4EB2F165667C5)
+_G1 = np.uint64(0x85EBCA77C2B2AE63)
+
+_Q1 = np.uint64(0xA0761D6478BD642F)
+_Q2 = np.uint64(0xE7037ED1A0B428DB)
+_Q3 = np.uint64(0x8EBC6AF09C88C6E3)
+_Q4 = np.uint64(0x589965CC75374CC3)
+_G2 = np.uint64(0x1D8E4E27C47D124F)
+
+_M1 = np.uint64(0xBF58476D1CE4E5B9)
+_M2 = np.uint64(0x94D049BB133111EB)
+_S30 = np.uint64(30)
+_S27 = np.uint64(27)
+_S31 = np.uint64(31)
+
+# Digest-finalization multipliers for (n, m).
+_N1 = 0x2545F4914F6CDD1D
+_N2 = 0x9FB21C651E98DF25
+
+
+def _mix(x: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finalizer over a uint64 array (wrapping)."""
+    x = (x ^ (x >> _S30)) * _M1
+    x = (x ^ (x >> _S27)) * _M2
+    return x ^ (x >> _S31)
+
+
+def _mix_int(x: int) -> int:
+    x &= _MASK
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK
+    return x ^ (x >> 31)
+
+
+def _term_sums(
+    idx: np.ndarray,
+    sizes: np.ndarray,
+    costs: np.ndarray,
+    initial: np.ndarray,
+) -> tuple[int, int]:
+    """Sum of per-site terms for both lanes, as Python ints mod 2^64."""
+    idx_u = np.ascontiguousarray(idx, dtype=np.int64).view(np.uint64)
+    size_u = np.ascontiguousarray(sizes, dtype=np.float64).view(np.uint64)
+    cost_u = np.ascontiguousarray(costs, dtype=np.float64).view(np.uint64)
+    init_u = np.ascontiguousarray(initial, dtype=np.int64).view(np.uint64)
+    with np.errstate(over="ignore"):
+        t1 = _mix(idx_u * _P1 + size_u * _P2 + cost_u * _P3 + init_u * _P4 + _G1)
+        t2 = _mix(idx_u * _Q1 + size_u * _Q2 + cost_u * _Q3 + init_u * _Q4 + _G2)
+        s1 = int(t1.sum(dtype=np.uint64))
+        s2 = int(t2.sum(dtype=np.uint64))
+    return s1, s2
+
+
+@dataclass
+class RollingFingerprint:
+    """Additive fingerprint state for one snapshot chain.
+
+    ``s1``/``s2`` are the two lane sums (mod 2^64); ``num_jobs`` and
+    ``num_processors`` pin the shape.  ``digest()`` derives the 16-byte
+    fingerprint; ``roll()`` updates the state from a churn set in O(c).
+    """
+
+    s1: int
+    s2: int
+    num_jobs: int
+    num_processors: int
+    _digest: bytes | None = None
+
+    def digest(self) -> bytes:
+        if self._digest is None:
+            shape = (self.num_jobs * _N1 + self.num_processors * _N2) & _MASK
+            d1 = _mix_int(self.s1 ^ _mix_int(shape))
+            d2 = _mix_int(self.s2 ^ _mix_int(shape ^ _MASK))
+            self._digest = d1.to_bytes(8, "little") + d2.to_bytes(8, "little")
+        return self._digest
+
+    def copy(self) -> "RollingFingerprint":
+        return RollingFingerprint(
+            self.s1, self.s2, self.num_jobs, self.num_processors, self._digest
+        )
+
+    def roll(
+        self,
+        idx: np.ndarray,
+        old_sizes: np.ndarray,
+        old_costs: np.ndarray,
+        old_initial: np.ndarray,
+        new_sizes: np.ndarray,
+        new_costs: np.ndarray,
+        new_initial: np.ndarray,
+    ) -> None:
+        """Apply a same-shape churn: replace site ``idx`` values in O(c)."""
+        o1, o2 = _term_sums(idx, old_sizes, old_costs, old_initial)
+        n1, n2 = _term_sums(idx, new_sizes, new_costs, new_initial)
+        self.s1 = (self.s1 - o1 + n1) & _MASK
+        self.s2 = (self.s2 - o2 + n2) & _MASK
+        self._digest = None
+
+
+def fingerprint_state(
+    sizes: np.ndarray,
+    costs: np.ndarray,
+    initial: np.ndarray,
+    num_processors: int,
+) -> RollingFingerprint:
+    """Full O(n) fingerprint computation, returning roll-capable state."""
+    n = int(sizes.shape[0])
+    idx = np.arange(n, dtype=np.int64)
+    s1, s2 = _term_sums(idx, sizes, costs, initial)
+    return RollingFingerprint(s1, s2, n, int(num_processors))
+
+
+def instance_fingerprint(instance) -> bytes:
+    """16-byte fingerprint of an :class:`~repro.core.instance.Instance`."""
+    return fingerprint_state(
+        instance.sizes, instance.costs, instance.initial, instance.num_processors
+    ).digest()

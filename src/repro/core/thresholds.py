@@ -40,6 +40,8 @@ __all__ = [
     "build_tables",
     "candidate_guesses",
     "patch_tables",
+    "patch_tables_hint",
+    "proc_candidates",
     "scan_start",
 ]
 
@@ -99,6 +101,19 @@ class ProcessorTable:
     def has_large(self, guess: float) -> bool:
         """True if the processor initially holds at least one large job."""
         return self.small_count(guess) < self.num_jobs
+
+    def evaluate(self, guess: float) -> tuple[int, int, int]:
+        """``(a_i, b_i, large_count)`` at ``guess`` with one shared
+        small-count lookup — the per-refresh unit of the incremental
+        scan, where the three separate accessors' repeated
+        ``searchsorted`` dispatches add up."""
+        s_cnt = int(np.searchsorted(self.sizes_asc, guess / 2.0, side="right"))
+        keep_a = int(
+            np.searchsorted(self.prefix[: s_cnt + 1], guess / 2.0, side="right") - 1
+        )
+        q = self.num_jobs if s_cnt == self.num_jobs else s_cnt + 1
+        keep_b = int(np.searchsorted(self.prefix[: q + 1], guess, side="right") - 1)
+        return s_cnt - keep_a, q - keep_b, self.num_jobs - s_cnt
 
 
 @dataclass(frozen=True)
@@ -216,6 +231,155 @@ def patch_tables(
             sizes_asc=sizes_asc,
         ),
         int(changed_procs.shape[0]),
+    )
+
+
+def patch_tables_hint(
+    tables: ThresholdTables,
+    instance: Instance,
+    idx: np.ndarray,
+    old_initial: np.ndarray,
+) -> tuple[ThresholdTables, np.ndarray]:
+    """Patch tables from an *explicit* churn set, without diffing arrays.
+
+    The O(churn) server path mutates each shard's resident arrays in
+    place, so ``tables.instance`` may alias ``instance`` and a value
+    diff (:func:`patch_tables`) is meaningless.  Instead the caller
+    names the changed jobs: ``idx`` (unique, ascending) are the job
+    indices whose size, cost, or placement changed since the tables
+    were last valid, and ``old_initial`` their placements *at that
+    time*.  New values are read from ``instance``.
+
+    Each affected bucket is rebuilt by a sorted merge — drop the
+    changed jobs (O(bucket)), insert the arrivals at their
+    ``(size, index)`` positions (O(arrivals · log bucket) plus one
+    O(bucket) ``np.insert``), recompute the prefix sums — so the cost is
+    ``O(changed_buckets · bucket_size)``, all memcpy-grade numpy passes,
+    with no sort over the bucket.  The resulting buckets are
+    byte-identical to a :func:`build_tables` rebuild (enforced by
+    differential tests).
+
+    ``tables.sizes_asc`` is **not** updated (that would be an O(n)
+    merge per epoch); the returned tables carry the stale array and the
+    caller owns the discipline of never reading it until refreshed —
+    see :class:`repro.core.engine.RebalanceEngine`, which re-sorts it
+    lazily on the next full-scan decide.
+
+    Returns ``(new_tables, changed_procs)`` with the affected processor
+    indices (for candidate-stream maintenance).
+    """
+    n = instance.num_jobs
+    if idx.shape[0] == 0:
+        if tables.instance is instance:
+            return tables, idx
+        return (
+            ThresholdTables(
+                instance=instance,
+                processors=tables.processors,
+                sizes_asc=tables.sizes_asc,
+            ),
+            idx,
+        )
+    new_initial = instance.initial[idx]
+    changed_procs = np.unique(np.concatenate((old_initial, new_initial)))
+    # Arrivals grouped by destination bucket in (size, index) order —
+    # the exact per-bucket order build_tables produces.
+    sizes_new = instance.sizes[idx]
+    order = np.lexsort((idx, sizes_new, new_initial))
+    arr_jobs = idx[order]
+    arr_sizes = sizes_new[order]
+    arr_procs = new_initial[order]
+    starts = np.searchsorted(arr_procs, changed_procs, side="left")
+    ends = np.searchsorted(arr_procs, changed_procs, side="right")
+    changed_flags = np.zeros(n, dtype=bool)
+    changed_flags[idx] = True
+    processors = list(tables.processors)
+    for p, lo, hi in zip(changed_procs, starts, ends):
+        old_pt = processors[int(p)]
+        if old_pt.num_jobs:
+            drop = changed_flags[old_pt.jobs_asc]
+            kept_jobs = old_pt.jobs_asc[~drop]
+            kept_sizes = old_pt.sizes_asc[~drop]
+        else:
+            kept_jobs = old_pt.jobs_asc
+            kept_sizes = old_pt.sizes_asc
+        a_jobs = arr_jobs[lo:hi]
+        if a_jobs.size:
+            a_sizes = arr_sizes[lo:hi]
+            ins = np.searchsorted(kept_sizes, a_sizes, side="left")
+            kn = int(kept_jobs.shape[0])
+            for t in range(int(a_jobs.shape[0])):
+                # Advance within the equal-size run so ties land in
+                # (size, index) order against the kept jobs.
+                pos = int(ins[t])
+                s = a_sizes[t]
+                j = a_jobs[t]
+                while pos < kn and kept_sizes[pos] == s and kept_jobs[pos] < j:
+                    pos += 1
+                ins[t] = pos
+            jobs_asc = _scatter_insert(kept_jobs, a_jobs, ins)
+            sizes_asc = _scatter_insert(kept_sizes, a_sizes, ins)
+        else:
+            jobs_asc = kept_jobs
+            sizes_asc = kept_sizes
+        prefix = np.concatenate(([0.0], np.cumsum(sizes_asc)))
+        processors[int(p)] = ProcessorTable(
+            jobs_asc=jobs_asc, sizes_asc=sizes_asc, prefix=prefix
+        )
+    return (
+        ThresholdTables(
+            instance=instance,
+            processors=tuple(processors),
+            sizes_asc=tables.sizes_asc,
+        ),
+        changed_procs,
+    )
+
+
+def _scatter_insert(
+    a_jobs: np.ndarray, b_jobs: np.ndarray, ins: np.ndarray
+) -> np.ndarray:
+    """``np.insert(a, ins, b)`` for sorted position arrays, hand-rolled.
+
+    ``np.insert`` carries enough Python-level overhead (argument
+    normalization, index fixups) to dominate the per-bucket patch cost;
+    this is the same scatter in four numpy passes.  ``ins`` must be
+    non-decreasing positions into ``a``.
+    """
+    out = np.empty(a_jobs.shape[0] + b_jobs.shape[0], dtype=a_jobs.dtype)
+    b_pos = ins + np.arange(b_jobs.shape[0], dtype=np.int64)
+    out[b_pos] = b_jobs
+    mask = np.ones(out.shape[0], dtype=bool)
+    mask[b_pos] = False
+    out[mask] = a_jobs
+    return out
+
+
+def _merge_sorted(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Merge two ascending float arrays (duplicates kept), O(|a| + |b|)."""
+    if not a.shape[0]:
+        return b
+    if not b.shape[0]:
+        return a
+    return _scatter_insert(a, b, np.searchsorted(a, b, side="left"))
+
+
+def proc_candidates(proc: ProcessorTable) -> np.ndarray:
+    """One processor's Lemma-5 threshold values, ascending (dups kept).
+
+    The union of these streams over all processors equals the value set
+    of :func:`candidate_guesses`; the engine's O(churn) scan slices
+    windows of the per-processor streams instead of materializing (and
+    re-sorting) the global union each epoch, so a churn that touches
+    ``c`` buckets only rebuilds ``c`` streams.  Duplicate values are
+    deduplicated at scan time, not here — keeping the build a pure
+    sorted merge.
+    """
+    if proc.num_jobs == 0:
+        return np.empty(0)
+    pre = proc.prefix[1:]
+    return _merge_sorted(
+        _merge_sorted(pre, 2.0 * pre), 2.0 * proc.sizes_asc
     )
 
 

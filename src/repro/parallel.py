@@ -209,9 +209,14 @@ class SnapshotRing:
     def name(self) -> str:
         return self._shm.name
 
+    @staticmethod
+    def needed_bytes(n: int) -> int:
+        """Slot bytes an ``n``-job snapshot requires (header included)."""
+        return _SLOT_HEADER + 8 * _ARRAYS_PER_SLOT * n
+
     def fits(self, n: int) -> bool:
         """Whether an ``n``-job snapshot fits in one slot."""
-        return _SLOT_HEADER + 8 * _ARRAYS_PER_SLOT * n <= self.slot_bytes
+        return self.needed_bytes(n) <= self.slot_bytes
 
     def _offsets(self, slot: int, n: int) -> tuple[int, int, int]:
         base = slot * self.slot_bytes + _SLOT_HEADER

@@ -37,16 +37,20 @@ from .cluster import (
     RouterConfig,
     RouterHandle,
     ServeProcess,
+    spawn_router_process,
     spawn_serve_process,
     start_router_background,
 )
 from .loadgen import (
+    ChurnStreamConfig,
+    ChurnStreamReport,
     LoadGenConfig,
     LoadGenReport,
     build_snapshots,
     calibrate_shm_workload,
     calibrate_workload,
     calibrate_wire_workload,
+    run_churn_stream,
     run_loadgen,
 )
 from .protocol import (
@@ -78,6 +82,8 @@ __all__ = [
     "AsyncServiceClient",
     "BackendSpec",
     "BatchConfig",
+    "ChurnStreamConfig",
+    "ChurnStreamReport",
     "ClusterRouter",
     "HashRing",
     "RouterConfig",
@@ -112,7 +118,9 @@ __all__ = [
     "read_frame_sync",
     "read_frame_sync_versioned",
     "read_frame_versioned",
+    "run_churn_stream",
     "run_loadgen",
+    "spawn_router_process",
     "spawn_serve_process",
     "start_background",
     "start_router_background",

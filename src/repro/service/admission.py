@@ -48,12 +48,26 @@ class PendingRequest:
 
     shard: str
     k: int
-    instance: Instance
+    instance: Instance | None
     fingerprint: bytes
     enqueued_at: float
     deadline: float | None
     future: asyncio.Future = field(repr=False)
     shm: tuple[int, int] | None = None
+    # Resident-path fields: ``target_seq`` names the shard's frame-log
+    # position this request's fingerprint corresponds to (``instance``
+    # is then ``None`` — the solve plane replays frames instead of
+    # decoding a snapshot); ``install`` asks the solve plane to reseed
+    # its resident arrays from ``instance`` first; ``moves_only``
+    # requests the compact response form (moved sites, not the full
+    # mapping).
+    install: bool = False
+    moves_only: bool = False
+    frames: list = field(default_factory=list)
+    # Set by the server when this request expired in the queue but its
+    # frames (or install) must still reach the solve plane: the future
+    # is already resolved, the solve plane applies without deciding.
+    apply_only: bool = False
 
     def expired(self, now: float) -> bool:
         return self.deadline is not None and now > self.deadline
@@ -163,6 +177,13 @@ class AdmissionQueue:
                             queued_ms=1e3 * (now - request.enqueued_at),
                         )
                     )
+                if request.frames or request.install:
+                    # The admission plane already committed this
+                    # request's state advance; the solve plane must
+                    # still apply it (without deciding) or the two
+                    # would diverge.
+                    request.apply_only = True
+                    alive.append(request)
             else:
                 alive.append(request)
         return alive

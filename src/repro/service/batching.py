@@ -72,9 +72,15 @@ class UniqueSolve:
 
     shard: str
     k: int
-    instance: Instance
+    instance: Instance | None
     requests: list[PendingRequest] = field(default_factory=list)
     shm: tuple[int, int] | None = None
+    # Resident-path plumbing, inherited from the first request of the
+    # group (see PendingRequest).
+    install: bool = False
+    moves_only: bool = False
+    frames: list = field(default_factory=list)
+    apply_only: bool = False
 
 
 @dataclass
@@ -119,10 +125,17 @@ class MicroBatcher:
     def plan(self, batch: list[PendingRequest]) -> list[ShardLane]:
         """Group a (already shed) batch into deduped per-shard lanes."""
         lanes: dict[str, ShardLane] = {}
-        index: dict[tuple[str, int, bytes], UniqueSolve] = {}
+        index: dict[tuple[str, int, bytes, bool, bool], UniqueSolve] = {}
         deduped = 0
         for request in batch:
-            key = (request.shard, request.k, request.fingerprint)
+            # moves_only is part of the key: the two response shapes
+            # for one snapshot cannot share a response object.  So is
+            # apply_only: a live request must never collapse into an
+            # expired one's decide-less solve.
+            key = (
+                request.shard, request.k, request.fingerprint,
+                request.moves_only, request.apply_only,
+            )
             solve = index.get(key) if self.config.dedupe else None
             if solve is not None:
                 solve.requests.append(request)
@@ -131,6 +144,8 @@ class MicroBatcher:
             solve = UniqueSolve(
                 shard=request.shard, k=request.k, instance=request.instance,
                 requests=[request], shm=request.shm,
+                install=request.install, moves_only=request.moves_only,
+                frames=request.frames, apply_only=request.apply_only,
             )
             index[key] = solve
             lane = lanes.get(request.shard)

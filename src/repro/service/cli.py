@@ -33,7 +33,12 @@ from .cluster import (
     spawn_serve_process,
     start_router_background,
 )
-from .loadgen import LoadGenConfig, run_loadgen
+from .loadgen import (
+    ChurnStreamConfig,
+    LoadGenConfig,
+    run_churn_stream,
+    run_loadgen,
+)
 from .server import RebalanceServer, ServerConfig, start_background
 
 __all__ = ["loadgen_main", "router_main", "serve_main"]
@@ -59,7 +64,9 @@ def _server_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--solver-workers", type=int, default=4,
-        help="worker threads fanning out independent shard lanes",
+        help="worker threads fanning out independent shard lanes "
+             "(capped at the core count unless --solve-delay-ms sets "
+             "a synthetic service-time floor)",
     )
     parser.add_argument(
         "--executor", choices=("thread", "process"), default="thread",
@@ -226,6 +233,11 @@ def router_main(argv: list[str] | None = None) -> int:
         "--no-replicate", action="store_true",
         help="disable delta-replay replication to shard standbys",
     )
+    parser.add_argument(
+        "--repl-coalesce-ms", type=float, default=0.0, metavar="MS",
+        help="delay each replication drain step to batch frames and "
+        "keep standby replay off the decide response tail",
+    )
     args = parser.parse_args(argv)
 
     processes: list[ServeProcess] = []
@@ -244,6 +256,7 @@ def router_main(argv: list[str] | None = None) -> int:
     config = RouterConfig(
         backends=specs, host=args.host, port=args.port,
         vnodes=args.vnodes, replicate=not args.no_replicate,
+        repl_coalesce_s=args.repl_coalesce_ms / 1e3,
         health_interval_s=args.health_interval,
         health_misses=args.health_misses,
     )
@@ -306,7 +319,10 @@ def loadgen_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--sites", type=int, default=600)
     parser.add_argument("--servers", type=int, default=12)
     parser.add_argument("--k", type=int, default=8)
-    parser.add_argument("--deadline-ms", type=float, default=500.0)
+    parser.add_argument("--deadline-ms", type=float, default=None,
+                        help="per-request deadline (<=0 disables; "
+                        "default 500 for open-loop traffic, none for "
+                        "churn-stream)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--protocol", choices=("json", "binary"),
                         default="json",
@@ -318,13 +334,34 @@ def loadgen_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--shards", type=int, default=1,
                         help="distinct server shards to round-robin "
                         "(each gets its own snapshot stream lane)")
-    parser.add_argument("--traffic", choices=("drift", "steady", "churn"),
+    parser.add_argument("--traffic",
+                        choices=("drift", "steady", "churn",
+                                 "churn-stream"),
                         default="drift",
                         help="drift: diurnal+flash (every site moves "
                         "each epoch); steady: flash crowds only "
                         "(sparse churn, the delta-friendly regime); "
                         "churn: one flash crowd every epoch (sparse "
-                        "but every snapshot distinct)")
+                        "but every snapshot distinct); churn-stream: "
+                        "closed-loop per-shard delta stream (one "
+                        "request in flight per shard, O(churn) frames "
+                        "built in place, moves applied locally — the "
+                        "steady-state regime E18 measures)")
+    parser.add_argument("--churn", type=int, default=16,
+                        help="sites mutated per shard per epoch "
+                        "(churn-stream traffic only)")
+    parser.add_argument("--epochs", type=int, default=64,
+                        help="decides per shard (churn-stream traffic "
+                        "only)")
+    parser.add_argument("--warmup-epochs", type=int, default=3,
+                        help="leading epochs excluded from the steady "
+                        "latency histogram (churn-stream traffic only)")
+    parser.add_argument("--epoch-interval-ms", type=float, default=None,
+                        metavar="MS",
+                        help="pace churn-stream epochs on an absolute "
+                        "per-shard-staggered schedule instead of "
+                        "closed-loop saturation (churn-stream traffic "
+                        "only)")
     parser.add_argument("--json", action="store_true",
                         help="print the full report as JSON")
     parser.add_argument("--assert-clean", action="store_true",
@@ -337,14 +374,29 @@ def loadgen_main(argv: list[str] | None = None) -> int:
 
     if args.delta and args.protocol != "binary":
         parser.error("--delta requires --protocol binary")
-    config = LoadGenConfig(
-        rate=args.rate, duration_s=args.duration,
-        connections=args.connections, duplicates=args.duplicates,
-        num_sites=args.sites, num_servers=args.servers,
-        k=args.k, deadline_ms=args.deadline_ms, seed=args.seed,
-        protocol=args.protocol, delta=args.delta,
-        shards=args.shards, traffic=args.traffic,
-    )
+    deadline_ms = args.deadline_ms
+    if deadline_ms is not None and deadline_ms <= 0:
+        deadline_ms = None
+    if args.traffic == "churn-stream":
+        config = ChurnStreamConfig(
+            shards=args.shards, k=args.k,
+            num_sites=args.sites, num_servers=args.servers,
+            churn=args.churn, epochs=args.epochs,
+            warmup_epochs=args.warmup_epochs,
+            seed=args.seed, deadline_ms=deadline_ms,
+            epoch_interval_ms=args.epoch_interval_ms,
+        )
+    else:
+        if args.deadline_ms is None:
+            deadline_ms = 500.0
+        config = LoadGenConfig(
+            rate=args.rate, duration_s=args.duration,
+            connections=args.connections, duplicates=args.duplicates,
+            num_sites=args.sites, num_servers=args.servers,
+            k=args.k, deadline_ms=deadline_ms, seed=args.seed,
+            protocol=args.protocol, delta=args.delta,
+            shards=args.shards, traffic=args.traffic,
+        )
 
     handle = None
     router_handle = None
@@ -369,7 +421,10 @@ def loadgen_main(argv: list[str] | None = None) -> int:
             parser.error("--connect must look like HOST:PORT")
         port = int(port_text)
     try:
-        report = run_loadgen(host, port, config)
+        if args.traffic == "churn-stream":
+            report = run_churn_stream(host, port, config)
+        else:
+            report = run_loadgen(host, port, config)
     finally:
         if handle is not None:
             handle.stop()
@@ -384,12 +439,21 @@ def loadgen_main(argv: list[str] | None = None) -> int:
         print(report.render())
 
     failed = False
-    if args.assert_clean and report.errors:
-        print(f"FAIL: {report.errors} protocol/transport errors", flush=True)
-        failed = True
-    if args.p99_bound is not None and report.p99_ms > args.p99_bound:
+    mismatches = getattr(report, "fp_mismatches", 0)
+    if args.assert_clean and (report.errors or mismatches):
         print(
-            f"FAIL: p99 {report.p99_ms:.1f}ms exceeds bound "
+            f"FAIL: {report.errors} protocol/transport errors, "
+            f"{mismatches} fingerprint mismatches",
+            flush=True,
+        )
+        failed = True
+    p99_ms = (
+        report.steady_p99_ms if args.traffic == "churn-stream"
+        else report.p99_ms
+    )
+    if args.p99_bound is not None and p99_ms > args.p99_bound:
+        print(
+            f"FAIL: p99 {p99_ms:.1f}ms exceeds bound "
             f"{args.p99_bound:.1f}ms",
             flush=True,
         )

@@ -81,10 +81,18 @@ class Overloaded(ServiceError):
 def _result_from_response(
     instance: Instance, response: dict[str, Any], latency_s: float
 ) -> RebalanceResult:
-    assignment = Assignment(
-        instance=instance,
-        mapping=np.asarray(response["mapping"], dtype=np.int64),
-    )
+    if "mapping" in response:
+        mapping = np.asarray(response["mapping"], dtype=np.int64)
+    else:
+        # Compact (moves_only) response: the mapping is the request's
+        # own initial assignment plus the moved sites.
+        mapping = np.array(instance.initial, dtype=np.int64)
+        moves_idx = np.asarray(response["moves_idx"], dtype=np.int64)
+        if moves_idx.shape[0]:
+            mapping[moves_idx] = np.asarray(
+                response["moves_to"], dtype=np.int64
+            )
+    assignment = Assignment(instance=instance, mapping=mapping)
     meta: dict[str, Any] = {"service": {"latency_s": latency_s}}
     if "batch" in response:
         meta["service"]["batch"] = response["batch"]
@@ -155,6 +163,7 @@ class _WireState:
         *,
         full: bool = False,
         op: str = "rebalance",
+        moves_only: bool = False,
     ) -> tuple[dict[str, Any], bool]:
         """The request body and whether it carries a delta.
 
@@ -162,11 +171,17 @@ class _WireState:
         wire: a full snapshot ships ``3n`` array values, a delta ``4c``
         (the index array rides along), so ``4c < 3n`` is the cutover.
         ``op`` lets the cluster router reuse the same delta machinery
-        for node-to-node ``replicate`` frames.
+        for node-to-node ``replicate`` frames.  ``moves_only`` asks the
+        server for the compact response (moved sites instead of the
+        full mapping) — symmetric with deltas, it takes the *response*
+        from O(n) to O(moves); servers that do not support it ignore
+        the flag and answer with a mapping.
         """
         message: dict[str, Any] = {"op": op, "shard": shard, "k": k}
         if deadline_ms is not None:
             message["deadline_ms"] = deadline_ms
+        if moves_only:
+            message["moves_only"] = True
         sent_delta = False
         if self.delta and not full:
             base = self.bases.get(shard)
@@ -310,11 +325,12 @@ class ServiceClient:
         *,
         shard: str = "default",
         deadline_ms: float | None = None,
+        moves_only: bool = False,
     ) -> RebalanceResult:
         """Solve one snapshot remotely; raises :class:`ServiceError` on
         a non-ok response that outlives the retry budget."""
         message, sent_delta = self._wire.rebalance_message(
-            instance, k, shard, deadline_ms
+            instance, k, shard, deadline_ms, moves_only=moves_only
         )
         start = time.perf_counter()
         response = self.call(message)
@@ -323,7 +339,8 @@ class ServiceClient:
             # back to a full snapshot, once, and rebase from there.
             self._wire.forget(shard)
             message, _ = self._wire.rebalance_message(
-                instance, k, shard, deadline_ms, full=True
+                instance, k, shard, deadline_ms, full=True,
+                moves_only=moves_only,
             )
             response = self.call(message)
         if not response.get("ok"):
@@ -466,16 +483,18 @@ class AsyncServiceClient:
         *,
         shard: str = "default",
         deadline_ms: float | None = None,
+        moves_only: bool = False,
     ) -> RebalanceResult:
         message, sent_delta = self._wire.rebalance_message(
-            instance, k, shard, deadline_ms
+            instance, k, shard, deadline_ms, moves_only=moves_only
         )
         start = time.perf_counter()
         response = await self.call(message)
         if sent_delta and response.get("error") == "unknown base":
             self._wire.forget(shard)
             message, _ = self._wire.rebalance_message(
-                instance, k, shard, deadline_ms, full=True
+                instance, k, shard, deadline_ms, full=True,
+                moves_only=moves_only,
             )
             response = await self.call(message)
         if not response.get("ok"):

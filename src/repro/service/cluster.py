@@ -55,7 +55,7 @@ import tempfile
 import threading
 import time
 from bisect import bisect_right
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
@@ -67,6 +67,7 @@ from .. import telemetry
 from ..core.engine import snapshot_fingerprint
 from ..core.instance import Instance, apply_delta
 from .client import AsyncServiceClient, Overloaded, ServiceError, _WireState
+from .resident import Frame, ResidentShard
 from .protocol import (
     ProtocolError,
     encode_frame,
@@ -196,6 +197,8 @@ class RouterConfig:
     port: int = 0  # 0 = let the OS pick; read it back from router.port
     vnodes: int = 64
     replicate: bool = True          # stream each shard to its standby
+    repl_coalesce_s: float = 0.0     # drain delay: batch frames, keep
+    #                                  replication off the response tail
     health_interval_s: float = 0.25  # between health probes per node
     health_timeout_s: float = 1.0    # per-probe deadline
     health_misses: int = 2           # consecutive misses before death
@@ -211,6 +214,8 @@ class RouterConfig:
             raise ValueError(f"duplicate backend names in {names}")
         if self.health_interval_s <= 0 or self.health_timeout_s <= 0:
             raise ValueError("health intervals must be positive")
+        if self.repl_coalesce_s < 0:
+            raise ValueError("repl_coalesce_s must be non-negative")
         if self.health_misses <= 0:
             raise ValueError("health_misses must be positive")
         if self.connections_per_backend <= 0:
@@ -226,6 +231,7 @@ class RouterConfig:
             ],
             "vnodes": self.vnodes,
             "replicate": self.replicate,
+            "repl_coalesce_s": self.repl_coalesce_s,
             "health_interval_s": self.health_interval_s,
             "health_misses": self.health_misses,
         }
@@ -297,18 +303,20 @@ class BackendLink:
         k: int,
         instance: Instance,
         deadline_ms: float | None,
+        moves_only: bool = False,
     ) -> dict[str, Any]:
         """Forward one rebalance, delta-encoded against what this
         backend last acknowledged; ``unknown base`` falls back to one
         full snapshot exactly as the direct client path does."""
         message, sent_delta = self.wire.rebalance_message(
-            instance, k, shard, deadline_ms
+            instance, k, shard, deadline_ms, moves_only=moves_only
         )
         response = await self.call(message)
         if sent_delta and response.get("error") == "unknown base":
             self.wire.forget(shard)
             message, _ = self.wire.rebalance_message(
-                instance, k, shard, deadline_ms, full=True
+                instance, k, shard, deadline_ms, full=True,
+                moves_only=moves_only,
             )
             response = await self.call(message)
         if response.get("ok"):
@@ -339,15 +347,29 @@ class BackendLink:
             await client.close()
 
 
+# Queued replication frames per shard before the router collapses the
+# backlog into one full-snapshot marker (a full of the current tip
+# subsumes every queued frame — latest-wins, like the old coalescing).
+REPL_QUEUE_CAP = 64
+
+
 @dataclass
 class _ShardRuntime:
-    """The router's per-shard bookkeeping."""
+    """The router's per-shard bookkeeping.
 
-    latest: tuple[str, Instance, int] | None = None  # (fp hex, snapshot, k)
+    ``latest`` is ``(fingerprint hex, k)`` — the snapshot itself lives
+    in the shard's :class:`~repro.service.resident.ResidentShard` and
+    is exported on demand (migration, full replication) instead of
+    being retained per request.  ``repl_queue`` holds ``("delta",
+    wire_delta, k)`` frames to replay at the standby in order, or one
+    ``("full", k)`` marker meaning "ship the current tip".
+    """
+
+    latest: tuple[str, int] | None = None
     inflight: int = 0
     gate: asyncio.Event | None = None      # cleared while migrating
     drained: asyncio.Event | None = None   # set when inflight hits 0
-    repl_pending: tuple[str, Instance, int] | None = None  # (node, snap, k)
+    repl_queue: deque = field(default_factory=deque)
     repl_task: asyncio.Task | None = None
 
 
@@ -374,8 +396,12 @@ class ClusterRouter:
         self._overrides: dict[str, str] = {}
         # The router's own decode state: per-shard delta bases (the
         # client's delta stream terminates here and is re-originated
-        # per backend) and per-shard runtime bookkeeping.
+        # per backend) and per-shard runtime bookkeeping.  The resident
+        # is the steady-state tip: a delta whose base names it is
+        # applied in O(changed sites) and forwarded as the same frame,
+        # so no Instance materializes anywhere on the hot path.
         self._bases: dict[str, OrderedDict[str, Instance]] = {}
+        self._residents: dict[str, ResidentShard] = {}
         self._shards: dict[str, _ShardRuntime] = {}
         self._server: asyncio.AbstractServer | None = None
         self._health_task: asyncio.Task | None = None
@@ -444,17 +470,27 @@ class ClusterRouter:
         failover request a delta, not a cold full snapshot."""
         if node in self._dead or node not in self._specs:
             return
+        # Before the ring changes: shards the dead node served (as
+        # primary or standby) lose a replica — after promotion their
+        # newly resolved standby starts cold and must be re-seeded.
+        affected: list[str] = []
+        if self.config.replicate:
+            for shard in set(self._residents) | set(self._shards):
+                if node in self.ring.owners(shard, 2):
+                    affected.append(shard)
         self._dead.add(node)
         self.ring.remove(node)
         self.metrics.add("router.backend_deaths")
         for shard, target in list(self._overrides.items()):
             if target == node:
                 del self._overrides[shard]
-        # Drop queued replication aimed at the dead node; the standby
-        # promotion makes it moot.
-        for runtime in self._shards.values():
-            if runtime.repl_pending is not None and runtime.repl_pending[0] == node:
-                runtime.repl_pending = None
+        for shard in affected:
+            runtime = self._runtime(shard)
+            k = runtime.latest[1] if runtime.latest is not None else 2
+            # A full of the current tip both replaces anything queued
+            # for the dead standby and seeds the new one.
+            self.metrics.add("router.rereplications")
+            self._enqueue_replication(shard, ("full", k))
 
     async def _health_loop(self) -> None:
         while True:
@@ -533,6 +569,7 @@ class ClusterRouter:
         k: int,
         instance: Instance,
         deadline_ms: float | None,
+        moves_only: bool,
     ) -> dict[str, Any]:
         """Forward to the shard's owner; on a transport failure,
         declare the node dead and replay on the re-resolved owner."""
@@ -544,7 +581,7 @@ class ClusterRouter:
             link = self._links[node]
             try:
                 return await asyncio.wait_for(
-                    link.solve(shard, k, instance, deadline_ms),
+                    link.solve(shard, k, instance, deadline_ms, moves_only),
                     self.config.backend_timeout,
                 )
             except Overloaded as exc:
@@ -565,6 +602,13 @@ class ClusterRouter:
         try:
             shard = str(message.get("shard", "default"))
             k = int(message.get("k", 2))
+            delta = message.get("delta")
+            if delta is not None:
+                res = self._residents.get(shard)
+                if res is not None and str(delta.get("base", "")) == res.fp_hex:
+                    return await self._op_rebalance_delta(
+                        shard, k, message, res, delta
+                    )
             materialized = self._materialize(shard, message)
         except (KeyError, TypeError, ValueError) as exc:
             self.metrics.add("router.bad_requests")
@@ -573,8 +617,13 @@ class ClusterRouter:
             return materialized  # unknown base
         instance, fp_hex = materialized
 
+        # (Re)seed the resident so the next delta rides the O(churn)
+        # passthrough instead of materializing here again.
+        res = self._residents.get(shard)
+        if res is None or res.fp_hex != fp_hex:
+            self._residents[shard] = ResidentShard(instance)
         runtime = self._runtime(shard)
-        runtime.latest = (fp_hex, instance, k)
+        runtime.latest = (fp_hex, k)
         if runtime.gate is not None:
             # A migration is flipping this shard's routing: hold the
             # request until the flip instead of racing it.
@@ -582,7 +631,8 @@ class ClusterRouter:
         runtime.inflight += 1
         try:
             response = await self._route_solve(
-                shard, k, instance, message.get("deadline_ms")
+                shard, k, instance, message.get("deadline_ms"),
+                bool(message.get("moves_only", False)),
             )
         finally:
             runtime.inflight -= 1
@@ -594,44 +644,186 @@ class ClusterRouter:
             # hash — but the client's delta stream terminates *here*).
             response = dict(response)
             response["fingerprint"] = fp_hex
-            self._schedule_replication(shard, fp_hex, instance, k)
+            self._enqueue_replication(shard, ("full", k))
         return response
+
+    async def _op_rebalance_delta(
+        self,
+        shard: str,
+        k: int,
+        message: dict[str, Any],
+        res: ResidentShard,
+        delta: dict[str, Any],
+    ) -> dict[str, Any]:
+        """The O(churn) passthrough: a delta landing on the resident tip
+        is gathered/rolled in O(changed sites), forwarded to the owner
+        *as the same frame*, and queued for the standby as that frame
+        too — no Instance materializes at the router.  The tip commits
+        only after the backend acknowledges, so a failed or rejected
+        request leaves the client's base valid for the retry.
+        """
+        try:
+            frame, fp = res.preview(delta)
+        except (KeyError, TypeError, ValueError) as exc:
+            self.metrics.add("router.bad_requests")
+            return error_response("bad request", message=str(exc))
+        base_hex = res.fp_hex
+        fp_hex = fp.digest().hex()
+        self.metrics.add("router.resident_deltas")
+        runtime = self._runtime(shard)
+        if runtime.gate is not None:
+            await runtime.gate.wait()
+        runtime.inflight += 1
+        try:
+            response = await self._route_delta_solve(
+                shard, k, message, res, frame
+            )
+        finally:
+            runtime.inflight -= 1
+            if runtime.inflight == 0 and runtime.drained is not None:
+                runtime.drained.set()
+        if response.get("ok"):
+            response = dict(response)
+            response["fingerprint"] = fp_hex
+            if res.fp_hex == base_hex:
+                # The tip did not move underneath the forward (closed-
+                # loop per-shard traffic never does): advance it and
+                # replay the identical frame at the standby.
+                res.commit(frame, fp)
+                runtime.latest = (fp_hex, k)
+                self._enqueue_replication(shard, ("delta", delta, k))
+        return response
+
+    def _post_instance(self, res: ResidentShard, frame: Frame) -> Instance:
+        """The post-frame snapshot (uncommitted tip + frame), for the
+        full-snapshot degradations of the passthrough path."""
+        sizes = res.sizes.copy()
+        costs = res.costs.copy()
+        initial = res.initial.copy()
+        sizes[frame.idx] = frame.sizes
+        costs[frame.idx] = frame.costs
+        initial[frame.idx] = frame.initial
+        return Instance.trusted(sizes, costs, res.num_processors, initial)
+
+    async def _route_delta_solve(
+        self,
+        shard: str,
+        k: int,
+        message: dict[str, Any],
+        res: ResidentShard,
+        frame: Frame,
+    ) -> dict[str, Any]:
+        """Forward the delta frame verbatim, with the same failover
+        replay as :meth:`_route_solve`.  A backend that lost (or, as a
+        freshly promoted standby, never finished absorbing) the lineage
+        answers ``unknown base`` and gets the post-frame state as one
+        full snapshot instead."""
+        forward: dict[str, Any] = {
+            "op": "rebalance", "shard": shard, "k": k,
+            "delta": message["delta"],
+        }
+        for key in ("deadline_ms", "moves_only"):
+            if key in message:
+                forward[key] = message[key]
+        last_error: Exception | None = None
+        for _ in range(len(self._specs) + 1):
+            node = self._owner(shard)
+            if node is None:
+                break
+            link = self._links[node]
+            try:
+                response = await asyncio.wait_for(
+                    link.call(forward), self.config.backend_timeout
+                )
+                if response.get("error") == "unknown base":
+                    self.metrics.add("router.delta_fallbacks")
+                    full = dict(forward)
+                    del full["delta"]
+                    full["instance"] = self._post_instance(res, frame).to_wire()
+                    response = await asyncio.wait_for(
+                        link.call(full), self.config.backend_timeout
+                    )
+                return response
+            except Overloaded as exc:
+                return exc.response
+            except (OSError, ProtocolError, ServiceError, asyncio.TimeoutError) as exc:
+                last_error = exc
+                self._mark_dead(node, "transport")
+                self.metrics.add("router.failover_replays")
+                continue
+        detail = f": {last_error}" if last_error is not None else ""
+        return error_response("no backends alive", message=f"routing failed{detail}")
 
     # -- replication ----------------------------------------------------
     def _standby_for(self, shard: str) -> str | None:
         owners = self.ring.owners(shard, 2)
         return owners[1] if len(owners) > 1 else None
 
-    def _schedule_replication(
-        self, shard: str, fp_hex: str, instance: Instance, k: int
-    ) -> None:
-        """Queue the snapshot for replay at the shard's standby.
+    def _enqueue_replication(self, shard: str, entry: tuple) -> None:
+        """Queue one replication step for the shard's standby.
 
-        Latest-wins coalescing: replication is a stream of states, not
-        of requests, so a standby that lags simply skips intermediate
-        snapshots (the delta encoder bridges any gap, falling back to
-        one full frame when the standby's base is too old).
+        ``("delta", wire_delta, k)`` replays the exact client frame —
+        O(churn) at both ends, in commit order (the queue is FIFO and
+        one drain task owns it).  ``("full", k)`` ships the current
+        resident tip; it subsumes everything queued, so it clears the
+        queue, and a queue past :data:`REPL_QUEUE_CAP` collapses into
+        one — a lagging standby skips intermediate states rather than
+        holding an unbounded log.
         """
         if not self.config.replicate:
             return
-        standby = self._standby_for(shard)
-        if standby is None:
+        if self._standby_for(shard) is None:
             return
         runtime = self._runtime(shard)
-        runtime.repl_pending = (standby, instance, k)
+        queue = runtime.repl_queue
+        if entry[0] == "full":
+            queue.clear()
+        queue.append(entry)
+        if len(queue) > REPL_QUEUE_CAP:
+            k = entry[-1]
+            queue.clear()
+            queue.append(("full", k))
+            self.metrics.add("router.replication_collapses")
         if runtime.repl_task is None or runtime.repl_task.done():
             runtime.repl_task = asyncio.create_task(self._drain_replication(shard))
 
     async def _drain_replication(self, shard: str) -> None:
         runtime = self._runtime(shard)
-        while runtime.repl_pending is not None:
-            node, instance, k = runtime.repl_pending
-            runtime.repl_pending = None
-            link = self._links.get(node)
-            if link is None or node not in self.ring:
+        while runtime.repl_queue:
+            if self.config.repl_coalesce_s > 0:
+                # Coalescing window: let the decide's response reach the
+                # client (and further frames pile up — a backlog past
+                # the cap collapses to one full) before waking the
+                # standby.  Replication is off the decide's critical
+                # path by design; this keeps it off the same *cores*
+                # as the response tail too.
+                await asyncio.sleep(self.config.repl_coalesce_s)
+            entry = runtime.repl_queue.popleft()
+            standby = self._standby_for(shard)
+            if standby is None:
+                runtime.repl_queue.clear()
+                return
+            link = self._links.get(standby)
+            if link is None or standby not in self.ring:
                 continue
             try:
-                response = await link.replicate(shard, k, instance)
+                if entry[0] == "delta":
+                    _, delta, k = entry
+                    response = await link.call(
+                        {"op": "replicate", "shard": shard, "delta": delta}
+                    )
+                    if (
+                        not response.get("ok")
+                        and response.get("error") == "unknown base"
+                    ):
+                        # The standby's tip diverged (fresh standby, or
+                        # missed frames): one full of the current tip
+                        # subsumes this frame and the rest of the queue.
+                        runtime.repl_queue.clear()
+                        response = await self._replicate_full(link, shard, k)
+                else:
+                    _, k = entry
+                    response = await self._replicate_full(link, shard, k)
                 if response.get("ok"):
                     self.metrics.add("router.replicated")
                 else:
@@ -640,6 +832,20 @@ class ClusterRouter:
                 # Detection is the health loop's job; replication just
                 # records the miss and moves on.
                 self.metrics.add("router.replication_errors")
+
+    async def _replicate_full(
+        self, link: BackendLink, shard: str, k: int
+    ) -> dict[str, Any]:
+        """Ship the shard's current tip to ``link`` as one snapshot."""
+        res = self._residents.get(shard)
+        if res is not None:
+            instance = res.export_instance()
+        else:
+            bases = self._bases.get(shard)
+            if not bases:
+                return error_response("no snapshot", shard=shard)
+            instance = bases[next(reversed(bases))]
+        return await link.replicate(shard, k, instance)
 
     # -- live migration -------------------------------------------------
     async def migrate(self, shard: str, target: str) -> dict[str, Any]:
@@ -663,7 +869,12 @@ class ClusterRouter:
                 runtime.drained = asyncio.Event()
                 await runtime.drained.wait()
                 runtime.drained = None
-            snapshot = runtime.latest
+            snapshot: tuple[str, Instance, int] | None = None
+            res = self._residents.get(shard)
+            if res is not None and runtime.latest is not None:
+                # Materialize-on-demand: the tip lives in the resident
+                # arrays, exported only for this migration frame.
+                snapshot = (res.fp_hex, res.export_instance(), runtime.latest[1])
             if snapshot is None and source is not None:
                 snapshot = await self._fetch_latest(source, shard)
             fp_hex = None
@@ -722,6 +933,9 @@ class ClusterRouter:
                 "dead": sorted(self._dead),
                 "overrides": dict(self._overrides),
                 "shards": len(self._shards),
+                "residents": {
+                    name: res.fp_hex for name, res in self._residents.items()
+                },
                 "metrics": self.metrics.as_dict(),
             },
             backends=backends,
@@ -744,9 +958,11 @@ class ClusterRouter:
             link.wire.forget(None if shard is None else str(shard))
         if shard is None:
             self._bases.clear()
+            self._residents.clear()
             self._shards.clear()
         else:
             self._bases.pop(str(shard), None)
+            self._residents.pop(str(shard), None)
             self._shards.pop(str(shard), None)
         return ok_response(reset=sorted(reset))
 
@@ -910,7 +1126,37 @@ def spawn_serve_process(
     inherits this interpreter and a ``PYTHONPATH`` that can import
     :mod:`repro` from source checkouts.
     """
-    port_file = Path(tempfile.mkstemp(prefix="repro-serve-", suffix=".port")[1])
+    return _spawn_port_file_process("serve", extra_args, host, timeout_s)
+
+
+def spawn_router_process(
+    backends: tuple[BackendSpec, ...],
+    *extra_args: str,
+    host: str = "127.0.0.1",
+    timeout_s: float = 60.0,
+) -> ServeProcess:
+    """Start a real ``router`` OS process over already-running backends.
+
+    :func:`start_router_background` runs the router on a daemon thread
+    *inside the caller's interpreter* — fine for failover tests, but a
+    loadgen driving many shard streams from that same interpreter then
+    shares its GIL with every forward the router makes, and each hop
+    waits on the client's own numpy work.  Latency benchmarks (E18)
+    must therefore spawn the router exactly as a deployment does: its
+    own process, like the backends.
+    """
+    spec_arg = ",".join(f"{b.name}={b.host}:{b.port}" for b in backends)
+    return _spawn_port_file_process(
+        "router", ("--backends", spec_arg, *extra_args), host, timeout_s
+    )
+
+
+def _spawn_port_file_process(
+    command: str, extra_args: tuple[str, ...], host: str, timeout_s: float
+) -> ServeProcess:
+    port_file = Path(
+        tempfile.mkstemp(prefix=f"repro-{command}-", suffix=".port")[1]
+    )
     port_file.write_text("")
     env = dict(os.environ)
     src_root = str(Path(__file__).resolve().parents[2])
@@ -921,7 +1167,7 @@ def spawn_serve_process(
         )
     process = subprocess.Popen(
         [
-            sys.executable, "-m", "repro", "serve",
+            sys.executable, "-m", "repro", command,
             "--host", host, "--port", "0",
             "--port-file", str(port_file),
             *extra_args,
@@ -941,11 +1187,12 @@ def spawn_serve_process(
                 )
             if process.poll() is not None:
                 raise RuntimeError(
-                    f"serve process exited with {process.returncode} before binding"
+                    f"{command} process exited with "
+                    f"{process.returncode} before binding"
                 )
             if time.monotonic() > deadline:
                 process.kill()
-                raise RuntimeError("serve process did not bind in time")
+                raise RuntimeError(f"{command} process did not bind in time")
             time.sleep(0.02)
     finally:
         port_file.unlink(missing_ok=True)

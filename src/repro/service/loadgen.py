@@ -24,6 +24,7 @@ plan actually cares about.
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import time
 from dataclasses import dataclass, field, replace
 from typing import Any
@@ -34,14 +35,18 @@ from .. import telemetry
 from ..core.instance import Instance
 from .client import AsyncServiceClient, Overloaded, ServiceError, _WireState
 from .protocol import ProtocolError
+from .resident import ResidentShard
 
 __all__ = [
+    "ChurnStreamConfig",
+    "ChurnStreamReport",
     "LoadGenConfig",
     "LoadGenReport",
     "build_snapshots",
     "calibrate_shm_workload",
     "calibrate_workload",
     "calibrate_wire_workload",
+    "run_churn_stream",
     "run_loadgen",
 ]
 
@@ -472,3 +477,333 @@ async def _run_async(
 def run_loadgen(host: str, port: int, config: LoadGenConfig) -> LoadGenReport:
     """Run one open-loop load generation against a live server."""
     return asyncio.run(_run_async(host, port, config))
+
+
+# ----------------------------------------------------------------------
+# Churn-stream mode: the closed-loop O(churn) steady-state workload.
+
+
+@dataclass(frozen=True)
+class ChurnStreamConfig:
+    """The steady-state epoch workload the O(churn) path exists for.
+
+    One *closed-loop* sender per shard — at most one request in flight,
+    the next epoch starts only once the previous decide returned — so
+    every request's delta base is exactly the server's resident tip and
+    the whole pipeline (client -> router -> backend -> engine) stays on
+    its incremental path.  Unlike :func:`build_snapshots` the epoch
+    stream is never materialized: each sender keeps *one* resident copy
+    of its shard's arrays (a client-side :class:`ResidentShard`), a
+    per-epoch rng mutates ``churn`` sites in place, and the delta frame
+    is built directly from the changed indices in O(churn) — no O(n)
+    snapshot diffing, no O(n * epochs) memory.  Returned moves are
+    applied to the local placement and ride the *next* epoch's delta,
+    closing the control loop the paper's online setting describes.
+
+    ``epoch_interval_ms`` switches a stream from closed-loop saturation
+    to *paced* epochs: after the seed install, epoch ``e`` of shard
+    ``i`` fires at ``anchor + (e - 1 + i / shards) * interval`` on an
+    absolute schedule (a late epoch fires immediately; the schedule
+    never skips).  The paper's regime is periodic reconfiguration
+    epochs, not back-to-back decides — pacing measures per-decide
+    latency without the queueing amplification a saturating closed
+    loop adds when many shard streams share the same cores.
+    """
+
+    shard: str = "default"
+    shards: int = 1              # concurrent closed-loop shard streams
+    k: int = 8
+    num_sites: int = 600         # per shard
+    num_servers: int = 12        # per shard
+    churn: int = 16              # sites mutated per shard per epoch
+    epochs: int = 64             # decides per shard (incl. warmup)
+    warmup_epochs: int = 3       # excluded from the steady histogram
+    seed: int = 0
+    deadline_ms: float | None = None
+    timeout: float = 60.0
+    retries: int = 2             # closed loop: overload retry is honest
+    epoch_interval_ms: float | None = None  # paced epochs (None = closed loop)
+
+    def __post_init__(self) -> None:
+        if self.shards <= 0:
+            raise ValueError("shards must be positive")
+        if self.churn <= 0:
+            raise ValueError("churn must be positive")
+        if self.churn >= self.num_sites:
+            raise ValueError("churn must be below num_sites")
+        if self.epochs <= self.warmup_epochs:
+            raise ValueError("epochs must exceed warmup_epochs")
+        if self.epoch_interval_ms is not None and self.epoch_interval_ms <= 0:
+            raise ValueError("epoch_interval_ms must be positive")
+
+    def shard_name(self, index: int) -> str:
+        return self.shard if self.shards == 1 else f"{self.shard}-{index}"
+
+
+@dataclass
+class ChurnStreamReport:
+    """What one churn-stream run measured.
+
+    ``steady_ms`` holds client round-trip latencies of post-warmup
+    epochs only — the warmup epochs pay the O(n) install (full
+    snapshot, engine table build) that the steady state amortizes away,
+    and mixing them in would hide exactly the asymptotic the mode
+    exists to measure.  ``trajectories`` maps each shard to a digest of
+    its (fingerprint, moves) sequence: two runs with the same config
+    and seed must produce byte-identical trajectories no matter which
+    server — or how many backends — served them.
+    """
+
+    shards: int = 0
+    epochs: int = 0
+    completed: int = 0
+    errors: int = 0
+    fp_mismatches: int = 0       # server tip disagreed with client tip
+    deltas_sent: int = 0
+    fulls_sent: int = 0
+    moves_applied: int = 0
+    duration_s: float = 0.0
+    steady_ms: telemetry.Histogram = field(default_factory=telemetry.Histogram)
+    warmup_ms: telemetry.Histogram = field(default_factory=telemetry.Histogram)
+    trajectories: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def steady_p50_ms(self) -> float:
+        return self.steady_ms.quantile(0.50)
+
+    @property
+    def steady_p95_ms(self) -> float:
+        return self.steady_ms.quantile(0.95)
+
+    @property
+    def steady_p99_ms(self) -> float:
+        return self.steady_ms.quantile(0.99)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "shards": self.shards,
+            "epochs": self.epochs,
+            "completed": self.completed,
+            "errors": self.errors,
+            "fp_mismatches": self.fp_mismatches,
+            "deltas_sent": self.deltas_sent,
+            "fulls_sent": self.fulls_sent,
+            "moves_applied": self.moves_applied,
+            "duration_s": self.duration_s,
+            "steady_p50_ms": self.steady_p50_ms,
+            "steady_p95_ms": self.steady_p95_ms,
+            "steady_p99_ms": self.steady_p99_ms,
+            "steady_ms": self.steady_ms.as_dict(),
+            "warmup_ms": self.warmup_ms.as_dict(),
+            "trajectories": dict(sorted(self.trajectories.items())),
+        }
+
+    def render(self) -> str:
+        return (
+            f"churn-stream {self.shards} shard(s) x {self.epochs} epochs "
+            f"in {self.duration_s:.2f}s | ok {self.completed}, "
+            f"errors {self.errors}, fp mismatches {self.fp_mismatches} | "
+            f"deltas {self.deltas_sent}, fulls {self.fulls_sent}, "
+            f"moves {self.moves_applied} | steady ms "
+            f"p50 {self.steady_p50_ms:.2f} p95 {self.steady_p95_ms:.2f} "
+            f"p99 {self.steady_p99_ms:.2f}"
+        )
+
+
+def _churn_stream_seed_instance(
+    config: ChurnStreamConfig, rng: np.random.Generator
+) -> Instance:
+    """Vectorized seed snapshot: Zipf site loads, unit migration costs,
+    round-robin placement — the same distribution websim's
+    ``build_cluster`` produces, generated as three numpy arrays.  The
+    object-graph path (one ``Website`` per site) costs ~0.5s of CPU and
+    hundreds of MB of transient objects per shard at 1M sites; huge-n
+    churn streams cannot afford either.
+    """
+    from ..websim.traffic import zipf_popularities
+
+    n = config.num_sites
+    sizes = np.maximum(
+        zipf_popularities(n, exponent=0.9), 1e-9
+    )
+    return Instance(
+        sizes=sizes,
+        costs=np.ones(n, dtype=np.float64),
+        num_processors=config.num_servers,
+        initial=np.arange(n, dtype=np.int64) % config.num_servers,
+    )
+
+
+async def _churn_stream_shard(
+    host: str,
+    port: int,
+    config: ChurnStreamConfig,
+    shard_index: int,
+    report: ChurnStreamReport,
+    seed_barrier: "asyncio.Barrier | None" = None,
+) -> None:
+    """One shard's closed loop: mutate, delta, decide, apply, repeat."""
+    loop = asyncio.get_running_loop()
+    shard = config.shard_name(shard_index)
+    rng = np.random.default_rng([config.seed, shard_index])
+    res = ResidentShard(_churn_stream_seed_instance(config, rng))
+    digest = hashlib.sha256()
+    moves_idx = np.empty(0, dtype=np.int64)
+    moves_to = np.empty(0, dtype=np.int64)
+    client = AsyncServiceClient(
+        host, port, timeout=config.timeout, retries=config.retries,
+        protocol="binary",
+    )
+    interval_s = (
+        None if config.epoch_interval_ms is None
+        else config.epoch_interval_ms / 1e3
+    )
+    anchor: float | None = None
+
+    def full_message() -> dict[str, Any]:
+        return {
+            "op": "rebalance", "shard": shard, "k": config.k,
+            "moves_only": True,
+            "instance": res.export_instance().to_wire(),
+        }
+
+    try:
+        for epoch in range(config.epochs):
+            if epoch == 0:
+                # Seed the server's resident tip: one full snapshot.
+                message = full_message()
+                report.fulls_sent += 1
+            else:
+                if interval_s is not None:
+                    # Paced mode: epochs fire on an absolute schedule
+                    # anchored once *every* shard's O(n) seed install
+                    # has completed (otherwise a fast shard's steady
+                    # epochs overlap slower shards' installs and
+                    # measure install contention, not decides),
+                    # staggered across shard streams so decides don't
+                    # land in lockstep.  A late epoch fires
+                    # immediately — the schedule never skips.
+                    if anchor is None:
+                        if seed_barrier is not None:
+                            await seed_barrier.wait()
+                        anchor = loop.time()
+                    next_t = anchor + interval_s * (
+                        epoch - 1 + shard_index / config.shards
+                    )
+                    delay = next_t - loop.time()
+                    if delay > 0:
+                        await asyncio.sleep(delay)
+                # O(churn) epoch step: draw the churned sites, fold in
+                # last epoch's moves, and build the delta frame straight
+                # from the changed indices — the resident arrays ARE the
+                # state, nothing O(n) happens here.
+                c_idx = np.sort(rng.choice(
+                    config.num_sites, size=config.churn, replace=False
+                ))
+                c_sizes = np.maximum(
+                    res.sizes[c_idx]
+                    * rng.uniform(0.6, 1.8, config.churn),
+                    1e-9,
+                )
+                idx = np.union1d(c_idx, moves_idx)
+                new_sizes = res.sizes[idx].copy()
+                new_costs = res.costs[idx].copy()
+                new_initial = res.initial[idx].copy()
+                new_sizes[np.searchsorted(idx, c_idx)] = c_sizes
+                if moves_idx.shape[0]:
+                    new_initial[np.searchsorted(idx, moves_idx)] = moves_to
+                delta = {
+                    "base": res.fp_hex, "idx": idx, "sizes": new_sizes,
+                    "costs": new_costs, "initial": new_initial,
+                }
+                # Advance the local tip *before* sending: the server
+                # answers with the post-delta fingerprint, and the next
+                # epoch rebases on it whether or not this response is
+                # late.
+                frame, fp = res.preview(delta)
+                res.commit(frame, fp)
+                message = {
+                    "op": "rebalance", "shard": shard, "k": config.k,
+                    "moves_only": True, "delta": delta,
+                }
+                report.deltas_sent += 1
+            if config.deadline_ms is not None:
+                message["deadline_ms"] = config.deadline_ms
+
+            start = loop.time()
+            try:
+                response = await client.call(message)
+                if (
+                    not response.get("ok")
+                    and response.get("error") == "unknown base"
+                ):
+                    # Server lost (or never had) our base — resync with
+                    # the current tip and continue the stream from it.
+                    report.fulls_sent += 1
+                    message = full_message()
+                    if config.deadline_ms is not None:
+                        message["deadline_ms"] = config.deadline_ms
+                    response = await client.call(message)
+            except (ServiceError, asyncio.TimeoutError, ProtocolError,
+                    OSError):
+                report.errors += 1
+                moves_idx = np.empty(0, dtype=np.int64)
+                moves_to = np.empty(0, dtype=np.int64)
+                continue
+            rtt_ms = 1e3 * (loop.time() - start)
+
+            if not response.get("ok"):
+                report.errors += 1
+                moves_idx = np.empty(0, dtype=np.int64)
+                moves_to = np.empty(0, dtype=np.int64)
+                continue
+            if epoch >= config.warmup_epochs:
+                report.steady_ms.record(rtt_ms)
+            else:
+                report.warmup_ms.record(rtt_ms)
+            if response.get("fingerprint") != res.fp_hex:
+                report.fp_mismatches += 1
+
+            if "moves_idx" in response:
+                moves_idx = np.asarray(response["moves_idx"], dtype=np.int64)
+                moves_to = np.asarray(response["moves_to"], dtype=np.int64)
+            else:
+                # A server that ignores moves_only answers with the
+                # full mapping; reduce it to moves locally.
+                mapping = np.asarray(response["mapping"], dtype=np.int64)
+                moves_idx = np.flatnonzero(mapping != res.initial)
+                moves_to = mapping[moves_idx]
+            report.moves_applied += int(moves_idx.shape[0])
+            report.completed += 1
+            digest.update(bytes.fromhex(res.fp_hex))
+            digest.update(moves_idx.tobytes())
+            digest.update(moves_to.tobytes())
+    finally:
+        await client.close()
+    report.trajectories[shard] = digest.hexdigest()
+
+
+async def _run_churn_stream_async(
+    host: str, port: int, config: ChurnStreamConfig
+) -> ChurnStreamReport:
+    loop = asyncio.get_running_loop()
+    report = ChurnStreamReport(shards=config.shards, epochs=config.epochs)
+    seed_barrier = (
+        asyncio.Barrier(config.shards)
+        if config.epoch_interval_ms is not None and config.shards > 1
+        else None
+    )
+    start = loop.time()
+    await asyncio.gather(*(
+        _churn_stream_shard(host, port, config, i, report, seed_barrier)
+        for i in range(config.shards)
+    ))
+    report.duration_s = loop.time() - start
+    return report
+
+
+def run_churn_stream(
+    host: str, port: int, config: ChurnStreamConfig
+) -> ChurnStreamReport:
+    """Run one closed-loop churn-stream workload against a live server."""
+    return asyncio.run(_run_churn_stream_async(host, port, config))

@@ -48,6 +48,7 @@ from __future__ import annotations
 import asyncio
 import hashlib
 import math
+import os
 import threading
 import time
 from collections import OrderedDict
@@ -66,6 +67,7 @@ from ..core.result import RebalanceResult
 from ..parallel import PersistentWorkerPool, SnapshotRing, run_sweep
 from .admission import AdmissionQueue, PendingRequest
 from .batching import BatchConfig, MicroBatcher, ShardLane, UniqueSolve
+from .resident import ResidentShard, SolveResident
 from .protocol import (
     ProtocolError,
     encode_frame,
@@ -105,17 +107,28 @@ class ServerConfig:
     # snapshots are written once into a shm ring and workers rebuild
     # zero-copy views, so solve requests stop carrying arrays.  ``shm``
     # opts out; the slot geometry bounds the plane's footprint at
-    # ``shm_slots * shm_slot_bytes``.  Snapshots too big for one slot
-    # transparently fall back to the inline codec path.
+    # ``shm_slots * shm_slot_bytes``.  The first snapshot too big for
+    # one slot grows the ring (slot size doubles until it fits, capped
+    # at ``shm_max_slot_bytes``) instead of silently demoting that
+    # shard to the inline codec forever; only snapshots beyond the cap
+    # keep falling back to inline.
     shm: bool = True
     shm_slots: int = 128
     shm_slot_bytes: int = 1 << 20
+    shm_max_slot_bytes: int = 1 << 27
     # Server-side decision memo (process executor only): repeated
     # ``(shard, k, fingerprint)`` solves answer on the event loop
     # without a worker-pipe round trip — the steady-state fast path
     # that keeps p50 at loop latency when the cluster barely changes.
     # 0 disables (the worker's own decision cache still applies).
     decision_cache_size: int = 128
+    # Resident shard arrays (thread executor only, needs the warm
+    # engine): delta frames are applied in place onto per-shard
+    # resident arrays in O(changed sites) — no Instance
+    # reconstruction, no full-array rehash — and the engine receives
+    # the changed-site set as a churn hint.  ``False`` restores the
+    # delta-base LRU path for every request.
+    resident: bool = True
     # Synthetic per-solve service-time floor (thread executor only):
     # each solve sleeps this long on the solve thread after computing.
     # Sleeping releases the GIL and the core, so a node's capacity
@@ -135,6 +148,8 @@ class ServerConfig:
             raise ValueError("shm_slots must be positive")
         if self.shm_slot_bytes <= 0 or self.shm_slot_bytes % 8:
             raise ValueError("shm_slot_bytes must be positive and 8-byte aligned")
+        if self.shm_max_slot_bytes < self.shm_slot_bytes:
+            raise ValueError("shm_max_slot_bytes must be >= shm_slot_bytes")
         if self.decision_cache_size < 0:
             raise ValueError("decision_cache_size must be non-negative")
         if self.solve_delay_s < 0:
@@ -170,7 +185,9 @@ class ServerConfig:
             "shm": self.shm,
             "shm_slots": self.shm_slots,
             "shm_slot_bytes": self.shm_slot_bytes,
+            "shm_max_slot_bytes": self.shm_max_slot_bytes,
             "decision_cache_size": self.decision_cache_size,
+            "resident": self.resident,
             "solve_delay_s": self.solve_delay_s,
         }
 
@@ -235,6 +252,30 @@ def _result_response(state: ShardState, result: RebalanceResult) -> dict[str, An
     )
 
 
+def _moves_response(
+    state: ShardState, result: RebalanceResult, instance: Instance
+) -> dict[str, Any]:
+    """Compact response form: the moved sites instead of the mapping.
+
+    O(moves) on the wire instead of O(n) — at a million sites the full
+    mapping is the response's dominant cost.  The client reconstructs
+    ``mapping = initial.copy(); mapping[moves_idx] = moves_to``.
+    """
+    mapping = result.assignment.mapping
+    # O(moves) when the solver cached its relocation set; identical to
+    # the flatnonzero diff (ascending actual relocations) either way.
+    moved = result.assignment.moved_jobs
+    return ok_response(
+        moves_idx=moved,
+        moves_to=mapping[moved],
+        num_jobs=int(mapping.shape[0]),
+        guessed_opt=float(result.guessed_opt),
+        planned_moves=int(result.planned_moves),
+        algorithm=result.algorithm,
+        shard=state.name,
+    )
+
+
 def _solve_one(
     state: ShardState, instance: Instance, k: int, fingerprint: bytes | None
 ) -> dict[str, Any]:
@@ -278,9 +319,24 @@ class _SnapshotPlane:
     recycles a slot between a worker acquiring it and reporting it.
     """
 
-    def __init__(self, ring: SnapshotRing, metrics: telemetry.Collector) -> None:
+    def __init__(
+        self,
+        ring: SnapshotRing,
+        metrics: telemetry.Collector,
+        *,
+        max_slot_bytes: int | None = None,
+    ) -> None:
         self.ring = ring
         self.metrics = metrics
+        self.max_slot_bytes = max_slot_bytes or ring.slot_bytes
+        # Ring epoch: bumped on every grow.  Pin tokens carry the epoch
+        # they were issued under so a token from before a swap can
+        # neither corrupt the new ring's accounting (``unpin`` ignores
+        # it) nor reach a worker as a slot reference (``_wire_solve``
+        # falls back to inline arrays for stale-epoch tokens).
+        self.epoch = 0
+        self.pending_attach = False  # solve thread must re-attach workers
+        self._retired: list[SnapshotRing] = []
         self._slot_of: dict[str, int] = {}
         self._fp_of: list[str | None] = [None] * ring.slots
         self._generations: list[int] = [0] * ring.slots
@@ -310,6 +366,63 @@ class _SnapshotPlane:
                 return slot
         return None
 
+    def _grow(self, needed_bytes: int) -> bool:
+        """Swap in a ring with bigger slots (event loop only).
+
+        The first oversize snapshot grows the plane instead of silently
+        demoting every request for that shard to the inline codec: slot
+        size doubles until the snapshot fits (capped at
+        ``max_slot_bytes``), a fresh segment replaces the old one, and
+        all bookkeeping resets — outstanding pin/hold references are
+        epoch-guarded, and in-flight slot references degrade to the
+        stale-segment inline retry.  Workers attach lazily: the solve
+        thread broadcasts the new segment before its next batch.
+        """
+        slot_bytes = self.ring.slot_bytes
+        while slot_bytes < needed_bytes:
+            slot_bytes *= 2
+        if slot_bytes > self.max_slot_bytes:
+            self.metrics.add("service.shm_grow_failed")
+            return False
+        try:
+            ring = SnapshotRing.create(self.ring.slots, slot_bytes)
+        except OSError:
+            self.metrics.add("service.shm_grow_failed")
+            return False
+        self._retired.append(self.ring)
+        self.ring = ring
+        self.epoch += 1
+        self.pending_attach = True
+        self._slot_of.clear()
+        self._fp_of = [None] * ring.slots
+        # _generations carries over: a slot's counter is monotonic for
+        # the server's lifetime, so a reference into a retired segment
+        # can never validate against the new segment's contents (the
+        # new ring starts with zeroed headers and writes keep counting
+        # up from where the old ring left off).
+        self._holds = [0] * ring.slots
+        self._pins = [0] * ring.slots
+        self._order.clear()
+        self._free = list(range(ring.slots - 1, -1, -1))
+        self._retained.clear()
+        self.metrics.add("service.shm_grows")
+        return True
+
+    def note_attached(self, epoch: int) -> None:
+        """Solve thread: workers now attached to the ``epoch`` ring.
+
+        Retired segments are unlinked here — after the broadcast, so no
+        worker can be asked to attach a name that is already gone.  (A
+        worker still holding views into a retired segment keeps its own
+        mapping alive; unlink only removes the name.)  If the event
+        loop grew the ring *again* mid-broadcast, ``pending_attach``
+        stays set and the next batch re-broadcasts.
+        """
+        if self.epoch == epoch:
+            self.pending_attach = False
+        while self._retired:
+            self._retired.pop().close()
+
     def _ensure(self, fp_hex: str, instance: Instance) -> int | None:
         slot = self._slot_of.get(fp_hex)
         if slot is not None:
@@ -317,7 +430,8 @@ class _SnapshotPlane:
             return slot
         if not self.ring.fits(instance.num_jobs):
             self.metrics.add("service.shm_oversize")
-            return None
+            if not self._grow(SnapshotRing.needed_bytes(instance.num_jobs)):
+                return None
         slot = self._allocate()
         if slot is None:
             self.metrics.add("service.shm_full")
@@ -337,17 +451,20 @@ class _SnapshotPlane:
         self.metrics.add("service.shm_writes")
         return slot
 
-    def pin(self, fp_hex: str, instance: Instance) -> tuple[int, int] | None:
+    def pin(self, fp_hex: str, instance: Instance) -> tuple[int, int, int] | None:
         """Slot token for one in-flight request (``None`` = no slot:
-        oversize snapshot or every slot busy — callers fall back to the
-        inline codec path)."""
+        uncorrectably oversize snapshot or every slot busy — callers
+        fall back to the inline codec path)."""
         slot = self._ensure(fp_hex, instance)
         if slot is None:
             return None
         self._pins[slot] += 1
-        return slot, self._generations[slot]
+        return slot, self._generations[slot], self.epoch
 
-    def unpin(self, slot: int) -> None:
+    def unpin(self, token: tuple[int, int, int]) -> None:
+        slot, _generation, epoch = token
+        if epoch != self.epoch:
+            return  # pinned before a grow: that ring is gone
         self._pins[slot] = max(0, self._pins[slot] - 1)
 
     def hold(self, fp_hex: str, instance: Instance) -> None:
@@ -365,11 +482,18 @@ class _SnapshotPlane:
         return {
             "slots": self.ring.slots,
             "slot_bytes": self.ring.slot_bytes,
+            "epoch": self.epoch,
             "assigned": len(self._slot_of),
             "pinned": sum(1 for p in self._pins if p),
             "held": sum(1 for h in self._holds if h),
             "worker_retained": len(self._retained_slots()),
         }
+
+    def close(self) -> None:
+        """Unlink every segment this plane ever owned (server stop)."""
+        while self._retired:
+            self._retired.pop().close()
+        self.ring.close()
 
     # -- solve-thread side ---------------------------------------------
     def note_worker_retained(self, worker: int, mapping: dict[str, Any]) -> None:
@@ -501,6 +625,22 @@ def _process_worker_handle(payload: bytes) -> bytes:
             "rebuilds": _WORKER["rebuilds"],
             "retained": dict(retained),
         })
+    if op == "attach":
+        # The server's snapshot ring grew: swap to the new segment.
+        # Engines may still hold views into the old one — its close()
+        # leaves the mapping in place while views are live — and the
+        # retained map is cleared because those borrows name slots the
+        # server no longer tracks.
+        old: SnapshotRing | None = _WORKER.get("ring")
+        if old is not None:
+            old.close()
+        _WORKER["ring"] = SnapshotRing.attach(
+            str(message["name"]),
+            int(message["slots"]),
+            int(message["slot_bytes"]),
+        )
+        retained.clear()
+        return pack_payload({"attached": str(message["name"]), "retained": {}})
     raise ValueError(f"unknown worker op {op!r}")
 
 
@@ -539,6 +679,21 @@ class RebalanceServer:
         self._decisions: OrderedDict[tuple[str, int, str], dict[str, Any]] = (
             OrderedDict()
         )
+        # Resident shard plane (thread executor): per-shard writable
+        # arrays + rolling fingerprint on the event loop, their solve-
+        # thread mirrors, and an event-loop response memo keyed by
+        # ``(shard, k, fingerprint hex, moves_only)``.
+        self._resident_enabled = (
+            self.config.resident
+            and self.config.use_engine
+            and self.config.executor == "thread"
+            and self.config.base_cache_size > 0
+        )
+        self._residents: dict[str, ResidentShard] = {}
+        self._solve_residents: dict[str, SolveResident] = {}  # solve thread
+        self._responses: OrderedDict[
+            tuple[str, int, str, bool], dict[str, Any]
+        ] = OrderedDict()
         self._plane: _SnapshotPlane | None = None
         self._server: asyncio.AbstractServer | None = None
         self._batch_task: asyncio.Task | None = None
@@ -597,7 +752,10 @@ class RebalanceServer:
                     ring.close()  # idempotent if the pool got that far
                 raise
             if ring is not None:
-                self._plane = _SnapshotPlane(ring, self.metrics)
+                self._plane = _SnapshotPlane(
+                    ring, self.metrics,
+                    max_slot_bytes=self.config.shm_max_slot_bytes,
+                )
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-solve"
         )
@@ -643,9 +801,11 @@ class RebalanceServer:
             self._executor.shutdown(wait=True)
             self._executor = None
         if self._pool is not None:
-            self._pool.close()  # also unlinks the snapshot ring
+            self._pool.close()  # also unlinks the original snapshot ring
             self._pool = None
-        self._plane = None
+        if self._plane is not None:
+            self._plane.close()  # grown rings belong to the plane
+            self._plane = None
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -792,9 +952,18 @@ class RebalanceServer:
                 deadline_ms = float(deadline_ms)
                 if not math.isfinite(deadline_ms):
                     raise ValueError("deadline_ms must be finite")
+            moves_only = bool(message.get("moves_only", False))
             delta = message.get("delta")
             if delta is not None:
                 base_hex = str(delta.get("base", ""))
+                if self._resident_enabled:
+                    res = self._residents.get(shard)
+                    if res is not None and base_hex == res.fp_hex:
+                        # The O(churn) path: the delta lands on the
+                        # resident tip — no Instance is ever built.
+                        return await self._resident_delta(
+                            shard, k, deadline_ms, moves_only, res, delta
+                        )
                 base = self._base_for(shard, base_hex)
                 if base is None:
                     # Not an error in the protocol sense: the client
@@ -812,6 +981,10 @@ class RebalanceServer:
             self.metrics.add("service.bad_requests")
             return error_response("bad request", message=str(exc))
 
+        if self._resident_enabled:
+            return await self._resident_full(
+                shard, k, deadline_ms, moves_only, instance, fingerprint
+            )
         fp_hex = fingerprint.hex()
         self._remember_base(shard, fp_hex, instance)
         now = loop.time()
@@ -854,8 +1027,8 @@ class RebalanceServer:
                 )
             response = await request.future
         finally:
-            if token is not None:
-                self._plane.unpin(token[0])
+            if token is not None and self._plane is not None:
+                self._plane.unpin(token)
         latency_ms = 1e3 * (loop.time() - request.enqueued_at)
         self.metrics.observe("service.latency_ms", latency_ms)
         if response.get("ok"):
@@ -866,6 +1039,164 @@ class RebalanceServer:
             response = dict(response)
             response["fingerprint"] = fp_hex
         return response
+
+    # ------------------------------------------------------------------
+    # Resident request paths (thread executor)
+    # ------------------------------------------------------------------
+    def _memo_hit(
+        self,
+        key: tuple[str, int, str, bool],
+        started: float,
+        loop: asyncio.AbstractEventLoop,
+    ) -> dict[str, Any] | None:
+        """Event-loop response-memo lookup; annotates a hit in place."""
+        if not self.config.decision_cache_size:
+            return None
+        cached = self._responses.get(key)
+        if cached is None:
+            return None
+        self._responses.move_to_end(key)
+        self.metrics.add("service.decision_hits")
+        self.metrics.add("service.ok")
+        self.metrics.observe("service.latency_ms", 1e3 * (loop.time() - started))
+        response = dict(cached)
+        response["fingerprint"] = key[2]
+        return response
+
+    async def _await_resident(
+        self, request: PendingRequest, fp_hex: str
+    ) -> dict[str, Any]:
+        loop = asyncio.get_running_loop()
+        response = await request.future
+        self.metrics.observe(
+            "service.latency_ms", 1e3 * (loop.time() - request.enqueued_at)
+        )
+        if response.get("ok"):
+            self.metrics.add("service.ok")
+            response = dict(response)
+            response["fingerprint"] = fp_hex
+        return response
+
+    async def _resident_delta(
+        self,
+        shard: str,
+        k: int,
+        deadline_ms: float | None,
+        moves_only: bool,
+        res: ResidentShard,
+        delta: dict[str, Any],
+    ) -> dict[str, Any]:
+        """Apply a wire delta straight onto the shard's resident arrays.
+
+        O(changed sites) on the event loop: gather the old values,
+        roll the fingerprint, and ship the frame — never an Instance —
+        to the solve plane.  The commit happens only after admission
+        (or a memo hit), so a rejected request leaves the tip unchanged
+        and the client's retry of the same delta still resolves.
+        """
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        try:
+            frame, fp = res.preview(delta)
+        except (KeyError, TypeError, ValueError) as exc:
+            self.metrics.add("service.bad_requests")
+            return error_response("bad request", message=str(exc))
+        fingerprint = fp.digest()
+        fp_hex = fingerprint.hex()
+        # ``service.delta_applied`` keeps its pre-resident meaning — a
+        # wire delta frame was decoded into the shard's next state — so
+        # dashboards and tests watching it see both decode paths.
+        self.metrics.add("service.delta_applied")
+        self.metrics.add("service.resident_deltas")
+        hit = self._memo_hit((shard, k, fp_hex, moves_only), now, loop)
+        if hit is not None:
+            # The decision is known but the state still advanced: commit
+            # the frame and park it for the next admitted request.
+            res.commit(frame, fp)
+            res.defer(frame)
+            return hit
+        request = PendingRequest(
+            shard=shard,
+            k=k,
+            instance=None,
+            fingerprint=fingerprint,
+            enqueued_at=now,
+            deadline=None if deadline_ms is None else now + deadline_ms / 1e3,
+            future=loop.create_future(),
+            moves_only=moves_only,
+        )
+        if not self.queue.try_submit(request):
+            return error_response(
+                "overloaded", retry_after_ms=self.queue.retry_after_ms()
+            )
+        # No await separates the submit from the commit, so the batch
+        # loop can never observe a submitted-but-uncommitted frame.
+        res.commit(frame, fp)
+        if res.needs_install:
+            # The solve plane has never seen (or gave up tracking) this
+            # shard: ship a full copy of the tip instead of frames.
+            request.install = True
+            request.instance = res.install_instance()
+            res.pending.clear()
+            res.needs_install = False
+            self.metrics.add("service.resident_installs")
+        else:
+            request.frames = res.claim_frames(frame)
+        return await self._await_resident(request, fp_hex)
+
+    async def _resident_full(
+        self,
+        shard: str,
+        k: int,
+        deadline_ms: float | None,
+        moves_only: bool,
+        instance: Instance,
+        fingerprint: bytes,
+    ) -> dict[str, Any]:
+        """Full-snapshot request on the resident path: (re)seed the tip."""
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        fp_hex = fingerprint.hex()
+        # Keep the delta-base LRU warm for migrate/replicate exports and
+        # for deltas that race a tip change.
+        self._remember_base(shard, fp_hex, instance)
+        res = self._residents.get(shard)
+        in_sync = (
+            res is not None
+            and res.fp_hex == fp_hex
+            and not res.needs_install
+            and not res.pending
+        )
+        if res is None or res.fp_hex != fp_hex:
+            res = ResidentShard(instance)
+            self._residents[shard] = res
+        hit = self._memo_hit((shard, k, fp_hex, moves_only), now, loop)
+        if hit is not None:
+            # needs_install stays as-is: the next miss ships the state.
+            return hit
+        request = PendingRequest(
+            shard=shard,
+            k=k,
+            instance=instance,
+            fingerprint=fingerprint,
+            enqueued_at=now,
+            deadline=None if deadline_ms is None else now + deadline_ms / 1e3,
+            future=loop.create_future(),
+            moves_only=moves_only,
+            # A duplicate of an in-sync tip solves without reinstalling
+            # (the engine will almost surely answer from its decision
+            # cache); anything else reseeds the solve plane.
+            install=not in_sync,
+        )
+        if not self.queue.try_submit(request):
+            return error_response(
+                "overloaded", retry_after_ms=self.queue.retry_after_ms()
+            )
+        if request.install:
+            res.pending.clear()
+            res.needs_install = False
+            self.metrics.add("service.resident_installs")
+        return await self._await_resident(request, fp_hex)
 
     def _op_health(self) -> dict[str, Any]:
         """Liveness probe for the cluster router's health loop.
@@ -899,6 +1230,24 @@ class RebalanceServer:
             delta = message.get("delta")
             if delta is not None:
                 base_hex = str(delta.get("base", ""))
+                if self._resident_enabled:
+                    res = self._residents.get(shard)
+                    if res is not None and base_hex == res.fp_hex:
+                        # Standby O(churn) path: advance the resident tip
+                        # in place.  A standby's solve plane is never
+                        # installed (it does not decide), so the frame
+                        # only needs deferring when a solve plane is
+                        # actually tracking this shard.
+                        frame, fp = res.preview(delta)
+                        res.commit(frame, fp)
+                        if not res.needs_install:
+                            res.defer(frame)
+                        self.metrics.add("service.delta_applied")
+                        self.metrics.add("service.resident_deltas")
+                        self.metrics.add("service.replicated")
+                        return ok_response(
+                            op="replicate", shard=shard, fingerprint=res.fp_hex
+                        )
                 base = self._base_for(shard, base_hex)
                 if base is None:
                     self.metrics.add("service.delta_misses")
@@ -914,6 +1263,15 @@ class RebalanceServer:
             return error_response("bad request", message=str(exc))
         fp_hex = fingerprint.hex()
         self._remember_base(shard, fp_hex, instance)
+        if self._resident_enabled:
+            res = self._residents.get(shard)
+            if res is None or res.fp_hex != fp_hex:
+                # Seed the resident so later replicate deltas (and the
+                # first post-promotion client delta) land on the
+                # O(churn) path.  ``needs_install`` stays True: the
+                # solve plane only learns the state once a real decide
+                # asks for it.
+                self._residents[shard] = ResidentShard(instance)
         self.metrics.add("service.replicated")
         return ok_response(op="replicate", shard=shard, fingerprint=fp_hex)
 
@@ -927,6 +1285,18 @@ class RebalanceServer:
         falls back to its own copy of the snapshot.
         """
         shard = str(message.get("shard", "default"))
+        res = self._residents.get(shard) if self._resident_enabled else None
+        if res is not None:
+            # The resident tip is by construction the newest state —
+            # the delta-base LRU only sees full-snapshot requests.
+            self.metrics.add("service.migrations")
+            return ok_response(
+                op="migrate",
+                shard=shard,
+                found=True,
+                fingerprint=res.fp_hex,
+                instance=res.export_instance().to_wire(),
+            )
         bases = self._bases.get(shard)
         if not bases:
             return ok_response(op="migrate", shard=shard, found=False)
@@ -955,11 +1325,23 @@ class RebalanceServer:
             shards = await loop.run_in_executor(
                 self._executor, self._thread_shard_stats
             )
+        residents = None
+        if self._resident_enabled:
+            residents = {
+                name: {
+                    "fingerprint": res.fp_hex,
+                    "pending_frames": len(res.pending),
+                    "needs_install": res.needs_install,
+                    "num_jobs": res.num_jobs,
+                }
+                for name, res in self._residents.items()
+            }
         return ok_response(
             uptime_s=time.monotonic() - self._started_at,
             config=self.config.as_dict(),
             queue=self.queue.stats(),
             shards=shards,
+            residents=residents,
             shm=self._plane.stats() if self._plane is not None else None,
             metrics=self.metrics.as_dict(),
         )
@@ -995,27 +1377,42 @@ class RebalanceServer:
             self._transitions.pop(name, None)
         if names is None:
             self._decisions.clear()
+            self._responses.clear()
+            self._residents.clear()
         else:
             for key in [k for k in self._decisions if k[0] in names]:
                 del self._decisions[key]
+            for key in [k for k in self._responses if k[0] in names]:
+                del self._responses[key]
+            for name in names:
+                self._residents.pop(name, None)
+        loop = asyncio.get_running_loop()
+        assert self._executor is not None
         if self._pool is not None:
-            loop = asyncio.get_running_loop()
-            assert self._executor is not None
             reset = await loop.run_in_executor(
                 self._executor, self._pool_reset, names
             )
         else:
-            reset = []
-            for name in (names if names is not None else list(self.shards)):
-                state = self.shards.get(name)
-                if state is None:
-                    continue
-                if state.engine is not None:
-                    state.engine.reset()
-                state.decisions = 0
-                reset.append(name)
+            # Engines and solve-side residents belong to the solve
+            # thread; resetting them there serializes with any batch.
+            reset = await loop.run_in_executor(
+                self._executor, self._thread_reset, names
+            )
         self.metrics.add("service.resets")
         return ok_response(reset=sorted(set(reset)))
+
+    def _thread_reset(self, names: list[str] | None) -> list[str]:
+        reset = []
+        for name in (names if names is not None else list(self.shards)):
+            state = self.shards.get(name)
+            if state is None:
+                continue
+            if state.engine is not None:
+                state.engine.reset()
+            state.decisions = 0
+            self._solve_residents.pop(name, None)
+            reset.append(name)
+        return reset
 
     def _pool_reset(self, names: list[str] | None) -> list[str]:
         assert self._pool is not None
@@ -1068,9 +1465,27 @@ class RebalanceServer:
             "unique": sum(len(lane.solves) for lane in lanes),
             "solve_ms": 1e3 * elapsed,
         }
+        memo = (
+            self.config.decision_cache_size if self._resident_enabled else 0
+        )
         for lane, lane_outcomes in zip(lanes, outcomes):
             for solve, outcome in zip(lane.solves, lane_outcomes):
+                if outcome is None:
+                    # Apply-only solve: every requester already got its
+                    # "deadline exceeded"; there is nothing to fan out.
+                    continue
                 if isinstance(outcome, dict) and outcome.get("ok"):
+                    if memo:
+                        # Memo before the batch annotation: a replayed
+                        # response describes no batch it was part of.
+                        key = (
+                            lane.shard, solve.k,
+                            solve.requests[0].fingerprint.hex(),
+                            solve.moves_only,
+                        )
+                        self._responses[key] = dict(outcome)
+                        while len(self._responses) > memo:
+                            self._responses.popitem(last=False)
                     outcome["batch"] = batch_info
                 else:
                     self.metrics.add("service.solve_errors")
@@ -1088,15 +1503,24 @@ class RebalanceServer:
         """
         if self._pool is not None:
             return self._solve_lanes_process(lanes)
+        workers = min(self.config.solver_workers, max(1, len(lanes)))
+        if not self.config.solve_delay_s:
+            # Real CPU-bound solves past the core count add no
+            # throughput — they only interleave O(n)-footprint passes
+            # and thrash caches/GIL (measured ~2x per-solve CPU at
+            # 167k sites with 4 threads on 1 core).  A synthetic
+            # service-time floor sleeps off-GIL, so that mode keeps
+            # the configured fan-out.
+            workers = min(workers, max(1, os.cpu_count() or 1))
         return run_sweep(
             self._solve_lane,
             lanes,
-            workers=min(self.config.solver_workers, max(1, len(lanes))),
+            workers=workers,
             executor="thread",
         )
 
-    def _solve_lane(self, lane: ShardLane) -> list[dict[str, Any]]:
-        responses = []
+    def _solve_lane(self, lane: ShardLane) -> list[dict[str, Any] | None]:
+        responses: list[dict[str, Any] | None] = []
         for solve in lane.solves:
             state, rebuilt = _get_shard_state(
                 self.shards, lane.shard, solve.k,
@@ -1104,13 +1528,73 @@ class RebalanceServer:
             )
             if rebuilt:
                 self.metrics.add("service.shard_rebuilds")
-            responses.append(_solve_one(
-                state, solve.instance, solve.k,
-                solve.requests[0].fingerprint,
-            ))
+            if self._resident_enabled and (
+                solve.install or solve.frames or solve.instance is None
+            ):
+                responses.append(self._solve_resident(state, lane.shard, solve))
+            else:
+                responses.append(_solve_one(
+                    state, solve.instance, solve.k,
+                    solve.requests[0].fingerprint,
+                ))
             if self.config.solve_delay_s:
                 time.sleep(self.config.solve_delay_s)
         return responses
+
+    def _solve_resident(
+        self, state: ShardState, shard: str, solve: UniqueSolve
+    ) -> dict[str, Any] | None:
+        """One solve on the resident solve plane (solve thread only).
+
+        Applies the solve's frames — or reinstalls from a shipped
+        snapshot — onto the shard's solve-side arrays, then decides
+        with the accumulated churn hint.  Never raises; ``None`` for an
+        apply-only solve (every requester already expired).
+        """
+        engine = state.engine
+        try:
+            sres = self._solve_residents.get(shard)
+            if solve.install:
+                sres = SolveResident(solve.instance)
+                self._solve_residents[shard] = sres
+                hint = None
+                if engine is not None and (
+                    solve.apply_only or engine.has_pending_churn
+                ):
+                    # An arbitrary replacement snapshot invalidates the
+                    # warm tables: pending churn only describes the
+                    # sites it names, and an apply-only install leaves
+                    # no decide to re-anchor them.  Start cold.
+                    engine.reset()
+            else:
+                if sres is None:
+                    return error_response(
+                        "solve failed", shard=shard,
+                        message="resident solve without installed state",
+                    )
+                hint = sres.apply(solve.frames)
+            if solve.apply_only:
+                if hint is not None and engine is not None:
+                    engine.note_churn(*hint)
+                return None
+            instance = sres.view()
+            result = engine.rebalance(
+                instance,
+                fingerprint=solve.requests[0].fingerprint,
+                changed=hint,
+            )
+            state.decisions += 1
+            if solve.moves_only:
+                return _moves_response(state, result, instance)
+            return _result_response(state, result)
+        except Exception as exc:
+            # The engine may be mid-patch: drop its state so the next
+            # decide rebuilds from the resident arrays.
+            if engine is not None:
+                engine.reset()
+            return error_response(
+                "solve failed", message=f"{type(exc).__name__}: {exc}"
+            )
 
     def _worker_for(self, shard: str) -> int:
         """Stable shard → worker affinity (``hash()`` is per-process
@@ -1124,8 +1608,16 @@ class RebalanceServer:
             "k": solve.k,
             "fp": solve.requests[0].fingerprint.hex(),
         }
-        if not inline and solve.shm is not None:
-            slot, generation = solve.shm
+        # A token pinned before a ring grow references a retired
+        # segment; its (slot, generation) could collide with fresh
+        # writes in the new ring, so stale-epoch tokens go inline.
+        if (
+            not inline
+            and solve.shm is not None
+            and self._plane is not None
+            and solve.shm[2] == self._plane.epoch
+        ):
+            slot, generation, _epoch = solve.shm
             entry["slot"] = slot
             entry["gen"] = generation
             entry["n"] = solve.instance.num_jobs
@@ -1144,6 +1636,21 @@ class RebalanceServer:
         worker pipe.  Replies scatter back into the original solve
         positions, so downstream bookkeeping never sees the split.
         """
+        plane = self._plane
+        if plane is not None and plane.pending_attach:
+            # The ring grew since the last batch: point every worker at
+            # the new segment before wiring any slot references to it.
+            epoch = plane.epoch
+            ring = plane.ring
+            assert self._pool is not None
+            for worker, reply in self._pool.broadcast(pack_payload({
+                "op": "attach",
+                "name": ring.name,
+                "slots": ring.slots,
+                "slot_bytes": ring.slot_bytes,
+            })).items():
+                self._note_retained(worker, unpack_payload(reply))
+            plane.note_attached(epoch)
         memo = self.config.decision_cache_size
         results: list[list[dict[str, Any]]] = [
             [None] * len(lane.solves) for lane in lanes  # type: ignore[list-item]

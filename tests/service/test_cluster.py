@@ -135,6 +135,11 @@ class TestRouterConfig:
         with pytest.raises(ValueError):
             RouterConfig(backends=spec, health_interval_s=0.0)
 
+    def test_rejects_negative_repl_coalesce(self):
+        spec = (BackendSpec("b", "127.0.0.1", 1),)
+        with pytest.raises(ValueError):
+            RouterConfig(backends=spec, repl_coalesce_s=-0.001)
+
 
 @pytest.fixture()
 def cluster():
@@ -239,6 +244,40 @@ class TestRouterIntegration:
         assert exported["ok"] and exported["found"]
         assert exported["fingerprint"] == snapshot_fingerprint(instance).hex()
 
+    def test_replication_drains_with_coalescing_window(self):
+        """``repl_coalesce_s`` delays the drain but loses nothing: the
+        standby still converges to the shard's latest fingerprint."""
+        shard = "coalesce-check"
+        with start_background(ServerConfig()) as b0, \
+                start_background(ServerConfig()) as b1:
+            config = RouterConfig(
+                backends=(
+                    BackendSpec("backend-0", b0.host, b0.port),
+                    BackendSpec("backend-1", b1.host, b1.port),
+                ),
+                repl_coalesce_s=0.02,
+            )
+            standby = HashRing(("backend-0", "backend-1")).owners(shard, 2)[1]
+            handle = {"backend-0": b0, "backend-1": b1}[standby]
+            instance = _instance(seed=11)
+            with start_router_background(config) as router:
+                with ServiceClient(router.host, router.port) as client:
+                    client.rebalance(instance, 2, shard=shard)
+                deadline = time.monotonic() + 10.0
+                while _router_counters(router).get(
+                    "router.replicated", 0
+                ) < 1:
+                    assert time.monotonic() < deadline, (
+                        "coalesced replication never drained"
+                    )
+                    time.sleep(0.02)
+            with ServiceClient(handle.host, handle.port) as probe:
+                exported = probe.call({"op": "migrate", "shard": shard})
+            assert exported["ok"] and exported["found"]
+            assert exported["fingerprint"] == (
+                snapshot_fingerprint(instance).hex()
+            )
+
     def test_migrate_flips_routing(self, cluster):
         router, handles = cluster
         shard = "mig-check"
@@ -297,6 +336,60 @@ class TestRouterIntegration:
                 counters = status["router"]["metrics"]["counters"]
                 assert counters.get("router.backend_deaths", 0) == 1
                 assert counters.get("router.failover_replays", 0) >= 1
+
+
+class TestStandbyReReplication:
+    def test_promotion_rereplicates_to_new_standby(self):
+        """When a shard's primary dies, the promoted standby must not
+        stay the shard's only copy: the router re-replicates the full
+        tip to the newly resolved standby, so a second death is
+        survivable too."""
+        with start_background(ServerConfig()) as b0, \
+                start_background(ServerConfig()) as b1, \
+                start_background(ServerConfig()) as b2:
+            handles = {"backend-0": b0, "backend-1": b1, "backend-2": b2}
+            config = RouterConfig(backends=tuple(
+                BackendSpec(name, h.host, h.port)
+                for name, h in handles.items()
+            ))
+            with start_router_background(config) as router:
+                shard = "promo"
+                instance = _instance(seed=13)
+                with ServiceClient(router.host, router.port) as client:
+                    client.rebalance(instance, 2, shard=shard)
+                deadline = time.monotonic() + 10.0
+                while _router_counters(router).get(
+                    "router.replicated", 0
+                ) < 1:
+                    assert time.monotonic() < deadline
+                    time.sleep(0.02)
+                primary = HashRing(NODES).owners(shard, 2)[0]
+                handles[primary].stop()
+                # The health prober notices, promotes, and enqueues a
+                # full re-replication to the post-promotion standby.
+                while _router_counters(router).get(
+                    "router.rereplications", 0
+                ) < 1:
+                    assert time.monotonic() < deadline, \
+                        "promotion never re-replicated"
+                    time.sleep(0.02)
+                survivors = tuple(n for n in NODES if n != primary)
+                new_standby = HashRing(survivors).owners(shard, 2)[1]
+                fp_hex = snapshot_fingerprint(instance).hex()
+                handle = handles[new_standby]
+                exported = None
+                while time.monotonic() < deadline:
+                    with ServiceClient(handle.host, handle.port) as probe:
+                        exported = probe.call(
+                            {"op": "migrate", "shard": shard}
+                        )
+                    if exported.get("found"):
+                        break
+                    time.sleep(0.02)
+                assert exported is not None and exported["ok"]
+                assert exported["found"], \
+                    "new standby never received the shard tip"
+                assert exported["fingerprint"] == fp_hex
 
 
 EPOCHS = 10
