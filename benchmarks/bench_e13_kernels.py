@@ -2,21 +2,19 @@
 
 The acceptance configuration for the kernel backends (the E4 PTAS and
 E5 cost-partition seed-size cases must speed up by at least 3x while
-producing byte-identical solutions), pytest-benchmark kernels for both
-backends, and a machine-readable ``BENCH_e13.json`` drop for CI.
+producing byte-identical solutions) now lives in the scenario catalog
+(``repro.scenarios``, scenario E13); the acceptance test here is a thin
+shim over ``run_scenario``, which also refreshes the machine-readable
+``BENCH_e13.json`` working copy.  The pytest-benchmark kernels for both
+backends remain local.
 """
-
-import json
-import time
-from pathlib import Path
 
 import numpy as np
 
 from repro.analysis import experiment_e13_kernels
 from repro.core import cost_partition_rebalance, ptas_rebalance
+from repro.scenarios import run_scenario
 from repro.workloads import random_instance
-
-BENCH_JSON = Path(__file__).resolve().parent / "BENCH_e13.json"
 
 
 def _ptas_cases(trials: int = 4, seed: int = 13):
@@ -38,30 +36,6 @@ def _cost_cases(trials: int = 4, seed: int = 8):
     return cases
 
 
-def _best_of_pair(ref_fn, ker_fn, cases, reps: int):
-    """Per-case best-of-``reps`` wall clock for both backends, summed.
-
-    The two backends are timed interleaved (ref, kernel, ref, kernel,
-    ... within every rep) and the minimum is taken per case.  Both
-    choices exist to strip transient scheduler/allocator spikes, which
-    otherwise dominate the millisecond-scale kernel timings on a busy
-    single-core host: interleaving spreads each backend's samples over
-    the whole measurement window, and the per-case minimum keeps only
-    the clean ones.
-    """
-    ref_best = [float("inf")] * len(cases)
-    ker_best = [float("inf")] * len(cases)
-    for _ in range(reps):
-        for i, case in enumerate(cases):
-            start = time.perf_counter()
-            ref_fn(case)
-            ref_best[i] = min(ref_best[i], time.perf_counter() - start)
-            start = time.perf_counter()
-            ker_fn(case)
-            ker_best[i] = min(ker_best[i], time.perf_counter() - start)
-    return sum(ref_best), sum(ker_best)
-
-
 def test_e13_table(benchmark, show_report):
     report = benchmark.pedantic(experiment_e13_kernels, rounds=1, iterations=1)
     show_report(report)
@@ -72,56 +46,10 @@ def test_e13_table(benchmark, show_report):
 
 
 def test_kernel_speedup_acceptance():
-    """E4/E5 seed sizes: >= 3x decide-time speedup, identical solutions,
-    recorded to BENCH_e13.json for the CI smoke step."""
-    results = {}
-
-    def key(res):
-        return (res.guessed_opt, res.planned_cost,
-                tuple(int(x) for x in res.assignment.mapping))
-
-    # --- E4 PTAS seed size -------------------------------------------
-    cases = _ptas_cases()
-    ref_out = [ptas_rebalance(i, b, eps=0.75, backend="reference")
-               for i, b in cases]
-    ker_out = [ptas_rebalance(i, b, eps=0.75, backend="kernel")
-               for i, b in cases]
-    assert [key(r) for r in ref_out] == [key(r) for r in ker_out]
-    ref_s, ker_s = _best_of_pair(
-        lambda c: ptas_rebalance(c[0], c[1], eps=0.75, backend="reference"),
-        lambda c: ptas_rebalance(c[0], c[1], eps=0.75, backend="kernel"),
-        cases, reps=3,
-    )
-    results["e4_ptas"] = {
-        "n": 7, "m": 3, "eps": 0.75, "trials": len(cases),
-        "reference_s": ref_s, "kernel_s": ker_s,
-        "speedup": ref_s / ker_s,
-    }
-
-    # --- E5 cost-partition seed size ---------------------------------
-    cases = _cost_cases()
-    ref_out = [cost_partition_rebalance(i, b, backend="reference")
-               for i, b in cases]
-    ker_out = [cost_partition_rebalance(i, b, backend="kernel")
-               for i, b in cases]
-    assert [key(r) for r in ref_out] == [key(r) for r in ker_out]
-    ref_s, ker_s = _best_of_pair(
-        lambda c: cost_partition_rebalance(c[0], c[1], backend="reference"),
-        lambda c: cost_partition_rebalance(c[0], c[1], backend="kernel"),
-        cases, reps=12,
-    )
-    results["e5_cost_partition"] = {
-        "n": 64, "m": 6, "trials": len(cases),
-        "reference_s": ref_s, "kernel_s": ker_s,
-        "speedup": ref_s / ker_s,
-    }
-
-    BENCH_JSON.write_text(json.dumps(results, indent=2) + "\n")
-    for name, r in results.items():
-        print(f"\n[E13 acceptance] {name}: {r['reference_s'] * 1e3:.2f}ms -> "
-              f"{r['kernel_s'] * 1e3:.2f}ms ({r['speedup']:.2f}x)")
-    assert results["e4_ptas"]["speedup"] >= 3.0
-    assert results["e5_cost_partition"]["speedup"] >= 3.0
+    """E4/E5 seed sizes: >= 3x decide-time speedup, identical solutions
+    (catalog scenario E13)."""
+    result = run_scenario("E13")
+    assert result.acceptance_ok, result.failure_summary()
 
 
 def test_ptas_reference_kernel(benchmark):

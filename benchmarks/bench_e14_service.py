@@ -1,53 +1,16 @@
 """E14 — the rebalancing service: batched vs naive serving.
 
-The acceptance configuration for the service layer: on a workload
-calibrated to this host, the batching + admission server must sustain
-at least 3x the goodput of the naive one-request-per-solve server at
-an equal-or-better p99, and overload must degrade gracefully —
-admission rejections and deadline sheds, a live server afterwards,
-never an unbounded queue or a crash.  Results land in
-``BENCH_e14.json`` for the CI smoke step.
+The acceptance configuration for the service layer — batching +
+admission must sustain at least 3x the naive server's goodput at an
+equal-or-better p99, and overload must degrade gracefully — lives in
+the scenario catalog (``repro.scenarios``, scenario E14, bench runner
+``e14-service``); the acceptance test here is a thin shim over
+``run_scenario``, which also refreshes the ``BENCH_e14.json`` working
+copy.
 """
 
-import json
-from dataclasses import replace
-from pathlib import Path
-
 from repro.analysis import experiment_e14_service
-from repro.service import (
-    ServerConfig,
-    ServiceClient,
-    calibrate_workload,
-    run_loadgen,
-    start_background,
-)
-
-BENCH_JSON = Path(__file__).resolve().parent / "BENCH_e14.json"
-
-RATE = 120.0          # offered arrivals/s; calibration keeps the naive
-                      # server's capacity well below this on any host
-DURATION_S = 2.0      # arrival window per run
-DUPLICATES = 4        # identical submissions per snapshot (frontends)
-DEADLINE_MS = 300.0   # per-request deadline (goodput cutoff)
-
-
-def _run(server_config, loadgen_config):
-    """One run against a fresh in-process server; returns the loadgen
-    report, whether the server answered ``ping`` afterwards, and its
-    final ``status`` snapshot."""
-    with start_background(server_config) as handle:
-        report = run_loadgen(handle.host, handle.port, loadgen_config)
-        with ServiceClient(handle.host, handle.port, timeout=5.0) as probe:
-            alive = probe.ping()
-            status = probe.status()
-    return report, alive, status
-
-
-def _record(report, alive):
-    out = report.as_dict()
-    del out["latency_ms"]  # bucket dump; the percentiles are retained
-    out["alive_after"] = alive
-    return out
+from repro.scenarios import run_scenario
 
 
 def test_e14_table(benchmark, show_report):
@@ -61,64 +24,7 @@ def test_e14_table(benchmark, show_report):
 
 def test_service_goodput_acceptance():
     """Batched >= 3x naive goodput at equal-or-better p99; overload
-    sheds load via rejections with the server alive throughout."""
-    base, scratch_s = calibrate_workload()
-    lg = replace(
-        base, rate=RATE, duration_s=DURATION_S,
-        duplicates=DUPLICATES, deadline_ms=DEADLINE_MS,
-    )
-
-    batched, batched_alive, _ = _run(ServerConfig(max_queue=64), lg)
-    naive, naive_alive, _ = _run(ServerConfig.naive(max_queue=64), lg)
-    # Overload rows: past capacity with a tight admission queue.  The
-    # naive solver is the slow path, so its queue is where rejections
-    # must appear; the batched server gets twice the offered rate.
-    over_b, over_b_alive, over_b_status = _run(
-        ServerConfig(max_queue=24), replace(lg, rate=2 * RATE)
-    )
-    over_n, over_n_alive, over_n_status = _run(
-        ServerConfig.naive(max_queue=24), lg
-    )
-
-    ratio = batched.goodput_per_s / max(naive.goodput_per_s, 1e-9)
-    results = {
-        "workload": {
-            "num_sites": base.num_sites, "num_servers": base.num_servers,
-            "k": base.k, "scratch_solve_ms": 1e3 * scratch_s,
-            "rate_per_s": RATE, "duration_s": DURATION_S,
-            "duplicates": DUPLICATES, "deadline_ms": DEADLINE_MS,
-        },
-        "batched": _record(batched, batched_alive),
-        "naive": _record(naive, naive_alive),
-        "overload_batched_2x": _record(over_b, over_b_alive),
-        "overload_naive": _record(over_n, over_n_alive),
-        "goodput_ratio": ratio,
-    }
-    BENCH_JSON.write_text(json.dumps(results, indent=2) + "\n")
-
-    print(f"\n[E14 acceptance] batched {batched.goodput_per_s:.1f}/s "
-          f"(p99 {batched.p99_ms:.1f}ms) vs naive "
-          f"{naive.goodput_per_s:.1f}/s (p99 {naive.p99_ms:.1f}ms): "
-          f"{ratio:.1f}x")
-    print(f"[E14 acceptance] overload: naive rejected {over_n.rejected}, "
-          f"shed {over_n.shed}; batched@2x rejected {over_b.rejected}, "
-          f"late {over_b.late}; all alive")
-
-    # Every offered request gets exactly one recorded outcome.
-    for report in (batched, naive, over_b, over_n):
-        accounted = (report.completed + report.late + report.rejected
-                     + report.shed + report.errors)
-        assert accounted == report.offered
-        assert report.errors == 0
-
-    # Goodput: >= 3x at an equal-or-better tail.
-    assert ratio >= 3.0
-    assert batched.p99_ms <= naive.p99_ms
-
-    # Graceful overload: backpressure visible as rejections on the
-    # saturated solver, queues bounded and drained, servers alive.
-    assert over_n.rejected > 0
-    assert batched_alive and naive_alive and over_b_alive and over_n_alive
-    for status in (over_b_status, over_n_status):
-        assert status["queue"]["depth"] == 0
-        assert status["queue"]["max_depth"] == 24
+    sheds load via rejections with the server alive throughout
+    (catalog scenario E14)."""
+    result = run_scenario("E14")
+    assert result.acceptance_ok, result.failure_summary()

@@ -1,62 +1,32 @@
 """E15 — the v2 wire protocol: binary frames + delta snapshots.
 
-The acceptance configuration for the transport layer: on a workload
-calibrated so a single v1-JSON codec round costs a fixed time on this
-host, the v2 binary frame must be strictly smaller on the wire than the
-v1 JSON frame for the same snapshot (and decode bit-exactly), the
-steady-state delta stream must be at least 5x smaller per request than
-v1 fulls, and the binary+delta transport over the multi-process shard
-executor must sustain at least 2x the goodput of the v1-JSON thread
-server at an equal-or-better p99 under the same offered load.  Results
-land in ``BENCH_e15.json`` for the CI smoke step.
+The acceptance configuration for the transport layer — v2 strictly
+smaller than v1 and bit-exact through the codec, steady-state deltas
+>= 5x smaller, binary+delta over the process executor >= 2x the v1
+thread server's goodput — lives in the scenario catalog
+(``repro.scenarios``, scenario E15, bench runner ``e15-wire``); the
+acceptance test here is a thin shim over ``run_scenario``, which also
+refreshes the ``BENCH_e15.json`` working copy.  The serverless wire
+smoke remains local for fast feedback.
 """
 
-import json
 from dataclasses import replace
-from pathlib import Path
 
 import numpy as np
 
 from repro.analysis import experiment_e15_wire, wire_sizes
 from repro.core.instance import Instance
+from repro.scenarios import run_scenario
 from repro.service import (
     PROTOCOL_V1,
     PROTOCOL_V2,
-    ServerConfig,
-    ServiceClient,
     build_snapshots,
     calibrate_wire_workload,
     encode_frame,
-    run_loadgen,
-    start_background,
     unpack_payload,
 )
 
-BENCH_JSON = Path(__file__).resolve().parent / "BENCH_e15.json"
-
-DURATION_S = 2.0      # arrival window per run
-DEADLINE_MS = 300.0   # per-request deadline (goodput cutoff)
-OVERLOAD = 1.35       # offered rate vs the v1 codec's own capacity
-RATE_CAP = 400.0      # open-loop ceiling; keeps slow-host runs bounded
-
-
-def _run(server_config, loadgen_config):
-    """One run against a fresh in-process server; returns the loadgen
-    report, whether the server answered ``ping`` afterwards, and its
-    final ``status`` snapshot."""
-    with start_background(server_config) as handle:
-        report = run_loadgen(handle.host, handle.port, loadgen_config)
-        with ServiceClient(handle.host, handle.port, timeout=5.0) as probe:
-            alive = probe.ping()
-            status = probe.status()
-    return report, alive, status
-
-
-def _record(report, alive):
-    out = report.as_dict()
-    del out["latency_ms"]  # bucket dump; the percentiles are retained
-    out["alive_after"] = alive
-    return out
+DEADLINE_MS = 300.0
 
 
 def test_e15_table(benchmark, show_report):
@@ -98,64 +68,7 @@ def test_wire_bytes_smoke():
 
 def test_wire_goodput_acceptance():
     """Binary+delta over the process executor >= 2x the goodput of the
-    v1-JSON thread server at an equal-or-better p99, on the same
-    steady multi-shard load offered past the v1 codec's capacity."""
-    base, codec_s = calibrate_wire_workload()
-    sizes = wire_sizes(base)
-    rate = min(RATE_CAP, OVERLOAD / codec_s)
-    lg = replace(base, rate=rate, duration_s=DURATION_S,
-                 deadline_ms=DEADLINE_MS)
-
-    baseline, base_alive, base_status = _run(ServerConfig(max_queue=64), lg)
-    optimized, opt_alive, opt_status = _run(
-        ServerConfig(executor="process", process_workers=2, max_queue=64),
-        replace(lg, protocol="binary", delta=True),
-    )
-
-    ratio = optimized.goodput_per_s / max(baseline.goodput_per_s, 1e-9)
-    results = {
-        "workload": {
-            "num_sites": base.num_sites, "num_servers": base.num_servers,
-            "k": base.k, "shards": base.shards,
-            "duplicates": base.duplicates, "traffic": base.traffic,
-            "codec_round_ms": 1e3 * codec_s, "rate_per_s": rate,
-            "duration_s": DURATION_S, "deadline_ms": DEADLINE_MS,
-            "overload": OVERLOAD,
-        },
-        "wire": sizes,
-        "baseline_v1_thread": _record(baseline, base_alive),
-        "optimized_v2_delta_process": _record(optimized, opt_alive),
-        "goodput_ratio": ratio,
-    }
-    BENCH_JSON.write_text(json.dumps(results, indent=2) + "\n")
-
-    print(f"\n[E15 acceptance] wire: v1 full {sizes['v1_full_bytes']:.0f}B, "
-          f"v2 full {sizes['v2_full_bytes']:.0f}B "
-          f"({sizes['binary_reduction']:.2f}x), delta "
-          f"{sizes['v2_delta_bytes']:.0f}B ({sizes['delta_reduction']:.0f}x)")
-    print(f"[E15 acceptance] goodput at {rate:.0f}/s: v2+delta+process "
-          f"{optimized.goodput_per_s:.1f}/s (p99 {optimized.p99_ms:.1f}ms, "
-          f"deltas {optimized.deltas_sent}/{optimized.offered}) vs v1 json "
-          f"{baseline.goodput_per_s:.1f}/s (p99 {baseline.p99_ms:.1f}ms): "
-          f"{ratio:.1f}x")
-
-    # Every offered request gets exactly one recorded outcome.
-    for report in (baseline, optimized):
-        accounted = (report.completed + report.late + report.rejected
-                     + report.shed + report.errors)
-        assert accounted == report.offered
-        assert report.errors == 0
-
-    # Wire: binary strictly smaller, steady-state deltas >= 5x smaller.
-    assert sizes["v2_full_bytes"] < sizes["v1_full_bytes"]
-    assert sizes["delta_reduction"] >= 5.0
-    # The optimized leg really ran on deltas once its bases warmed up.
-    assert optimized.deltas_sent > 0
-
-    # Goodput: >= 2x at an equal-or-better tail, both servers alive.
-    assert ratio >= 2.0
-    assert optimized.p99_ms <= baseline.p99_ms
-    assert base_alive and opt_alive
-    assert opt_status["config"]["executor"] == "process"
-    assert base_status["queue"]["depth"] == 0
-    assert opt_status["queue"]["depth"] == 0
+    v1-JSON thread server at an equal-or-better p99 (catalog scenario
+    E15)."""
+    result = run_scenario("E15")
+    assert result.acceptance_ok, result.failure_summary()

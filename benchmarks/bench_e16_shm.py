@@ -1,73 +1,22 @@
 """E16 — the shared-memory snapshot plane for the process executor.
 
-The acceptance configuration for the snapshot transport: on a
-churn-traffic workload calibrated so one inline worker-pipe marshal
-round costs a fixed time on this host, the shm plane must sustain at
-least 5x the goodput of the PR 5 inline-codec process executor under
-the same offered load, solve requests crossing the pipe must not scale
-with the snapshot size, and the steady-state decision-memo fast path
-must answer repeated snapshots at sub-millisecond p50.  Results land
-in ``BENCH_e16.json`` for the CI smoke step.
+The acceptance configuration for the snapshot transport — the shm
+plane sustains a churn load the inline-codec process executor collapses
+under (>= 5x goodput via a hunted rate window), solve requests crossing
+the pipe do not scale with the snapshot, and the steady-state decision
+memo answers at sub-ms p50 — lives in the scenario catalog
+(``repro.scenarios``, scenario E16, bench runner ``e16-shm``); the
+acceptance test here is a thin shim over ``run_scenario``, which also
+refreshes the ``BENCH_e16.json`` working copy.  The single-solve ipc
+smoke remains local for fast feedback.
 """
-
-import json
-from dataclasses import replace
-from pathlib import Path
 
 import numpy as np
 
 from repro.analysis import experiment_e16_shm
 from repro.core import make_instance
-from repro.service import (
-    ServerConfig,
-    ServiceClient,
-    build_snapshots,
-    calibrate_shm_workload,
-    run_loadgen,
-    start_background,
-)
-
-BENCH_JSON = Path(__file__).resolve().parent / "BENCH_e16.json"
-
-DURATION_S = 2.0       # arrival window per run
-DEADLINE_MS = 300.0    # per-request deadline (goodput cutoff)
-LOAD_FACTOR = 0.12     # inline marshal work per core at the offered rate
-RATE_CAP = 100.0       # calibrated starting rate ceiling
-RATE_STEP = 1.15       # window-hunt step, under the ~20% window width
-RATE_LEAP = 1.3        # coarse step while clearly below the edge
-MAX_ROUNDS = 8         # window-hunt round budget
-STEADY_RATE = 200.0    # quiet-cluster leg (memo fast path, n=600)
-STEADY_DEADLINE_MS = 100.0
-
-
-def _primed_run(server_config, loadgen_config, prime_passes=2):
-    """One load-generation run against a fresh in-process server, after
-    walking the whole epoch stream through one delta client so worker
-    decision caches, delta bases, and ring slots start warm.  Returns
-    the loadgen report, post-run liveness, and the final status."""
-    snapshots = build_snapshots(loadgen_config)
-    with start_background(server_config) as handle:
-        with ServiceClient(
-            handle.host, handle.port, protocol="binary", delta=True
-        ) as primer:
-            for _ in range(prime_passes):
-                for snapshot in snapshots:
-                    primer.rebalance(
-                        snapshot, loadgen_config.k,
-                        shard=loadgen_config.shard,
-                    )
-        report = run_loadgen(handle.host, handle.port, loadgen_config)
-        with ServiceClient(handle.host, handle.port, timeout=5.0) as probe:
-            alive = probe.ping()
-            status = probe.status()
-    return report, alive, status
-
-
-def _record(report, alive):
-    out = report.as_dict()
-    del out["latency_ms"]  # bucket dump; the percentiles are retained
-    out["alive_after"] = alive
-    return out
+from repro.scenarios import run_scenario
+from repro.service import ServerConfig, ServiceClient, start_background
 
 
 def test_e16_table(benchmark, show_report):
@@ -112,127 +61,7 @@ def test_solve_ipc_bytes_independent_of_n():
 
 def test_shm_goodput_acceptance():
     """The shm plane sustains a churn load the inline-codec process
-    executor collapses under (>= 5x goodput at the same offered rate),
-    and the steady-state memo leg answers at sub-ms p50.
-
-    The differential lives in a rate window: above the inline codec's
-    capacity, below the shm plane's — the window is the inline leg's
-    per-dispatch marshal cost, roughly the top ~20% of its capacity.
-    Both capacities track the host's momentary speed, which on a
-    shared host swings faster than one up-front calibration can pin,
-    so the window is *hunted*, not precomputed: climb the offered rate
-    until the inline leg collapses, then confirm the shm leg sustains
-    that exact rate; if the shm leg collapses too (the window moved
-    down mid-search), step back down.  Finding any such rate *is* the
-    E16 claim: a load exists that only the shm transport can carry.
-    """
-    base, marshal_s = calibrate_shm_workload()
-    rate = min(RATE_CAP, LOAD_FACTOR / marshal_s)
-    slot_bytes = 1 << max(20, (16 + 24 * base.num_sites).bit_length())
-
-    # Both overload legs run with the decision memo off: the cycled
-    # epoch stream would otherwise be answered from the memo after
-    # priming and neither leg would ever touch the worker pipe — the
-    # exact transport under comparison.
-    shm_config = ServerConfig(executor="process", process_workers=2,
-                              max_queue=64, shm_slot_bytes=slot_bytes,
-                              decision_cache_size=0)
-    inline_config = ServerConfig(executor="process", process_workers=2,
-                                 max_queue=64, shm=False,
-                                 decision_cache_size=0)
-
-    attempts = []
-    found = None
-    for _ in range(MAX_ROUNDS):
-        lg = replace(base, rate=rate, duration_s=DURATION_S,
-                     deadline_ms=DEADLINE_MS, connections=8)
-        inline_leg, inline_alive, inline_status = _primed_run(
-            inline_config, lg)
-        if inline_leg.goodput_per_s >= 0.6 * rate:
-            # Below the inline collapse edge: probe higher — coarsely
-            # while the leg has full margin, finely once it strains.
-            attempts.append({"rate_per_s": rate,
-                             "outcome": "inline sustained",
-                             "inline_goodput_per_s": inline_leg.goodput_per_s})
-            print(f"[E16 acceptance] {rate:.0f}/s: inline sustained "
-                  f"({inline_leg.goodput_per_s:.1f}/s), climbing")
-            strained = inline_leg.goodput_per_s < 0.95 * rate
-            rate *= RATE_STEP if strained else RATE_LEAP
-            continue
-        shm_leg, shm_alive, shm_status = _primed_run(shm_config, lg)
-        ratio = shm_leg.goodput_per_s / max(inline_leg.goodput_per_s, 1e-9)
-        attempts.append({"rate_per_s": rate, "outcome": f"ratio {ratio:.1f}x",
-                         "shm_goodput_per_s": shm_leg.goodput_per_s,
-                         "inline_goodput_per_s": inline_leg.goodput_per_s})
-        print(f"[E16 acceptance] {rate:.0f}/s: "
-              f"shm {shm_leg.goodput_per_s:.1f}/s (p50 {shm_leg.p50_ms:.1f}ms)"
-              f" vs inline {inline_leg.goodput_per_s:.1f}/s "
-              f"(p50 {inline_leg.p50_ms:.1f}ms): {ratio:.1f}x")
-        if shm_leg.goodput_per_s >= 0.6 * rate:
-            if ratio >= 5.0:
-                found = (rate, shm_leg, shm_alive, shm_status,
-                         inline_leg, inline_alive, inline_status, ratio)
-                break
-            # shm sustains but inline is only grazing its edge
-            # (partial collapse): climb to deepen the differential.
-            rate *= RATE_STEP
-        else:
-            # shm collapsed too: the window slid below this rate (or
-            # the host stalled) — back off.
-            rate /= RATE_STEP
-
-    steady_leg, steady_alive, steady_status = _primed_run(
-        ServerConfig(executor="process", process_workers=2,
-                     max_wait_ms=0.0),
-        replace(base, num_sites=600, rate=STEADY_RATE,
-                duration_s=DURATION_S, deadline_ms=STEADY_DEADLINE_MS,
-                connections=4),
-    )
-    print(f"[E16 acceptance] steady state (n=600, {STEADY_RATE:.0f}/s): "
-          f"p50 {steady_leg.p50_ms:.3f}ms p99 {steady_leg.p99_ms:.3f}ms")
-
-    results = {
-        "workload": {
-            "num_sites": base.num_sites, "num_servers": base.num_servers,
-            "k": base.k, "traffic": base.traffic, "duplicates": 1,
-            "marshal_round_ms": 1e3 * marshal_s,
-            "calibrated_rate_per_s": min(RATE_CAP, LOAD_FACTOR / marshal_s),
-            "duration_s": DURATION_S, "deadline_ms": DEADLINE_MS,
-            "load_factor": LOAD_FACTOR,
-        },
-        "attempts": attempts,
-        "steady_state_memo": _record(steady_leg, steady_alive),
-        "steady_p50_ms": steady_leg.p50_ms,
-    }
-    if found is not None:
-        rate, shm_leg, shm_alive, shm_status, \
-            inline_leg, inline_alive, inline_status, ratio = found
-        shm_ipc = shm_status["metrics"]["counters"]["service.ipc_bytes_out"]
-        inline_ipc = inline_status["metrics"]["counters"]["service.ipc_bytes_out"]
-        results["rate_per_s"] = rate
-        results["shm_plane_process"] = _record(shm_leg, shm_alive)
-        results["inline_codec_process"] = _record(inline_leg, inline_alive)
-        results["goodput_ratio"] = ratio
-        results["ipc_bytes_out"] = {"shm": shm_ipc, "inline": inline_ipc}
-        print(f"[E16 acceptance] ipc request bytes: shm {shm_ipc / 1e6:.2f}MB"
-              f" vs inline {inline_ipc / 1e6:.2f}MB")
-    BENCH_JSON.write_text(json.dumps(results, indent=2) + "\n")
-
-    # A rate only the shm transport can carry exists on this host.
-    assert found is not None, f"no differential rung: {attempts}"
-    assert ratio >= 5.0
-    assert shm_leg.goodput_per_s >= 0.6 * rate
-    # The snapshot plane, not the pipe, carried the arrays.
-    assert shm_ipc < 0.1 * inline_ipc
-    # Every offered request got exactly one recorded outcome.
-    for report in (shm_leg, inline_leg, steady_leg):
-        accounted = (report.completed + report.late + report.rejected
-                     + report.shed + report.errors)
-        assert accounted == report.offered
-        assert report.errors == 0
-    # Steady state: memo fast path answers in sub-millisecond p50.
-    assert steady_leg.p50_ms < 1.0
-    assert steady_leg.errors == 0 and steady_leg.late == 0
-    assert shm_alive and inline_alive and steady_alive
-    assert shm_status["queue"]["depth"] == 0
-    assert inline_status["queue"]["depth"] == 0
+    executor collapses under, with the decision-memo steady leg at
+    sub-ms p50 (catalog scenario E16)."""
+    result = run_scenario("E16")
+    assert result.acceptance_ok, result.failure_summary()

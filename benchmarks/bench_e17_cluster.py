@@ -1,125 +1,18 @@
 """E17 — the cluster tier: router over backend processes, failover.
 
-The acceptance configuration for the multi-node tier: each backend
-solves one request at a time behind a synthetic service-time floor
-(``--solve-delay-ms``, slept on the solve thread so the GIL and the
-core are released), so per-node capacity is pinned by construction
-even on a one-core CI host.  Loadgen through the router across two
-backend OS processes must reach at least 1.8x single-node goodput; a
-``kill -9`` of one backend mid-run must yield **zero** failed client
-requests with a bounded p99 blip (the router promotes the
-delta-replicated standby and replays in-flight requests); and a websim
-trajectory driven through the router must stay byte-identical to the
-in-process solver.  Results land in ``BENCH_e17.json`` for the CI
-record step.
+The acceptance configuration for the multi-node tier — >= 1.8x
+single-node goodput across two backend OS processes (overload hunted
+over a short ladder), zero failed client requests through a mid-run
+``kill -9`` with a bounded p99 blip, and a websim trajectory through
+the router byte-identical to the in-process solver — lives in the
+scenario catalog (``repro.scenarios``, scenario E17, bench runner
+``e17-cluster``); the acceptance test here is a thin shim over
+``run_scenario``, which also refreshes the ``BENCH_e17.json`` working
+copy.
 """
 
-import json
-from dataclasses import replace
-from pathlib import Path
-
-import numpy as np
-
 from repro.analysis import experiment_e17_cluster
-from repro.analysis.experiments import (
-    _e17_balanced_shard_base,
-    _e17_leg,
-    _e17_workload,
-)
-from repro.service import (
-    BackendSpec,
-    RouterConfig,
-    ServerConfig,
-    ServiceClient,
-    start_background,
-    start_router_background,
-)
-from repro.websim import (
-    ComposedTraffic,
-    DiurnalTraffic,
-    EngineMPartitionPolicy,
-    FlashCrowdTraffic,
-    ServicePolicy,
-    Simulation,
-    build_cluster,
-)
-
-BENCH_JSON = Path(__file__).resolve().parent / "BENCH_e17.json"
-
-DURATION_S = 2.5       # arrival window per leg
-DEADLINE_MS = 500.0    # per-request deadline (goodput cutoff)
-RATE_CAP = 150.0       # calibrated rate ceiling
-SHARDS = 8             # loadgen lanes (split 4/4 across the ring)
-SOLVE_DELAY_MS = 80.0  # per-solve service floor: pins node capacity
-OVERLOADS = (2.4, 3.0)  # offered rate as a multiple of one backend
-EPOCHS = 12            # trajectory-differential length
-K = 3
-
-
-def _cluster_lg(overload, seed=17):
-    base, solve_s = _e17_workload(seed)
-    service_s = solve_s + SOLVE_DELAY_MS / 1e3
-    capacity = 1.0 / service_s
-    rate = min(RATE_CAP, overload * capacity)
-    # Full-queue drain ~70% of the deadline (see
-    # experiment_e17_cluster): deep enough to smooth bursts, shallow
-    # enough that admitted requests clear the deadline.
-    max_queue = max(2, int(0.7 * (DEADLINE_MS / 1e3) / service_s))
-    shard_base = _e17_balanced_shard_base(["backend-0", "backend-1"], SHARDS)
-    lg = replace(
-        base, rate=rate, duration_s=DURATION_S, deadline_ms=DEADLINE_MS,
-        connections=16, duplicates=1, shards=SHARDS, shard=shard_base,
-        protocol="binary", delta=True,
-    )
-    return lg, solve_s, capacity, max_queue
-
-
-def _simulation(policy, seed):
-    rng = np.random.default_rng(seed)
-    cluster = build_cluster(80, 6, rng)
-    traffic = ComposedTraffic(
-        (DiurnalTraffic(), FlashCrowdTraffic(probability=0.2))
-    )
-    return Simulation(cluster=cluster, traffic=traffic, policy=policy,
-                      seed=seed)
-
-
-def _trajectory_differential():
-    """Websim through the router == in-process engine, record for
-    record — across two in-process backends so the decision stream
-    crosses the ring, the delta replication path, and both protocols'
-    worth of re-encoding."""
-    want = _simulation(EngineMPartitionPolicy(k=K), seed=36).run(EPOCHS)
-    with start_background(ServerConfig()) as b0, \
-            start_background(ServerConfig()) as b1:
-        config = RouterConfig(backends=(
-            BackendSpec("backend-0", b0.host, b0.port),
-            BackendSpec("backend-1", b1.host, b1.port),
-        ))
-        with start_router_background(config) as router:
-            policy = ServicePolicy(
-                router.host, router.port, k=K, shard="bench-traj",
-                protocol="binary", delta=True,
-            )
-            try:
-                got = _simulation(policy, seed=36).run(EPOCHS)
-            finally:
-                policy.close()
-            with ServiceClient(router.host, router.port) as probe:
-                counters = probe.status()["router"]["metrics"]["counters"]
-    assert len(got.records) == len(want.records) == EPOCHS
-    for ours, theirs in zip(got.records, want.records):
-        assert ours.makespan == theirs.makespan
-        assert ours.migrations == theirs.migrations
-        assert ours.migration_cost == theirs.migration_cost
-        assert ours.imbalance == theirs.imbalance
-    return counters
-
-
-def _record(report):
-    out = report.as_dict()
-    del out["latency_ms"]  # bucket dump; the percentiles are retained
-    return out
+from repro.scenarios import run_scenario
 
 
 def test_e17_table(benchmark, show_report):
@@ -133,93 +26,8 @@ def test_e17_table(benchmark, show_report):
 
 
 def test_cluster_goodput_failover_acceptance():
-    """The tentpole numbers: >= 1.8x scale-out across two backend
-    processes, zero client errors through a mid-run kill -9, bounded
-    p99 blip, byte-identical trajectories through the router.
-
-    Capacity is pinned by calibration, but a loaded host can still
-    depress one leg mid-run, so the overload factor is hunted over a
-    short ladder: a higher offered rate deepens the single leg's
-    saturation without moving the cluster leg's ceiling.
-    """
-    traj_counters = _trajectory_differential()
-    print(f"\n[E17 acceptance] trajectory identical through the router "
-          f"({traj_counters.get('router.replicated', 0)} replica frames)")
-
-    attempts = []
-    found = None
-    for overload in OVERLOADS:
-        lg, solve_s, capacity, max_queue = _cluster_lg(overload)
-        single, _ = _e17_leg(
-            lg, 1, router=False, max_queue=max_queue,
-            solve_delay_ms=SOLVE_DELAY_MS,
-        )
-        cluster, counters = _e17_leg(
-            lg, 2, router=True, max_queue=max_queue,
-            solve_delay_ms=SOLVE_DELAY_MS,
-        )
-        ratio = cluster.goodput_per_s / max(single.goodput_per_s, 1e-9)
-        attempts.append({
-            "overload": overload, "rate_per_s": lg.rate,
-            "single_goodput_per_s": single.goodput_per_s,
-            "cluster_goodput_per_s": cluster.goodput_per_s,
-            "ratio": ratio,
-        })
-        print(f"[E17 acceptance] {lg.rate:.0f}/s ({overload:.1f}x one "
-              f"backend): single {single.goodput_per_s:.1f}/s, cluster "
-              f"{cluster.goodput_per_s:.1f}/s -> {ratio:.2f}x")
-        if ratio >= 1.8:
-            found = (lg, solve_s, capacity, max_queue, single, cluster,
-                     counters, ratio)
-            break
-    assert found is not None, (
-        f"cluster never reached 1.8x single-node goodput: {attempts}"
-    )
-    lg, solve_s, capacity, max_queue, single, cluster, counters, ratio = found
-
-    failover, f_counters = _e17_leg(
-        lg, 2, router=True, kill_at_s=DURATION_S / 2, max_queue=max_queue,
-        solve_delay_ms=SOLVE_DELAY_MS,
-    )
-    print(f"[E17 acceptance] failover: goodput "
-          f"{failover.goodput_per_s:.1f}/s, errors {failover.errors}, "
-          f"p99 {failover.p99_ms:.0f}ms, deaths "
-          f"{f_counters.get('router.backend_deaths', 0)}, replays "
-          f"{f_counters.get('router.failover_replays', 0)}")
-
-    results = {
-        "workload": {
-            "num_sites": lg.num_sites, "num_servers": lg.num_servers,
-            "k": lg.k, "shards": SHARDS, "shard_base": lg.shard,
-            "scratch_solve_ms": 1e3 * solve_s,
-            "solve_delay_ms": SOLVE_DELAY_MS,
-            "per_backend_capacity_per_s": capacity,
-            "rate_per_s": lg.rate, "duration_s": DURATION_S,
-            "deadline_ms": DEADLINE_MS, "max_queue": max_queue,
-        },
-        "attempts": attempts,
-        "goodput": {
-            "single_per_s": single.goodput_per_s,
-            "cluster_per_s": cluster.goodput_per_s,
-            "ratio": ratio,
-        },
-        "single": _record(single),
-        "cluster": {**_record(cluster), "router_counters": counters},
-        "failover": {**_record(failover), "router_counters": f_counters},
-        "trajectory_identical": True,
-        "trajectory_replicated_frames":
-            traj_counters.get("router.replicated", 0),
-    }
-    BENCH_JSON.write_text(json.dumps(results, indent=2, sort_keys=True))
-
-    assert ratio >= 1.8, (
-        f"cluster goodput only {ratio:.2f}x single-node"
-    )
-    assert failover.errors == 0, (
-        f"{failover.errors} client errors through the kill -9"
-    )
-    assert f_counters.get("router.backend_deaths", 0) >= 1
-    assert failover.p99_ms <= 4 * DEADLINE_MS, (
-        f"failover p99 blip {failover.p99_ms:.0f}ms is unbounded"
-    )
-    assert failover.completed > 0
+    """>= 1.8x scale-out, zero client errors through a mid-run kill -9,
+    bounded p99 blip, byte-identical trajectories through the router
+    (catalog scenario E17)."""
+    result = run_scenario("E17")
+    assert result.acceptance_ok, result.failure_summary()

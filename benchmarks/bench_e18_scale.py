@@ -4,273 +4,48 @@ The tentpole claim of the incremental epoch path: once a shard's
 snapshot is resident everywhere (client, router, backend, engine),
 one epoch's decide costs O(churn * polylog n) end to end — so growing
 ``n`` by 10x at fixed churn must barely move the steady-state decide
-latency.  This benchmark pins that asymptotic with *real* CPU-bound
-solves (no ``--solve-delay-ms`` floor anywhere): six churn-stream
-shards (16 sites churned per shard per epoch, 64 servers per shard,
-k=512) through the cluster router over three backend OS processes,
-first at ~100k total sites and then at ~1M.
+latency.  The full configuration (six paced churn-stream shards
+through the cluster router over three backend OS processes, ratio
+legs at ~100k and ~1M total sites, a rerun byte-identity leg and a
+replication-on leg) lives in the scenario catalog
+(``repro.scenarios``, scenario E18, bench runner ``e18-scale``); the
+acceptance test here is a thin shim over ``run_scenario``, which also
+refreshes the ``BENCH_e18.json`` working copy.
 
-Both ratio legs run *paced* (``EPOCH_INTERVAL_MS`` per shard epoch,
-identical at both scales, shard streams staggered across the
-interval): the paper's regime is periodic reconfiguration epochs, and
-pacing measures the per-decide cost itself rather than the queueing
-amplification a saturating closed loop adds when six decide streams,
-three backend processes, the router and the client all contend for
-the same host cores.  Zero-error, byte-identity and O(churn)-counter
-acceptance all run on the same paced legs.
-
-The ratio legs run with standby replication disabled: replication is
-off the decide critical path by design (the router acks the client
-before draining the standby replay), but on a shared-core
-measurement host the standby's wakeups add multi-ms scheduling
-jitter that swamps the single-digit-ms decides being measured.  A
-fourth leg re-runs the large scale with replication *on* and pins
-what replication must and must not do: every epoch still replays to
-the standby (``router.replicated``), nothing errors, and the decide
-trajectory is byte-identical to the replication-off leg — the
-standby plane observes the decision stream without perturbing it.
-
-Acceptance (recorded in ``BENCH_e18.json``):
-
-* >= 1,000,000 total sites across >= 3 backend processes on the large
-  leg, zero client errors and zero fingerprint mismatches on every leg;
-* steady-epoch client RTT p50 grows <= 2x when n grows 10x;
-* the engines actually decided incrementally (``incremental_decides``
-  > 0 on the backends);
-* the small-scale trajectory is byte-identical across two independent
-  runs through freshly spawned clusters — the decision stream is a
-  pure function of the workload, not of process lifetimes or timing;
-* with replication enabled, every steady epoch replays at the standby
-  with zero replication errors and the decide trajectory stays
-  byte-identical to the replication-off leg.
-
-``E18_SITES_SMALL`` / ``E18_SITES_LARGE`` (per-shard site counts)
-scale the legs down for CI smoke runs; the committed record is from
-the full-scale run.
+Tier selection: the ``full`` tier is the canonical million-site run;
+the ``ci`` tier (2,000/20,000 sites per shard) asserts the same
+invariants at CI scale and is what the tracked record under
+``benchmarks/records/ci/E18.json`` pins.  ``REPRO_TIER`` picks the tier here
+(default: full); ``E18_SITES_SMALL`` / ``E18_SITES_LARGE`` /
+``E18_EPOCH_INTERVAL_MS`` still override the per-shard site counts
+and pacing directly, and disarm the million-site floor when they
+scale the large leg down.
 """
 
-import json
 import os
-from pathlib import Path
 
-from repro.service import (
-    BackendSpec,
-    ChurnStreamConfig,
-    HashRing,
-    ServiceClient,
-    run_churn_stream,
-    spawn_router_process,
-    spawn_serve_process,
-)
-
-BENCH_JSON = Path(__file__).resolve().parent / "BENCH_e18.json"
-
-BACKENDS = 3
-SHARDS = 6
-SERVERS = 64           # per shard
-K = 512
-CHURN = 16             # sites per shard per epoch
-EPOCHS = 24
-WARMUP = 3
-SITES_SMALL = int(os.environ.get("E18_SITES_SMALL", 16_700))
-SITES_LARGE = int(os.environ.get("E18_SITES_LARGE", 167_000))
-EPOCH_INTERVAL_MS = float(os.environ.get("E18_EPOCH_INTERVAL_MS", 300.0))
-P50_GROWTH_BOUND = 2.0
-
-NODE_NAMES = tuple(f"backend-{i}" for i in range(BACKENDS))
+from repro.scenarios import run_scenario
 
 
-def _balanced_shard_base() -> str:
-    """A shard-name base whose ``SHARDS`` streams cover every backend.
-
-    Consistent hashing places 6 shards on 3 nodes unevenly for most
-    name bases; the claim "1M sites across 3 backend processes" needs
-    every backend to own at least one stream, so hunt for a base that
-    spreads them (preferring a perfect 2/2/2 split).
-    """
-    ring = HashRing(NODE_NAMES)
-    best, best_spread = "e18", 0
-    for attempt in range(1000):
-        base = f"e18-{attempt}"
-        owners = {ring.owner(f"{base}-{i}") for i in range(SHARDS)}
-        if len(owners) == BACKENDS:
-            counts = [
-                sum(
-                    1 for i in range(SHARDS)
-                    if ring.owner(f"{base}-{i}") == node
-                )
-                for node in NODE_NAMES
-            ]
-            if max(counts) == SHARDS // BACKENDS:
-                return base
-            if len(owners) > best_spread:
-                best, best_spread = base, len(owners)
-    assert best_spread == BACKENDS, "no shard base covers all backends"
-    return best
-
-
-def _run_leg(
-    sites_per_shard: int,
-    shard_base: str,
-    seed: int = 18,
-    replicate: bool = False,
-):
-    """One churn-stream leg through a freshly spawned cluster.
-
-    Returns the loadgen report plus the router's counters and the
-    summed backend engine statistics.  A fresh cluster per leg keeps
-    the legs independent — nothing warm carries over, so the byte-
-    identity check across legs is meaningful.
-    """
-    processes = []
-    try:
-        for _ in range(BACKENDS):
-            processes.append(spawn_serve_process())
-        specs = tuple(
-            BackendSpec(name, proc.host, proc.port)
-            for name, proc in zip(NODE_NAMES, processes)
-        )
-        # The router must be its own OS process (as deployed): a
-        # daemon-thread router inside this interpreter would share the
-        # GIL with the six client streams and every forward would wait
-        # on the loadgen's own numpy work.
-        router_args = () if replicate else ("--no-replicate",)
-        router = spawn_router_process(specs, *router_args)
-        processes.append(router)
-        config = ChurnStreamConfig(
-            shard=shard_base, shards=SHARDS, k=K,
-            num_sites=sites_per_shard, num_servers=SERVERS,
-            churn=CHURN, epochs=EPOCHS, warmup_epochs=WARMUP,
-            seed=seed, timeout=600.0,
-            epoch_interval_ms=EPOCH_INTERVAL_MS,
-        )
-        report = run_churn_stream(router.host, router.port, config)
-        with ServiceClient(router.host, router.port, timeout=120.0) as probe:
-            status = probe.status()
-    finally:
-        for proc in processes:
-            proc.terminate()
-    counters = status["router"]["metrics"]["counters"]
-    engines = {"incremental_decides": 0, "decisions": 0, "churn_fallbacks": 0}
-    for backend in status["backends"].values():
-        for shard_stats in backend.get("shards", {}).values():
-            engine = shard_stats.get("engine") or {}
-            for key in engines:
-                engines[key] += engine.get(key, 0)
-    return report, counters, engines
-
-
-def _clean(report, total_sites: int) -> None:
-    assert report.errors == 0, f"{report.errors} client errors at n={total_sites}"
-    assert report.fp_mismatches == 0, (
-        f"{report.fp_mismatches} fingerprint mismatches at n={total_sites}"
-    )
-    assert report.completed == SHARDS * EPOCHS
-    assert report.deltas_sent == SHARDS * (EPOCHS - 1), (
-        "steady epochs did not all ship as deltas"
-    )
-
-
-def _record(report) -> dict:
-    out = report.as_dict()
-    del out["steady_ms"], out["warmup_ms"]  # bucket dumps
-    return out
+def _overrides() -> dict:
+    bench: dict = {}
+    if "E18_SITES_SMALL" in os.environ:
+        bench["sites_small"] = int(os.environ["E18_SITES_SMALL"])
+    if "E18_SITES_LARGE" in os.environ:
+        bench["sites_large"] = int(os.environ["E18_SITES_LARGE"])
+        if bench["sites_large"] < 167_000:
+            bench["required_total_large"] = 0
+    if "E18_EPOCH_INTERVAL_MS" in os.environ:
+        bench["epoch_interval_ms"] = float(os.environ["E18_EPOCH_INTERVAL_MS"])
+    return {"bench": bench} if bench else {}
 
 
 def test_e18_decide_latency_scale_acceptance():
     """The tentpole numbers: steady-epoch decide p50 through the
-    3-backend cluster grows <= 2x while total sites grow 10x (100k ->
-    1M), with byte-identical small-scale trajectories across freshly
-    spawned clusters."""
-    shard_base = _balanced_shard_base()
-
-    small, small_counters, small_engines = _run_leg(SITES_SMALL, shard_base)
-    _clean(small, SHARDS * SITES_SMALL)
-    print(f"\n[E18] small n={SHARDS * SITES_SMALL}: steady p50 "
-          f"{small.steady_p50_ms:.2f}ms p95 {small.steady_p95_ms:.2f}ms "
-          f"({small.duration_s:.1f}s wall)")
-
-    rerun, _, _ = _run_leg(SITES_SMALL, shard_base)
-    _clean(rerun, SHARDS * SITES_SMALL)
-    assert rerun.trajectories == small.trajectories, (
-        "small-scale trajectory not byte-identical across clusters"
-    )
-    print(f"[E18] small rerun byte-identical "
-          f"({len(small.trajectories)} shard trajectories)")
-
-    large, large_counters, large_engines = _run_leg(SITES_LARGE, shard_base)
-    _clean(large, SHARDS * SITES_LARGE)
-    ratio = large.steady_p50_ms / max(small.steady_p50_ms, 1e-9)
-    print(f"[E18] large n={SHARDS * SITES_LARGE}: steady p50 "
-          f"{large.steady_p50_ms:.2f}ms p95 {large.steady_p95_ms:.2f}ms "
-          f"({large.duration_s:.1f}s wall) -> p50 growth {ratio:.2f}x "
-          f"for {SITES_LARGE / SITES_SMALL:.0f}x sites")
-
-    repl, repl_counters, repl_engines = _run_leg(
-        SITES_LARGE, shard_base, replicate=True
-    )
-    _clean(repl, SHARDS * SITES_LARGE)
-    print(f"[E18] large+replication: steady p50 {repl.steady_p50_ms:.2f}ms, "
-          f"{repl_counters.get('router.replicated', 0)} standby replays")
-
-    results = {
-        "workload": {
-            "backends": BACKENDS, "shards": SHARDS,
-            "servers_per_shard": SERVERS, "k": K,
-            "churn_per_shard_per_epoch": CHURN,
-            "epochs": EPOCHS, "warmup_epochs": WARMUP,
-            "sites_per_shard_small": SITES_SMALL,
-            "sites_per_shard_large": SITES_LARGE,
-            "total_sites_small": SHARDS * SITES_SMALL,
-            "total_sites_large": SHARDS * SITES_LARGE,
-            "shard_base": shard_base,
-            "solve_delay_ms": 0.0,
-            "epoch_interval_ms": EPOCH_INTERVAL_MS,
-        },
-        "steady_p50_ms": {
-            "small": small.steady_p50_ms,
-            "large": large.steady_p50_ms,
-            "growth": ratio,
-            "bound": P50_GROWTH_BOUND,
-        },
-        "small": {
-            **_record(small),
-            "router_counters": small_counters,
-            "engines": small_engines,
-        },
-        "large": {
-            **_record(large),
-            "router_counters": large_counters,
-            "engines": large_engines,
-        },
-        "large_with_replication": {
-            **_record(repl),
-            "router_counters": repl_counters,
-            "engines": repl_engines,
-        },
-        "trajectory_identical": True,
-    }
-    BENCH_JSON.write_text(json.dumps(results, indent=2, sort_keys=True))
-
-    total_large = SHARDS * SITES_LARGE
-    if int(os.environ.get("E18_SITES_LARGE", 167_000)) == 167_000:
-        assert total_large >= 1_000_000
-    assert small_engines["incremental_decides"] > 0
-    assert large_engines["incremental_decides"] > 0, (
-        "large leg never decided incrementally"
-    )
-    assert large_counters.get("router.resident_deltas", 0) >= (
-        SHARDS * (EPOCHS - 1)
-    ), "router did not stay on its O(churn) passthrough"
-    assert repl_counters.get("router.replicated", 0) >= SHARDS * (
-        EPOCHS - 1
-    ), "replication leg did not replay every epoch at the standby"
-    assert repl_counters.get("router.replication_errors", 0) == 0
-    assert repl.trajectories == large.trajectories, (
-        "standby replication perturbed the decision stream"
-    )
-    assert ratio <= P50_GROWTH_BOUND, (
-        f"steady decide p50 grew {ratio:.2f}x for 10x sites "
-        f"(small {small.steady_p50_ms:.2f}ms, large "
-        f"{large.steady_p50_ms:.2f}ms)"
-    )
+    3-backend cluster grows <= 2x while total sites grow 10x, with
+    byte-identical trajectories across freshly spawned clusters and a
+    replication leg that observes without perturbing (catalog scenario
+    E18)."""
+    tier = os.environ.get("REPRO_TIER", "full")
+    result = run_scenario("E18", tier=tier, overrides=_overrides())
+    assert result.acceptance_ok, result.failure_summary()

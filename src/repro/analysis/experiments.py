@@ -43,7 +43,7 @@ from ..websim.policies import (
     NoRebalance,
 )
 from ..websim.simulator import Simulation, build_cluster
-from ..websim.traffic import ComposedTraffic, DiurnalTraffic, FlashCrowdTraffic
+from ..websim.traffic import make_traffic
 from ..workloads.adversarial import (
     greedy_tight_instance,
     partition_tight_instance,
@@ -293,6 +293,7 @@ def experiment_e6_websim(
     epochs: int = 40,
     k: int = 3,
     seed: int = 5,
+    traffic: str = "diurnal+flash",
 ) -> ExperimentReport:
     report = ExperimentReport(
         experiment_id="E6",
@@ -311,10 +312,8 @@ def experiment_e6_websim(
     for policy in policies:
         rng = np.random.default_rng(seed)
         cluster = build_cluster(num_sites, num_servers, rng)
-        traffic = ComposedTraffic(
-            (DiurnalTraffic(), FlashCrowdTraffic(probability=0.15))
-        )
-        sim = Simulation(cluster=cluster, traffic=traffic, policy=policy,
+        model = make_traffic(traffic, flash_probability=0.15)
+        sim = Simulation(cluster=cluster, traffic=model, policy=policy,
                          seed=seed + 1)
         res = sim.run(epochs)
         s = res.summary()
@@ -580,16 +579,16 @@ def experiment_e12_engine(
                  "identical"),
     )
     traffics = (
-        ("dense", lambda: ComposedTraffic(
-            (DiurnalTraffic(), FlashCrowdTraffic(probability=0.1)))),
-        ("sparse", lambda: FlashCrowdTraffic(probability=0.05)),
+        ("dense",
+         lambda: make_traffic("diurnal+flash", flash_probability=0.1)),
+        ("sparse", lambda: make_traffic("flash", flash_probability=0.05)),
     )
-    for label, make_traffic in traffics:
+    for label, build_traffic in traffics:
         runs = {}
         for policy in (MPartitionPolicy(k=k), EngineMPartitionPolicy(k=k)):
             rng = np.random.default_rng(seed)
             cluster = build_cluster(num_sites, num_servers, rng)
-            sim = Simulation(cluster=cluster, traffic=make_traffic(),
+            sim = Simulation(cluster=cluster, traffic=build_traffic(),
                              policy=policy, seed=seed + 1)
             res = sim.run(epochs)
             runs[policy.name] = (
@@ -606,7 +605,7 @@ def experiment_e12_engine(
         # Counters live on the engine the simulation deep-copied away,
         # so replay the same trajectory against a probe engine directly.
         stats = _engine_stats_for(
-            EngineMPartitionPolicy(k=k), make_traffic(),
+            EngineMPartitionPolicy(k=k), build_traffic(),
             num_sites, num_servers, epochs, seed,
         )
         report.add_row(label, "m-partition", scratch_s, 1.0, "-", "-", "-",

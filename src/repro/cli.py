@@ -5,10 +5,12 @@ Runs the named experiments (default: all) and prints their tables.
 fans independent experiments out over worker processes (output order
 and content are identical to a serial run).
 
-Three service subcommands short-circuit the experiment runner:
+Subcommands short-circuit the experiment runner:
 ``python -m repro serve`` starts the rebalancing server,
-``python -m repro router`` starts the cluster-tier coordinator, and
-``python -m repro loadgen`` drives either (see :mod:`repro.service.cli`).
+``python -m repro router`` starts the cluster-tier coordinator,
+``python -m repro loadgen`` drives either (see :mod:`repro.service.cli`),
+and ``python -m repro reproduce`` regenerates and drift-checks every
+result through the scenario catalog (see :mod:`repro.scenarios`).
 """
 
 from __future__ import annotations
@@ -60,6 +62,10 @@ def _run_one_experiment(payload: tuple[str, bool]) -> tuple:
 
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "reproduce":
+        from .scenarios.reproduce import main as reproduce_main
+
+        return reproduce_main(argv[1:])
     if argv and argv[0] in SERVICE_COMMANDS:
         from .service.cli import loadgen_main, router_main, serve_main
 
@@ -74,7 +80,9 @@ def main(argv: list[str] | None = None) -> int:
         prog="repro",
         description="Regenerate the load-rebalancing reproduction "
         "experiments.  Subcommands 'serve' and 'loadgen' run the "
-        "rebalancing service instead (each has its own --help).",
+        "rebalancing service, and 'reproduce' regenerates and "
+        "drift-checks every result through the scenario catalog "
+        "(each has its own --help).",
     )
     parser.add_argument(
         "experiments",

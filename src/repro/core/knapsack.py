@@ -225,6 +225,20 @@ def keep_max_cost_fptas(
     n = s.size
     if n == 0 or capacity <= 0:
         return KnapsackSolution(keep=(), kept_cost=0.0, kept_size=0.0)
+    feasible = np.flatnonzero(s <= capacity)
+    if feasible.size < n:
+        # Items larger than the capacity can never be kept, but their
+        # costs would still enter ``c_max`` and inflate the scale step
+        # ``mu`` — in the worst case until every keepable item rounds
+        # to scaled cost 0, voiding the (1 - eps) guarantee (P_max in
+        # the classical analysis ranges over feasible items only).
+        sub = keep_max_cost_fptas(
+            s[feasible], c[feasible], capacity, eps=eps, backend=backend
+        )
+        keep_t = tuple(sorted(int(feasible[i]) for i in sub.keep))
+        return KnapsackSolution(
+            keep=keep_t, kept_cost=sub.kept_cost, kept_size=sub.kept_size
+        )
     c_max = float(c.max())
     if c_max == 0.0:
         # All-zero costs: keep greedily by size (any feasible set is optimal).

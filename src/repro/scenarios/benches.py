@@ -1,0 +1,910 @@
+"""Catalog-driven acceptance bench runners (the BENCH_* records).
+
+Each runner here used to live inline in a ``benchmarks/bench_e*.py``
+script with its own hard-coded knobs; the scripts are now thin pytest
+shims and the logic lives here, parameterized by the scenario's
+tier-resolved ``bench`` params.  A runner returns ``(metrics, detail)``:
+
+* ``metrics`` — a *flat* dict of scalars; the drift comparator gates
+  these per the scenario's policy and the catalog's acceptance checks
+  evaluate against them.  Runners do **not** assert — pass/fail is the
+  catalog's declarative job.
+* ``detail`` — the free-form record payload humans read (per-leg
+  reports, hunt ladders, counters); never drift-compared.
+
+``log`` is a print-like callable for progress lines (CI logs keep the
+narrative the old scripts printed).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Any, Callable
+
+__all__ = ["BENCH_RUNNERS"]
+
+Log = Callable[[str], None]
+
+
+def _leg_record(report, alive=None):
+    out = report.as_dict()
+    out.pop("latency_ms", None)   # bucket dump; percentiles retained
+    out.pop("steady_ms", None)    # ditto (churn-stream reports)
+    out.pop("warmup_ms", None)
+    if alive is not None:
+        out["alive_after"] = alive
+    return out
+
+
+def _accounted(report) -> bool:
+    """Every offered request got exactly one recorded outcome."""
+    return (report.completed + report.late + report.rejected + report.shed
+            + report.errors) == report.offered
+
+
+# ----------------------------------------------------------------------
+# E13 — kernel backends vs reference DPs.
+# ----------------------------------------------------------------------
+def bench_e13(params: dict[str, Any], log: Log):
+    import numpy as np
+
+    from ..core import cost_partition_rebalance, ptas_rebalance
+    from ..workloads import random_instance
+
+    trials = params.get("trials", 4)
+    eps = params.get("eps", 0.75)
+    ptas_seed = params.get("ptas_seed", 13)
+    cost_seed = params.get("cost_seed", 8)
+    ptas_reps = params.get("ptas_reps", 3)
+    cost_reps = params.get("cost_reps", 12)
+
+    def key(res):
+        return (res.guessed_opt, res.planned_cost,
+                tuple(int(x) for x in res.assignment.mapping))
+
+    def cases_for(n, m, seed, budget_div):
+        rng = np.random.default_rng(seed)
+        out = []
+        for _ in range(trials):
+            inst = random_instance(n, m, rng, cost_family="random",
+                                   integer_sizes=(n <= 16))
+            out.append((inst, float(inst.costs.sum()) / budget_div))
+        return out
+
+    def best_of_pair(ref_fn, ker_fn, cases, reps):
+        # Interleaved best-of-N strips scheduler/allocator spikes that
+        # otherwise dominate millisecond kernels on a busy host.
+        ref_best = [float("inf")] * len(cases)
+        ker_best = [float("inf")] * len(cases)
+        for _ in range(reps):
+            for i, case in enumerate(cases):
+                start = time.perf_counter()
+                ref_fn(case)
+                ref_best[i] = min(ref_best[i], time.perf_counter() - start)
+                start = time.perf_counter()
+                ker_fn(case)
+                ker_best[i] = min(ker_best[i], time.perf_counter() - start)
+        return sum(ref_best), sum(ker_best)
+
+    detail: dict[str, Any] = {}
+    identical = True
+
+    cases = cases_for(7, 3, ptas_seed, 2.0)
+    ref_out = [ptas_rebalance(i, b, eps=eps, backend="reference")
+               for i, b in cases]
+    ker_out = [ptas_rebalance(i, b, eps=eps, backend="kernel")
+               for i, b in cases]
+    identical &= [key(r) for r in ref_out] == [key(r) for r in ker_out]
+    ref_s, ker_s = best_of_pair(
+        lambda c: ptas_rebalance(c[0], c[1], eps=eps, backend="reference"),
+        lambda c: ptas_rebalance(c[0], c[1], eps=eps, backend="kernel"),
+        cases, reps=ptas_reps,
+    )
+    ptas_speedup = ref_s / ker_s if ker_s else float("inf")
+    detail["e4_ptas"] = {
+        "n": 7, "m": 3, "eps": eps, "trials": len(cases),
+        "reference_s": ref_s, "kernel_s": ker_s, "speedup": ptas_speedup,
+    }
+    log(f"[E13] e4_ptas: {ref_s * 1e3:.2f}ms -> {ker_s * 1e3:.2f}ms "
+        f"({ptas_speedup:.2f}x)")
+
+    cases = cases_for(64, 6, cost_seed, 4.0)
+    ref_out = [cost_partition_rebalance(i, b, backend="reference")
+               for i, b in cases]
+    ker_out = [cost_partition_rebalance(i, b, backend="kernel")
+               for i, b in cases]
+    identical &= [key(r) for r in ref_out] == [key(r) for r in ker_out]
+    ref_s, ker_s = best_of_pair(
+        lambda c: cost_partition_rebalance(c[0], c[1], backend="reference"),
+        lambda c: cost_partition_rebalance(c[0], c[1], backend="kernel"),
+        cases, reps=cost_reps,
+    )
+    cost_speedup = ref_s / ker_s if ker_s else float("inf")
+    detail["e5_cost_partition"] = {
+        "n": 64, "m": 6, "trials": len(cases),
+        "reference_s": ref_s, "kernel_s": ker_s, "speedup": cost_speedup,
+    }
+    log(f"[E13] e5_cost_partition: {ref_s * 1e3:.2f}ms -> "
+        f"{ker_s * 1e3:.2f}ms ({cost_speedup:.2f}x)")
+
+    metrics = {
+        "e4_ptas_speedup": ptas_speedup,
+        "e5_cost_partition_speedup": cost_speedup,
+        "solutions_identical": bool(identical),
+    }
+    return metrics, detail
+
+
+# ----------------------------------------------------------------------
+# E14 — batched vs naive serving.
+# ----------------------------------------------------------------------
+def bench_e14(params: dict[str, Any], log: Log):
+    from ..service import (
+        ServerConfig,
+        ServiceClient,
+        calibrate_workload,
+        run_loadgen,
+        start_background,
+    )
+
+    rate = params.get("rate", 120.0)
+    duration_s = params.get("duration_s", 2.0)
+    duplicates = params.get("duplicates", 4)
+    deadline_ms = params.get("deadline_ms", 300.0)
+    max_queue = params.get("max_queue", 64)
+    overload_queue = params.get("overload_queue", 24)
+
+    def run(server_config, loadgen_config):
+        with start_background(server_config) as handle:
+            report = run_loadgen(handle.host, handle.port, loadgen_config)
+            with ServiceClient(handle.host, handle.port, timeout=5.0) as probe:
+                alive = probe.ping()
+                status = probe.status()
+        return report, alive, status
+
+    base, scratch_s = calibrate_workload()
+    lg = replace(base, rate=rate, duration_s=duration_s,
+                 duplicates=duplicates, deadline_ms=deadline_ms)
+
+    batched, batched_alive, _ = run(ServerConfig(max_queue=max_queue), lg)
+    naive, naive_alive, _ = run(ServerConfig.naive(max_queue=max_queue), lg)
+    # Overload rows: past capacity with a tight admission queue.  The
+    # naive solver is the slow path, so its queue is where rejections
+    # must appear; the batched server gets twice the offered rate.
+    over_b, over_b_alive, over_b_status = run(
+        ServerConfig(max_queue=overload_queue), replace(lg, rate=2 * rate)
+    )
+    over_n, over_n_alive, over_n_status = run(
+        ServerConfig.naive(max_queue=overload_queue), lg
+    )
+
+    ratio = batched.goodput_per_s / max(naive.goodput_per_s, 1e-9)
+    log(f"[E14] batched {batched.goodput_per_s:.1f}/s (p99 "
+        f"{batched.p99_ms:.1f}ms) vs naive {naive.goodput_per_s:.1f}/s "
+        f"(p99 {naive.p99_ms:.1f}ms): {ratio:.1f}x")
+    log(f"[E14] overload: naive rejected {over_n.rejected}, shed "
+        f"{over_n.shed}; batched@2x rejected {over_b.rejected}, late "
+        f"{over_b.late}")
+
+    legs = (batched, naive, over_b, over_n)
+    metrics = {
+        "goodput_ratio": ratio,
+        "batched_p99_le_naive": bool(batched.p99_ms <= naive.p99_ms),
+        "errors_total": sum(leg.errors for leg in legs),
+        "accounted_ok": all(_accounted(leg) for leg in legs),
+        "alive_all": bool(batched_alive and naive_alive and over_b_alive
+                          and over_n_alive),
+        "overload_naive_rejected": over_n.rejected,
+        "overload_queues_drained": bool(
+            over_b_status["queue"]["depth"] == 0
+            and over_n_status["queue"]["depth"] == 0
+        ),
+    }
+    detail = {
+        "workload": {
+            "num_sites": base.num_sites, "num_servers": base.num_servers,
+            "k": base.k, "scratch_solve_ms": 1e3 * scratch_s,
+            "rate_per_s": rate, "duration_s": duration_s,
+            "duplicates": duplicates, "deadline_ms": deadline_ms,
+        },
+        "batched": _leg_record(batched, batched_alive),
+        "naive": _leg_record(naive, naive_alive),
+        "overload_batched_2x": _leg_record(over_b, over_b_alive),
+        "overload_naive": _leg_record(over_n, over_n_alive),
+        "goodput_ratio": ratio,
+    }
+    return metrics, detail
+
+
+# ----------------------------------------------------------------------
+# E15 — v2 binary + delta snapshots vs v1 JSON.
+# ----------------------------------------------------------------------
+def bench_e15(params: dict[str, Any], log: Log):
+    import numpy as np
+
+    from ..analysis.experiments import wire_sizes
+    from ..core.instance import Instance
+    from ..service import (
+        PROTOCOL_V1,
+        PROTOCOL_V2,
+        ServerConfig,
+        ServiceClient,
+        build_snapshots,
+        calibrate_wire_workload,
+        encode_frame,
+        run_loadgen,
+        start_background,
+        unpack_payload,
+    )
+
+    duration_s = params.get("duration_s", 2.0)
+    deadline_ms = params.get("deadline_ms", 300.0)
+    overload = params.get("overload", 1.35)
+    rate_cap = params.get("rate_cap", 400.0)
+    smoke_epochs = params.get("smoke_epochs", 12)
+
+    base, codec_s = calibrate_wire_workload()
+
+    # Wire invariants, no server: v2 strictly smaller than v1 for the
+    # same snapshot, bit-exact through the codec, deltas >= 5x smaller.
+    reference = build_snapshots(replace(base, epochs=1))[0]
+    message = {"op": "rebalance", "shard": "smoke", "k": base.k,
+               "deadline_ms": deadline_ms}
+    v1 = encode_frame(message | {"instance": reference.to_dict()},
+                      version=PROTOCOL_V1)
+    v2 = encode_frame(message | {"instance": reference.to_wire()},
+                      version=PROTOCOL_V2)
+    decoded = Instance.from_dict(unpack_payload(v2[8:])["instance"])
+    decode_exact = bool(
+        np.array_equal(decoded.sizes, reference.sizes)
+        and np.array_equal(decoded.costs, reference.costs)
+        and np.array_equal(decoded.initial, reference.initial)
+    )
+    smoke_sizes = wire_sizes(replace(base, epochs=smoke_epochs))
+
+    sizes = wire_sizes(base)
+    rate = min(rate_cap, overload / codec_s)
+    lg = replace(base, rate=rate, duration_s=duration_s,
+                 deadline_ms=deadline_ms)
+
+    def run(server_config, loadgen_config):
+        with start_background(server_config) as handle:
+            report = run_loadgen(handle.host, handle.port, loadgen_config)
+            with ServiceClient(handle.host, handle.port, timeout=5.0) as probe:
+                alive = probe.ping()
+                status = probe.status()
+        return report, alive, status
+
+    baseline, base_alive, base_status = run(ServerConfig(max_queue=64), lg)
+    optimized, opt_alive, opt_status = run(
+        ServerConfig(executor="process", process_workers=2, max_queue=64),
+        replace(lg, protocol="binary", delta=True),
+    )
+
+    ratio = optimized.goodput_per_s / max(baseline.goodput_per_s, 1e-9)
+    log(f"[E15] wire: v1 full {sizes['v1_full_bytes']:.0f}B, v2 full "
+        f"{sizes['v2_full_bytes']:.0f}B ({sizes['binary_reduction']:.2f}x), "
+        f"delta {sizes['v2_delta_bytes']:.0f}B "
+        f"({sizes['delta_reduction']:.0f}x)")
+    log(f"[E15] goodput at {rate:.0f}/s: v2+delta+process "
+        f"{optimized.goodput_per_s:.1f}/s (p99 {optimized.p99_ms:.1f}ms) vs "
+        f"v1 json {baseline.goodput_per_s:.1f}/s "
+        f"(p99 {baseline.p99_ms:.1f}ms): {ratio:.1f}x")
+
+    metrics = {
+        "v2_frame_smaller": bool(len(v2) < len(v1)),
+        "v2_full_smaller": bool(
+            sizes["v2_full_bytes"] < sizes["v1_full_bytes"]
+            and smoke_sizes["v2_full_bytes"] < smoke_sizes["v1_full_bytes"]
+        ),
+        "decode_bit_exact": decode_exact,
+        "binary_reduction": sizes["binary_reduction"],
+        "delta_reduction": sizes["delta_reduction"],
+        "goodput_ratio": ratio,
+        "optimized_p99_le_baseline": bool(
+            optimized.p99_ms <= baseline.p99_ms
+        ),
+        "optimized_deltas_sent": optimized.deltas_sent,
+        "errors_total": baseline.errors + optimized.errors,
+        "accounted_ok": _accounted(baseline) and _accounted(optimized),
+        "alive_all": bool(base_alive and opt_alive),
+        "optimized_executor_process": bool(
+            opt_status["config"]["executor"] == "process"
+        ),
+        "queues_drained": bool(
+            base_status["queue"]["depth"] == 0
+            and opt_status["queue"]["depth"] == 0
+        ),
+    }
+    detail = {
+        "workload": {
+            "num_sites": base.num_sites, "num_servers": base.num_servers,
+            "k": base.k, "shards": base.shards,
+            "duplicates": base.duplicates, "traffic": base.traffic,
+            "codec_round_ms": 1e3 * codec_s, "rate_per_s": rate,
+            "duration_s": duration_s, "deadline_ms": deadline_ms,
+            "overload": overload,
+        },
+        "wire": sizes,
+        "baseline_v1_thread": _leg_record(baseline, base_alive),
+        "optimized_v2_delta_process": _leg_record(optimized, opt_alive),
+        "goodput_ratio": ratio,
+    }
+    return metrics, detail
+
+
+# ----------------------------------------------------------------------
+# E16 — shm snapshot plane vs the inline worker-pipe codec.
+# ----------------------------------------------------------------------
+def bench_e16(params: dict[str, Any], log: Log):
+    import numpy as np
+
+    from ..core import make_instance
+    from ..service import (
+        ServerConfig,
+        ServiceClient,
+        build_snapshots,
+        calibrate_shm_workload,
+        run_loadgen,
+        start_background,
+    )
+
+    duration_s = params.get("duration_s", 2.0)
+    deadline_ms = params.get("deadline_ms", 300.0)
+    load_factor = params.get("load_factor", 0.12)
+    rate_cap = params.get("rate_cap", 100.0)
+    rate_step = params.get("rate_step", 1.15)
+    rate_leap = params.get("rate_leap", 1.3)
+    max_rounds = params.get("max_rounds", 8)
+    steady_rate = params.get("steady_rate", 200.0)
+    steady_deadline_ms = params.get("steady_deadline_ms", 100.0)
+    steady_sites = params.get("steady_sites", 600)
+    ipc_sites = tuple(params.get("ipc_sites", (6_000, 24_000)))
+
+    def primed_run(server_config, loadgen_config, prime_passes=2):
+        # Walk the epoch stream through one delta client first so both
+        # legs start with warm worker caches, delta bases, ring slots.
+        snapshots = build_snapshots(loadgen_config)
+        with start_background(server_config) as handle:
+            with ServiceClient(
+                handle.host, handle.port, protocol="binary", delta=True
+            ) as primer:
+                for _ in range(prime_passes):
+                    for snapshot in snapshots:
+                        primer.rebalance(
+                            snapshot, loadgen_config.k,
+                            shard=loadgen_config.shard,
+                        )
+            report = run_loadgen(handle.host, handle.port, loadgen_config)
+            with ServiceClient(handle.host, handle.port, timeout=5.0) as probe:
+                alive = probe.ping()
+                status = probe.status()
+        return report, alive, status
+
+    # --- part 1: solve-request bytes must not scale with the snapshot.
+    per_solve = {}
+    shm_writes_once = True
+    for n in ipc_sites:
+        rng = np.random.default_rng(n)
+        inst = make_instance(
+            sizes=rng.uniform(1.0, 9.0, n),
+            initial=rng.integers(0, 12, n),
+            num_processors=12,
+        )
+        config = ServerConfig(executor="process", process_workers=1,
+                              shm_slot_bytes=1 << 20)
+        with start_background(config) as handle:
+            with ServiceClient(handle.host, handle.port) as client:
+                client.rebalance(inst, 8, shard="ipc")
+                counters = client.status()["metrics"]["counters"]
+        shm_writes_once &= counters.get("service.shm_writes") == 1
+        per_solve[n] = counters["service.ipc_bytes_out"]
+    small_n, big_n = min(per_solve), max(per_solve)
+    ipc_small, ipc_big = per_solve[small_n], per_solve[big_n]
+    ipc_flat = bool(ipc_big < 8 * big_n and ipc_big <= 1.5 * ipc_small)
+    log(f"[E16] solve ipc bytes: n={small_n} -> {ipc_small}B, "
+        f"n={big_n} -> {ipc_big}B (flat={ipc_flat})")
+
+    # --- part 2: hunt the rate window only the shm transport carries.
+    base, marshal_s = calibrate_shm_workload()
+    rate = min(rate_cap, load_factor / marshal_s)
+    slot_bytes = 1 << max(20, (16 + 24 * base.num_sites).bit_length())
+    # Decision memo off on both legs: the cycled epochs would otherwise
+    # be answered from the memo and the worker pipe — the transport
+    # under comparison — never touched.
+    shm_config = ServerConfig(executor="process", process_workers=2,
+                              max_queue=64, shm_slot_bytes=slot_bytes,
+                              decision_cache_size=0)
+    inline_config = ServerConfig(executor="process", process_workers=2,
+                                 max_queue=64, shm=False,
+                                 decision_cache_size=0)
+
+    attempts = []
+    found = None
+    for _ in range(max_rounds):
+        lg = replace(base, rate=rate, duration_s=duration_s,
+                     deadline_ms=deadline_ms, connections=8)
+        inline_leg, inline_alive, inline_status = primed_run(
+            inline_config, lg)
+        if inline_leg.goodput_per_s >= 0.6 * rate:
+            # Below the inline collapse edge: probe higher — coarsely
+            # with full margin, finely once the leg strains.
+            attempts.append({
+                "rate_per_s": rate, "outcome": "inline sustained",
+                "inline_goodput_per_s": inline_leg.goodput_per_s,
+            })
+            log(f"[E16] {rate:.0f}/s: inline sustained "
+                f"({inline_leg.goodput_per_s:.1f}/s), climbing")
+            strained = inline_leg.goodput_per_s < 0.95 * rate
+            rate *= rate_step if strained else rate_leap
+            continue
+        shm_leg, shm_alive, shm_status = primed_run(shm_config, lg)
+        ratio = shm_leg.goodput_per_s / max(inline_leg.goodput_per_s, 1e-9)
+        attempts.append({
+            "rate_per_s": rate, "outcome": f"ratio {ratio:.1f}x",
+            "shm_goodput_per_s": shm_leg.goodput_per_s,
+            "inline_goodput_per_s": inline_leg.goodput_per_s,
+        })
+        log(f"[E16] {rate:.0f}/s: shm {shm_leg.goodput_per_s:.1f}/s vs "
+            f"inline {inline_leg.goodput_per_s:.1f}/s: {ratio:.1f}x")
+        if shm_leg.goodput_per_s >= 0.6 * rate:
+            if ratio >= 5.0:
+                found = (rate, shm_leg, shm_alive, shm_status,
+                         inline_leg, inline_alive, inline_status, ratio)
+                break
+            rate *= rate_step   # inline only grazing its edge: deepen
+        else:
+            rate /= rate_step   # window slid below this rate: back off
+
+    # --- part 3: the quiet-cluster decision-memo fast path.
+    steady_leg, steady_alive, steady_status = primed_run(
+        ServerConfig(executor="process", process_workers=2, max_wait_ms=0.0),
+        replace(base, num_sites=steady_sites, rate=steady_rate,
+                duration_s=duration_s, deadline_ms=steady_deadline_ms,
+                connections=4),
+    )
+    log(f"[E16] steady (n={steady_sites}, {steady_rate:.0f}/s): p50 "
+        f"{steady_leg.p50_ms:.3f}ms p99 {steady_leg.p99_ms:.3f}ms")
+
+    metrics = {
+        "ipc_flat_across_n": ipc_flat,
+        "ipc_single_shm_write": bool(shm_writes_once),
+        "found_differential_rate": found is not None,
+        "steady_p50_ms": steady_leg.p50_ms,
+        "steady_clean": bool(
+            steady_leg.errors == 0 and steady_leg.late == 0
+            and _accounted(steady_leg) and steady_alive
+        ),
+    }
+    detail = {
+        "workload": {
+            "num_sites": base.num_sites, "num_servers": base.num_servers,
+            "k": base.k, "traffic": base.traffic, "duplicates": 1,
+            "marshal_round_ms": 1e3 * marshal_s,
+            "calibrated_rate_per_s": min(rate_cap, load_factor / marshal_s),
+            "duration_s": duration_s, "deadline_ms": deadline_ms,
+            "load_factor": load_factor,
+        },
+        "ipc_bytes_per_solve": {str(n): per_solve[n] for n in per_solve},
+        "attempts": attempts,
+        "steady_state_memo": _leg_record(steady_leg, steady_alive),
+    }
+    if found is not None:
+        rate, shm_leg, shm_alive, shm_status, \
+            inline_leg, inline_alive, inline_status, ratio = found
+        shm_ipc = shm_status["metrics"]["counters"]["service.ipc_bytes_out"]
+        inline_ipc = (
+            inline_status["metrics"]["counters"]["service.ipc_bytes_out"]
+        )
+        log(f"[E16] ipc request bytes: shm {shm_ipc / 1e6:.2f}MB vs inline "
+            f"{inline_ipc / 1e6:.2f}MB")
+        metrics.update({
+            "goodput_ratio": ratio,
+            "shm_sustained": bool(shm_leg.goodput_per_s >= 0.6 * rate),
+            "shm_ipc_below_tenth_of_inline": bool(
+                shm_ipc < 0.1 * inline_ipc
+            ),
+            "errors_total": shm_leg.errors + inline_leg.errors,
+            "accounted_ok": _accounted(shm_leg) and _accounted(inline_leg),
+            "alive_all": bool(shm_alive and inline_alive),
+            "queues_drained": bool(
+                shm_status["queue"]["depth"] == 0
+                and inline_status["queue"]["depth"] == 0
+            ),
+        })
+        detail.update({
+            "rate_per_s": rate,
+            "shm_plane_process": _leg_record(shm_leg, shm_alive),
+            "inline_codec_process": _leg_record(inline_leg, inline_alive),
+            "goodput_ratio": ratio,
+            "ipc_bytes_out": {"shm": shm_ipc, "inline": inline_ipc},
+        })
+    return metrics, detail
+
+
+# ----------------------------------------------------------------------
+# E17 — cluster tier: scale-out, kill -9 failover, router trajectory.
+# ----------------------------------------------------------------------
+def bench_e17(params: dict[str, Any], log: Log):
+    import numpy as np
+
+    from ..analysis.experiments import (
+        _e17_balanced_shard_base,
+        _e17_leg,
+        _e17_workload,
+    )
+    from ..service import (
+        BackendSpec,
+        RouterConfig,
+        ServerConfig,
+        ServiceClient,
+        start_background,
+        start_router_background,
+    )
+    from ..websim import (
+        EngineMPartitionPolicy,
+        ServicePolicy,
+        Simulation,
+        build_cluster,
+        make_traffic,
+    )
+
+    duration_s = params.get("duration_s", 2.5)
+    deadline_ms = params.get("deadline_ms", 500.0)
+    rate_cap = params.get("rate_cap", 150.0)
+    shards = params.get("shards", 8)
+    solve_delay_ms = params.get("solve_delay_ms", 80.0)
+    overloads = tuple(params.get("overloads", (2.4, 3.0)))
+    traj_epochs = params.get("traj_epochs", 12)
+    traj_k = params.get("traj_k", 3)
+    traj_sites = params.get("traj_sites", 80)
+    traj_servers = params.get("traj_servers", 6)
+    traj_seed = params.get("traj_seed", 36)
+    p99_blip_factor = params.get("p99_blip_factor", 4.0)
+    seed = params.get("seed", 17)
+
+    def simulation(policy):
+        rng = np.random.default_rng(traj_seed)
+        cluster = build_cluster(traj_sites, traj_servers, rng)
+        traffic = make_traffic("diurnal+flash", flash_probability=0.2)
+        return Simulation(cluster=cluster, traffic=traffic, policy=policy,
+                          seed=traj_seed)
+
+    # Websim through the router == in-process engine, record for record
+    # — across two in-process backends so the decision stream crosses
+    # the ring, delta replication, and both protocols' re-encoding.
+    want = simulation(EngineMPartitionPolicy(k=traj_k)).run(traj_epochs)
+    with start_background(ServerConfig()) as b0, \
+            start_background(ServerConfig()) as b1:
+        config = RouterConfig(backends=(
+            BackendSpec("backend-0", b0.host, b0.port),
+            BackendSpec("backend-1", b1.host, b1.port),
+        ))
+        with start_router_background(config) as router:
+            policy = ServicePolicy(
+                router.host, router.port, k=traj_k, shard="bench-traj",
+                protocol="binary", delta=True,
+            )
+            try:
+                got = simulation(policy).run(traj_epochs)
+            finally:
+                policy.close()
+            with ServiceClient(router.host, router.port) as probe:
+                traj_counters = (
+                    probe.status()["router"]["metrics"]["counters"]
+                )
+    trajectory_identical = (
+        len(got.records) == len(want.records) == traj_epochs
+        and all(
+            ours.makespan == theirs.makespan
+            and ours.migrations == theirs.migrations
+            and ours.migration_cost == theirs.migration_cost
+            and ours.imbalance == theirs.imbalance
+            for ours, theirs in zip(got.records, want.records)
+        )
+    )
+    log(f"[E17] trajectory identical through the router: "
+        f"{trajectory_identical} "
+        f"({traj_counters.get('router.replicated', 0)} replica frames)")
+
+    def cluster_lg(overload):
+        base, solve_s = _e17_workload(seed)
+        service_s = solve_s + solve_delay_ms / 1e3
+        capacity = 1.0 / service_s
+        rate = min(rate_cap, overload * capacity)
+        # Full-queue drain ~70% of the deadline: deep enough to smooth
+        # bursts, shallow enough admitted requests clear the deadline.
+        max_queue = max(2, int(0.7 * (deadline_ms / 1e3) / service_s))
+        shard_base = _e17_balanced_shard_base(
+            ["backend-0", "backend-1"], shards
+        )
+        lg = replace(
+            base, rate=rate, duration_s=duration_s, deadline_ms=deadline_ms,
+            connections=16, duplicates=1, shards=shards, shard=shard_base,
+            protocol="binary", delta=True,
+        )
+        return lg, solve_s, capacity, max_queue
+
+    # Capacity is pinned by calibration, but a loaded host can still
+    # depress one leg mid-run, so the overload factor is hunted over a
+    # short ladder: a higher offered rate deepens the single leg's
+    # saturation without moving the cluster leg's ceiling.
+    attempts = []
+    found = None
+    for overload in overloads:
+        lg, solve_s, capacity, max_queue = cluster_lg(overload)
+        single, _ = _e17_leg(lg, 1, router=False, max_queue=max_queue,
+                             solve_delay_ms=solve_delay_ms)
+        cluster, counters = _e17_leg(lg, 2, router=True, max_queue=max_queue,
+                                     solve_delay_ms=solve_delay_ms)
+        ratio = cluster.goodput_per_s / max(single.goodput_per_s, 1e-9)
+        attempts.append({
+            "overload": overload, "rate_per_s": lg.rate,
+            "single_goodput_per_s": single.goodput_per_s,
+            "cluster_goodput_per_s": cluster.goodput_per_s,
+            "ratio": ratio,
+        })
+        log(f"[E17] {lg.rate:.0f}/s ({overload:.1f}x one backend): single "
+            f"{single.goodput_per_s:.1f}/s, cluster "
+            f"{cluster.goodput_per_s:.1f}/s -> {ratio:.2f}x")
+        if ratio >= 1.8:
+            found = (lg, solve_s, capacity, max_queue, single, cluster,
+                     counters, ratio)
+            break
+
+    metrics = {
+        "trajectory_identical": bool(trajectory_identical),
+        "scaleout_found": found is not None,
+    }
+    detail: dict[str, Any] = {
+        "attempts": attempts,
+        "trajectory_replicated_frames":
+            traj_counters.get("router.replicated", 0),
+    }
+    if found is None:
+        return metrics, detail
+    lg, solve_s, capacity, max_queue, single, cluster, counters, ratio = found
+
+    failover, f_counters = _e17_leg(
+        lg, 2, router=True, kill_at_s=duration_s / 2, max_queue=max_queue,
+        solve_delay_ms=solve_delay_ms,
+    )
+    log(f"[E17] failover: goodput {failover.goodput_per_s:.1f}/s, errors "
+        f"{failover.errors}, p99 {failover.p99_ms:.0f}ms, deaths "
+        f"{f_counters.get('router.backend_deaths', 0)}, replays "
+        f"{f_counters.get('router.failover_replays', 0)}")
+
+    metrics.update({
+        "scaleout_ratio": ratio,
+        "failover_errors": failover.errors,
+        "failover_deaths": f_counters.get("router.backend_deaths", 0),
+        "failover_p99_bounded": bool(
+            failover.p99_ms <= p99_blip_factor * deadline_ms
+        ),
+        "failover_completed": failover.completed,
+    })
+    detail.update({
+        "workload": {
+            "num_sites": lg.num_sites, "num_servers": lg.num_servers,
+            "k": lg.k, "shards": shards, "shard_base": lg.shard,
+            "scratch_solve_ms": 1e3 * solve_s,
+            "solve_delay_ms": solve_delay_ms,
+            "per_backend_capacity_per_s": capacity,
+            "rate_per_s": lg.rate, "duration_s": duration_s,
+            "deadline_ms": deadline_ms, "max_queue": max_queue,
+        },
+        "goodput": {
+            "single_per_s": single.goodput_per_s,
+            "cluster_per_s": cluster.goodput_per_s,
+            "ratio": ratio,
+        },
+        "single": _leg_record(single),
+        "cluster": {**_leg_record(cluster), "router_counters": counters},
+        "failover": {**_leg_record(failover), "router_counters": f_counters},
+    })
+    return metrics, detail
+
+
+# ----------------------------------------------------------------------
+# E18 — O(churn) steady-state decides at scale.
+# ----------------------------------------------------------------------
+def bench_e18(params: dict[str, Any], log: Log):
+    from ..service import (
+        BackendSpec,
+        ChurnStreamConfig,
+        HashRing,
+        ServiceClient,
+        run_churn_stream,
+        spawn_router_process,
+        spawn_serve_process,
+    )
+
+    backends = params.get("backends", 3)
+    shards = params.get("shards", 6)
+    servers = params.get("servers", 64)
+    k = params.get("k", 512)
+    churn = params.get("churn", 16)
+    epochs = params.get("epochs", 24)
+    warmup = params.get("warmup", 3)
+    sites_small = params.get("sites_small", 16_700)
+    sites_large = params.get("sites_large", 167_000)
+    epoch_interval_ms = params.get("epoch_interval_ms", 300.0)
+    growth_bound = params.get("p50_growth_bound", 2.0)
+    required_total_large = params.get("required_total_large", 0)
+    seed = params.get("seed", 18)
+
+    node_names = tuple(f"backend-{i}" for i in range(backends))
+
+    def balanced_shard_base() -> str:
+        # Consistent hashing places the shard streams unevenly for most
+        # name bases; "n sites across all backends" needs every backend
+        # to own at least one stream (preferring a perfect split).
+        ring = HashRing(node_names)
+        best, best_spread = "e18", 0
+        for attempt in range(1000):
+            base = f"e18-{attempt}"
+            owners = {ring.owner(f"{base}-{i}") for i in range(shards)}
+            if len(owners) == backends:
+                counts = [
+                    sum(1 for i in range(shards)
+                        if ring.owner(f"{base}-{i}") == node)
+                    for node in node_names
+                ]
+                if max(counts) == shards // backends:
+                    return base
+                if len(owners) > best_spread:
+                    best, best_spread = base, len(owners)
+        if best_spread != backends:
+            raise RuntimeError("no shard base covers all backends")
+        return best
+
+    def run_leg(sites_per_shard: int, shard_base: str, replicate: bool):
+        # A fresh cluster per leg keeps the legs independent — nothing
+        # warm carries over, so byte-identity across legs is meaningful.
+        processes = []
+        try:
+            for _ in range(backends):
+                processes.append(spawn_serve_process())
+            specs = tuple(
+                BackendSpec(name, proc.host, proc.port)
+                for name, proc in zip(node_names, processes)
+            )
+            # The router must be its own OS process (as deployed): a
+            # daemon-thread router here would share the caller's GIL.
+            router_args = () if replicate else ("--no-replicate",)
+            router = spawn_router_process(specs, *router_args)
+            processes.append(router)
+            config = ChurnStreamConfig(
+                shard=shard_base, shards=shards, k=k,
+                num_sites=sites_per_shard, num_servers=servers,
+                churn=churn, epochs=epochs, warmup_epochs=warmup,
+                seed=seed, timeout=600.0,
+                epoch_interval_ms=epoch_interval_ms,
+            )
+            report = run_churn_stream(router.host, router.port, config)
+            with ServiceClient(router.host, router.port,
+                               timeout=120.0) as probe:
+                status = probe.status()
+        finally:
+            for proc in processes:
+                proc.terminate()
+        counters = status["router"]["metrics"]["counters"]
+        engines = {"incremental_decides": 0, "decisions": 0,
+                   "churn_fallbacks": 0}
+        for backend in status["backends"].values():
+            for shard_stats in backend.get("shards", {}).values():
+                engine = shard_stats.get("engine") or {}
+                for key_ in engines:
+                    engines[key_] += engine.get(key_, 0)
+        return report, counters, engines
+
+    def clean(report) -> bool:
+        return (
+            report.errors == 0
+            and report.fp_mismatches == 0
+            and report.completed == shards * epochs
+            and report.deltas_sent == shards * (epochs - 1)
+        )
+
+    shard_base = balanced_shard_base()
+
+    small, small_counters, small_engines = run_leg(
+        sites_small, shard_base, replicate=False
+    )
+    log(f"[E18] small n={shards * sites_small}: steady p50 "
+        f"{small.steady_p50_ms:.2f}ms p95 {small.steady_p95_ms:.2f}ms "
+        f"({small.duration_s:.1f}s wall)")
+
+    rerun, _, _ = run_leg(sites_small, shard_base, replicate=False)
+    trajectory_identical = rerun.trajectories == small.trajectories
+    log(f"[E18] small rerun byte-identical: {trajectory_identical} "
+        f"({len(small.trajectories)} shard trajectories)")
+
+    large, large_counters, large_engines = run_leg(
+        sites_large, shard_base, replicate=False
+    )
+    growth = large.steady_p50_ms / max(small.steady_p50_ms, 1e-9)
+    log(f"[E18] large n={shards * sites_large}: steady p50 "
+        f"{large.steady_p50_ms:.2f}ms p95 {large.steady_p95_ms:.2f}ms -> "
+        f"p50 growth {growth:.2f}x for "
+        f"{sites_large / max(sites_small, 1):.0f}x sites")
+
+    repl, repl_counters, repl_engines = run_leg(
+        sites_large, shard_base, replicate=True
+    )
+    log(f"[E18] large+replication: steady p50 {repl.steady_p50_ms:.2f}ms, "
+        f"{repl_counters.get('router.replicated', 0)} standby replays")
+
+    total_large = shards * sites_large
+    metrics = {
+        "total_sites_large": total_large,
+        "scale_target_met": bool(
+            total_large >= required_total_large
+        ) if required_total_large else True,
+        "p50_growth": growth,
+        "p50_growth_bound": growth_bound,
+        "steady_p50_small_ms": small.steady_p50_ms,
+        "steady_p50_large_ms": large.steady_p50_ms,
+        "trajectory_identical": bool(trajectory_identical),
+        "replication_trajectory_identical": bool(
+            repl.trajectories == large.trajectories
+        ),
+        "legs_clean": bool(
+            clean(small) and clean(rerun) and clean(large) and clean(repl)
+        ),
+        "incremental_decides_small": small_engines["incremental_decides"],
+        "incremental_decides_large": large_engines["incremental_decides"],
+        "churn_fallbacks_large": large_engines["churn_fallbacks"],
+        "router_passthrough_ok": bool(
+            large_counters.get("router.resident_deltas", 0)
+            >= shards * (epochs - 1)
+        ),
+        "replication_replays_ok": bool(
+            repl_counters.get("router.replicated", 0)
+            >= shards * (epochs - 1)
+        ),
+        "replication_errors":
+            repl_counters.get("router.replication_errors", 0),
+    }
+    detail = {
+        "workload": {
+            "backends": backends, "shards": shards,
+            "servers_per_shard": servers, "k": k,
+            "churn_per_shard_per_epoch": churn,
+            "epochs": epochs, "warmup_epochs": warmup,
+            "sites_per_shard_small": sites_small,
+            "sites_per_shard_large": sites_large,
+            "total_sites_small": shards * sites_small,
+            "total_sites_large": total_large,
+            "shard_base": shard_base,
+            "solve_delay_ms": 0.0,
+            "epoch_interval_ms": epoch_interval_ms,
+        },
+        "small": {
+            **_leg_record(small),
+            "router_counters": small_counters,
+            "engines": small_engines,
+        },
+        "large": {
+            **_leg_record(large),
+            "router_counters": large_counters,
+            "engines": large_engines,
+        },
+        "large_with_replication": {
+            **_leg_record(repl),
+            "router_counters": repl_counters,
+            "engines": repl_engines,
+        },
+    }
+    return metrics, detail
+
+
+BENCH_RUNNERS: dict[str, Callable[[dict, Log], tuple[dict, dict]]] = {
+    "e13-kernels": bench_e13,
+    "e14-service": bench_e14,
+    "e15-wire": bench_e15,
+    "e16-shm": bench_e16,
+    "e17-cluster": bench_e17,
+    "e18-scale": bench_e18,
+}

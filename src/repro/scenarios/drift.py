@@ -1,0 +1,303 @@
+"""The drift comparator: gate a fresh scenario run against its record.
+
+Comparison is policy-driven (:class:`repro.scenarios.spec.DriftPolicy`):
+exact metrics must match (floats within 1e-9 relative — the
+byte-identity flags, error counts and deterministic ratios), banded
+metrics must land within a multiplicative factor of the recorded value
+(latency and goodput, which track host speed), declared table columns
+must match cell for cell, and the *key set* of the metrics dict must
+match exactly — a metric that appears or vanishes is schema drift, not
+noise.
+
+Every failure mode is a distinct :class:`DriftIssue` kind with a
+distinct exception class, so CI output says *what* drifted and *how to
+act on it* rather than dumping two JSON blobs:
+
+============================  =========================================
+kind / exception              meaning
+============================  =========================================
+``schema-version-mismatch``   record written by a different record
+                              format — regenerate the record, don't
+                              chase value diffs
+``missing-metric``            recorded metric absent from the fresh
+                              run — the runner stopped emitting it
+``extra-metric``              fresh metric absent from the record —
+                              re-record to adopt it
+``exact-mismatch``            a deterministic field changed — a real
+                              behavior change (or lost determinism)
+``tolerance-exceeded``        a banded metric left its window — perf
+                              regression or a noisy host
+``table-mismatch``            a deterministic table cell changed
+``table-shape``               columns/row-count changed — the
+                              experiment's shape moved
+============================  =========================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+from .spec import DriftPolicy
+
+__all__ = [
+    "DriftError",
+    "DriftIssue",
+    "DriftReport",
+    "ExactMismatch",
+    "ExtraMetric",
+    "MissingMetric",
+    "SchemaVersionMismatch",
+    "TableMismatch",
+    "ToleranceExceeded",
+    "compare_records",
+]
+
+_REL_TOL = 1e-9
+_ABS_TOL = 1e-12
+
+
+class DriftError(Exception):
+    """Base for typed drift failures (strict mode)."""
+
+
+class SchemaVersionMismatch(DriftError):
+    pass
+
+
+class MissingMetric(DriftError):
+    pass
+
+
+class ExtraMetric(DriftError):
+    pass
+
+
+class ExactMismatch(DriftError):
+    pass
+
+
+class ToleranceExceeded(DriftError):
+    pass
+
+
+class TableMismatch(DriftError):
+    pass
+
+
+_KIND_TO_ERROR = {
+    "schema-version-mismatch": SchemaVersionMismatch,
+    "missing-metric": MissingMetric,
+    "extra-metric": ExtraMetric,
+    "exact-mismatch": ExactMismatch,
+    "tolerance-exceeded": ToleranceExceeded,
+    "table-mismatch": TableMismatch,
+    "table-shape": TableMismatch,
+}
+
+
+@dataclass(frozen=True)
+class DriftIssue:
+    kind: str
+    path: str
+    message: str
+
+    def error(self) -> DriftError:
+        return _KIND_TO_ERROR[self.kind](f"[{self.path}] {self.message}")
+
+
+@dataclass
+class DriftReport:
+    """All issues one record comparison produced."""
+
+    scenario_id: str
+    tier: str
+    issues: list[DriftIssue] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def add(self, kind: str, path: str, message: str) -> None:
+        self.issues.append(DriftIssue(kind, path, message))
+
+    def raise_first(self) -> None:
+        """Strict mode: raise the typed error for the first issue."""
+        if self.issues:
+            raise self.issues[0].error()
+
+    def render(self) -> str:
+        if self.ok:
+            return f"{self.scenario_id} [{self.tier}]: no drift"
+        lines = [
+            f"{self.scenario_id} [{self.tier}]: "
+            f"{len(self.issues)} drift issue(s)"
+        ]
+        for issue in self.issues:
+            lines.append(f"  - {issue.kind} @ {issue.path}: {issue.message}")
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "scenario": self.scenario_id,
+            "tier": self.tier,
+            "ok": self.ok,
+            "issues": [
+                {"kind": i.kind, "path": i.path, "message": i.message}
+                for i in self.issues
+            ],
+        }
+
+
+def _values_equal(recorded: Any, fresh: Any) -> bool:
+    """Exact-field equality: numbers within 1e-9 relative, everything
+    else by ``==``; ``None`` (serialized NaN/inf) only equals None."""
+    if recorded is None or fresh is None:
+        return recorded is None and fresh is None
+    if isinstance(recorded, bool) or isinstance(fresh, bool):
+        return recorded == fresh
+    if isinstance(recorded, (int, float)) and isinstance(fresh, (int, float)):
+        return math.isclose(
+            float(recorded), float(fresh), rel_tol=_REL_TOL, abs_tol=_ABS_TOL
+        )
+    return recorded == fresh
+
+
+def _within_band(recorded: Any, fresh: Any, factor: float) -> bool:
+    """Banded equality: within a multiplicative ``factor`` either way.
+
+    Bands exist for strictly-positive rate/latency metrics; zero only
+    matches zero, and non-numeric values fall back to exact equality.
+    """
+    if not isinstance(recorded, (int, float)) or isinstance(recorded, bool) \
+            or not isinstance(fresh, (int, float)) or isinstance(fresh, bool):
+        return _values_equal(recorded, fresh)
+    a, b = float(recorded), float(fresh)
+    if a <= 0.0 or b <= 0.0:
+        return a == b
+    hi, lo = max(a, b), min(a, b)
+    return hi / lo <= factor
+
+
+def compare_records(
+    recorded: dict,
+    fresh: dict,
+    policy: DriftPolicy,
+    *,
+    scenario_id: str = "?",
+    tier: str = "?",
+) -> DriftReport:
+    """Compare a fresh record against the committed one.
+
+    Returns a :class:`DriftReport`; callers wanting exceptions use
+    ``report.raise_first()``.  A schema-version mismatch short-circuits
+    — value diffs across formats are meaningless.
+    """
+    report = DriftReport(scenario_id=scenario_id, tier=tier)
+
+    for side, rec in (("recorded", recorded), ("fresh", fresh)):
+        schema = (rec.get("schema"), rec.get("schema_version"))
+        if schema != (_expected_schema(), _expected_version()):
+            report.add(
+                "schema-version-mismatch", side,
+                f"{side} record has schema {schema!r}, this tree writes "
+                f"{(_expected_schema(), _expected_version())!r}; regenerate "
+                "the record with 'reproduce --record' instead of comparing "
+                "across formats",
+            )
+            return report
+
+    rec_metrics = recorded.get("metrics") or {}
+    new_metrics = fresh.get("metrics") or {}
+
+    for key in sorted(set(rec_metrics) - set(new_metrics)):
+        report.add(
+            "missing-metric", f"metrics.{key}",
+            f"recorded metric {key!r} is absent from the fresh run; the "
+            "runner stopped emitting it — fix the runner or re-record",
+        )
+    for key in sorted(set(new_metrics) - set(rec_metrics)):
+        report.add(
+            "extra-metric", f"metrics.{key}",
+            f"fresh run emits metric {key!r} the record lacks; "
+            "re-record to adopt the new metric",
+        )
+
+    shared = set(rec_metrics) & set(new_metrics)
+    for key in sorted(set(policy.exact) & shared):
+        if not _values_equal(rec_metrics[key], new_metrics[key]):
+            report.add(
+                "exact-mismatch", f"metrics.{key}",
+                f"recorded {rec_metrics[key]!r} != fresh "
+                f"{new_metrics[key]!r} (exact field — a deterministic "
+                "behavior changed)",
+            )
+    for key, factor in sorted(policy.band.items()):
+        if key not in shared:
+            continue
+        if not _within_band(rec_metrics[key], new_metrics[key], factor):
+            report.add(
+                "tolerance-exceeded", f"metrics.{key}",
+                f"fresh {new_metrics[key]!r} is outside {factor:g}x of "
+                f"recorded {rec_metrics[key]!r}",
+            )
+
+    _compare_tables(recorded.get("table"), fresh.get("table"), policy, report)
+    return report
+
+
+def _compare_tables(rec_table, new_table, policy: DriftPolicy,
+                    report: DriftReport) -> None:
+    if not policy.table_exact_columns:
+        return
+    if (rec_table is None) != (new_table is None):
+        report.add(
+            "table-shape", "table",
+            "one side has a table and the other does not",
+        )
+        return
+    if rec_table is None:
+        return
+    rec_cols, new_cols = list(rec_table["columns"]), list(new_table["columns"])
+    if rec_cols != new_cols:
+        report.add(
+            "table-shape", "table.columns",
+            f"columns changed: recorded {rec_cols} vs fresh {new_cols}",
+        )
+        return
+    rec_rows, new_rows = rec_table["rows"], new_table["rows"]
+    if len(rec_rows) != len(new_rows):
+        report.add(
+            "table-shape", "table.rows",
+            f"row count changed: recorded {len(rec_rows)} vs fresh "
+            f"{len(new_rows)}",
+        )
+        return
+    for column in policy.table_exact_columns:
+        if column not in rec_cols:
+            report.add(
+                "table-shape", f"table.columns.{column}",
+                f"drift policy names column {column!r} the table lacks",
+            )
+            continue
+        idx = rec_cols.index(column)
+        for row_no, (rec_row, new_row) in enumerate(zip(rec_rows, new_rows)):
+            if not _values_equal(rec_row[idx], new_row[idx]):
+                report.add(
+                    "table-mismatch",
+                    f"table[{row_no}].{column}",
+                    f"recorded {rec_row[idx]!r} != fresh {new_row[idx]!r}",
+                )
+
+
+def _expected_schema() -> str:
+    from .records import SCHEMA
+
+    return SCHEMA
+
+
+def _expected_version() -> int:
+    from .records import SCHEMA_VERSION
+
+    return SCHEMA_VERSION

@@ -1,0 +1,122 @@
+"""Schema-versioned scenario record files.
+
+Canonical records live in the *tracked* ``benchmarks/records/<tier>/``
+tree (one JSON file per scenario per tier) — unlike the
+``benchmarks/BENCH_*.json`` working copies, which stay gitignored
+scratch output for humans.  Every record carries a schema header so
+the drift comparator can refuse to compare across format changes
+instead of producing nonsense diffs:
+
+.. code-block:: json
+
+    {
+      "schema": "repro.scenarios.record",
+      "schema_version": 1,
+      "scenario": "E14",
+      "tier": "ci",
+      "axes": {"workload": {...}, "traffic": {...}, "transport": {...}},
+      "metrics": {...},        // flat, drift-compared per policy
+      "table": {...},          // rendered experiment table, if any
+      "acceptance": [...],     // evaluated machine-readable checks
+      "detail": {...}          // free-form, never drift-compared
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "SCHEMA",
+    "SCHEMA_VERSION",
+    "RecordError",
+    "default_records_root",
+    "load_record",
+    "record_path",
+    "to_jsonable",
+    "write_record",
+]
+
+SCHEMA = "repro.scenarios.record"
+SCHEMA_VERSION = 1
+
+
+class RecordError(Exception):
+    """A record file is missing or unreadable."""
+
+
+def default_records_root() -> Path:
+    """``benchmarks/records`` of this checkout.
+
+    Resolved relative to the package (``src/repro/scenarios`` →
+    repo root) so the reproduce CLI works from any cwd inside the
+    repo; falls back to ``./benchmarks/records`` for installed-package
+    use against a foreign checkout.
+    """
+    repo = Path(__file__).resolve().parents[3]
+    candidate = repo / "benchmarks" / "records"
+    if (repo / "benchmarks").is_dir():
+        return candidate
+    return Path.cwd() / "benchmarks" / "records"
+
+
+def record_path(root: Path, tier: str, scenario_id: str) -> Path:
+    return Path(root) / tier / f"{scenario_id}.json"
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert a record payload to plain JSON types.
+
+    numpy scalars become Python numbers, tuples become lists, NaN and
+    infinities become ``None`` (strict-JSON friendly, and the drift
+    comparator treats ``None == None``).
+    """
+    if isinstance(value, dict):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(v) for v in value]
+    if isinstance(value, bool):
+        return value
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        value = value.item()  # numpy scalar
+    if isinstance(value, float):
+        if math.isnan(value) or math.isinf(value):
+            return None
+        return value
+    if value is None or isinstance(value, (int, str)):
+        return value
+    return str(value)
+
+
+def write_record(record: dict, root: Path, tier: str, scenario_id: str
+                 ) -> Path:
+    path = record_path(root, tier, scenario_id)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(to_jsonable(record), indent=2, sort_keys=True,
+                   allow_nan=False) + "\n"
+    )
+    return path
+
+
+def load_record(path: Path) -> dict:
+    """Read a record file; raises :class:`RecordError` if absent or
+    not JSON.  (Schema *version* checking is the drift comparator's
+    job — it reports a distinct, actionable mismatch.)"""
+    path = Path(path)
+    if not path.is_file():
+        raise RecordError(
+            f"no record at {path}; regenerate it with "
+            f"'python -m repro reproduce --scenario {path.stem} --record "
+            f"--tier {path.parent.name}'"
+        )
+    try:
+        record = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise RecordError(f"record {path} is not valid JSON: {exc}") from exc
+    if not isinstance(record, dict):
+        raise RecordError(f"record {path} is not a JSON object")
+    return record

@@ -1,0 +1,138 @@
+"""``python -m repro reproduce``: one command, every result.
+
+Help text, the scenario listing and ID validation are all derived from
+the catalog registry — a scenario added to
+:data:`repro.scenarios.catalog.CATALOG` appears here with zero CLI
+changes (the ``ALL_RUNNABLE`` pattern from :mod:`repro.cli`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .catalog import CATALOG, scenario_ids
+from .drift import DriftError
+from .records import RecordError
+from .runner import run_scenario
+from .spec import TIERS
+
+__all__ = ["main"]
+
+
+def _scenario_lines() -> str:
+    lines = []
+    for scenario_id, scenario in CATALOG.items():
+        kinds = "+".join(
+            kind for kind, present in
+            (("table", scenario.table), ("bench", scenario.bench))
+            if present
+        )
+        lines.append(f"  {scenario_id:<4} [{kinds}] {scenario.title}")
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro reproduce",
+        description="Regenerate E-tables and BENCH records from the "
+                    "declarative scenario catalog.",
+        epilog="scenarios:\n" + _scenario_lines(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    which = parser.add_mutually_exclusive_group()
+    which.add_argument("--all", action="store_true",
+                       help="run every catalog scenario")
+    which.add_argument("--scenario", action="append", metavar="ID",
+                       help="run one scenario (repeatable); valid IDs: "
+                            + ", ".join(scenario_ids()))
+    which.add_argument("--list", action="store_true",
+                       help="list catalog scenarios and exit")
+    parser.add_argument("--tier", choices=TIERS, default="ci",
+                        help="parameter tier: 'ci' is scaled down with the "
+                             "same invariants, 'full' is canonical "
+                             "(default: ci)")
+    parser.add_argument("--check", action="store_true",
+                        help="drift-compare fresh runs against the tracked "
+                             "records in benchmarks/records/<tier>/")
+    parser.add_argument("--record", action="store_true",
+                        help="write fresh runs to the tracked records tree")
+    parser.add_argument("--records-root", type=Path, default=None,
+                        help="records tree root (default: "
+                             "benchmarks/records of this checkout)")
+    parser.add_argument("--drift-report", type=Path, default=None,
+                        metavar="PATH",
+                        help="write a machine-readable JSON drift/acceptance "
+                             "report here (CI uploads it on failure)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print(_scenario_lines())
+        return 0
+
+    if args.scenario:
+        unknown = [s for s in args.scenario if s.upper() not in CATALOG]
+        if unknown:
+            parser.error(
+                f"unknown scenario(s) {', '.join(unknown)}; valid "
+                f"scenarios: {', '.join(scenario_ids())}"
+            )
+        chosen = [s.upper() for s in args.scenario]
+    elif args.all:
+        chosen = list(scenario_ids())
+    else:
+        parser.error("choose --all, --scenario ID or --list")
+
+    results = []
+    failures: list[str] = []
+    for scenario_id in chosen:
+        print(f"\n=== {scenario_id} [{args.tier}] "
+              f"{CATALOG[scenario_id].title} ===")
+        try:
+            result = run_scenario(
+                scenario_id, args.tier, record=args.record, check=args.check,
+                records_root=args.records_root,
+            )
+        except (RecordError, DriftError) as exc:
+            print(f"{scenario_id} [{args.tier}]: {exc}", file=sys.stderr)
+            failures.append(f"{scenario_id}: {exc}")
+            results.append({
+                "scenario": scenario_id, "tier": args.tier, "ok": False,
+                "error": str(exc),
+            })
+            continue
+        results.append({
+            "scenario": scenario_id,
+            "tier": args.tier,
+            "ok": result.ok,
+            "acceptance": result.record["acceptance"],
+            "drift": result.drift.as_dict() if result.drift else None,
+        })
+        if not result.ok:
+            failures.append(result.failure_summary())
+
+    if args.drift_report is not None:
+        args.drift_report.parent.mkdir(parents=True, exist_ok=True)
+        args.drift_report.write_text(json.dumps({
+            "tier": args.tier,
+            "ok": not failures,
+            "scenarios": results,
+        }, indent=2, sort_keys=True) + "\n")
+
+    print(f"\n{len(chosen)} scenario(s), {len(failures)} failure(s)")
+    if failures:
+        for failure in failures:
+            print(failure, file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

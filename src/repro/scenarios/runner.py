@@ -1,0 +1,185 @@
+"""Execute a catalog scenario and produce its schema-versioned record.
+
+The runner is a pure interpreter over the catalog: resolve tier params,
+regenerate the scenario's E-table (analysis registry) and/or acceptance
+bench (:data:`~repro.scenarios.benches.BENCH_RUNNERS`), evaluate the
+declared machine-readable checks, assemble the record, and optionally
+persist it to the tracked ``benchmarks/records/<tier>/`` tree and/or
+drift-compare it against the copy already there.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from .catalog import get_scenario
+from .drift import DriftReport, compare_records
+from .records import (
+    SCHEMA,
+    SCHEMA_VERSION,
+    default_records_root,
+    load_record,
+    record_path,
+    to_jsonable,
+    write_record,
+)
+from .spec import Scenario
+
+__all__ = ["ScenarioResult", "run_scenario"]
+
+
+@dataclass
+class ScenarioResult:
+    """What one scenario run produced and how it was judged."""
+
+    scenario_id: str
+    tier: str
+    record: dict[str, Any]
+    acceptance: list[dict[str, Any]] = field(default_factory=list)
+    drift: DriftReport | None = None
+    record_file: Path | None = None
+
+    @property
+    def acceptance_ok(self) -> bool:
+        return all(entry["ok"] for entry in self.acceptance)
+
+    @property
+    def ok(self) -> bool:
+        return self.acceptance_ok and (self.drift is None or self.drift.ok)
+
+    def failure_summary(self) -> str:
+        lines = []
+        for entry in self.acceptance:
+            if not entry["ok"]:
+                lines.append(
+                    f"{self.scenario_id} [{self.tier}] acceptance failed: "
+                    f"{entry['check']} (observed {entry['observed']!r})"
+                )
+        if self.drift is not None and not self.drift.ok:
+            lines.append(self.drift.render())
+        return "\n".join(lines) or f"{self.scenario_id} [{self.tier}]: ok"
+
+
+def _serialize_table(report) -> dict[str, Any]:
+    return {
+        "title": report.title,
+        "columns": list(report.columns),
+        "rows": [list(row) for row in report.rows],
+        "notes": list(report.notes),
+    }
+
+
+def _evaluate_acceptance(scenario: Scenario, metrics, table, *,
+                         table_ran: bool) -> list[dict[str, Any]]:
+    results = []
+    for check in scenario.acceptance:
+        if check.metric.startswith("table.") and not table_ran:
+            continue  # table checks only gate tiers that run the table
+        ok, got = check.evaluate(metrics, table)
+        results.append({
+            "check": check.describe(),
+            "metric": check.metric,
+            "op": check.op,
+            "value": check.value,
+            "ok": bool(ok),
+            "observed": got,
+        })
+    return results
+
+
+def run_scenario(
+    scenario_id: str,
+    tier: str = "ci",
+    *,
+    overrides: dict | None = None,
+    record: bool = False,
+    check: bool = False,
+    records_root: Path | None = None,
+    write_bench_json: bool = True,
+    log: Callable[[str], None] = print,
+) -> ScenarioResult:
+    """Run one catalog scenario at ``tier``.
+
+    ``record=True`` writes the result to the tracked records tree;
+    ``check=True`` drift-compares it against the record already there.
+    ``write_bench_json`` refreshes the scenario's gitignored
+    ``benchmarks/BENCH_*.json`` working copy (the old scripts' output
+    path, kept for humans and back-compat tooling).
+    """
+    scenario = get_scenario(scenario_id)
+    params = scenario.resolve(tier, overrides)
+    root = Path(records_root) if records_root else default_records_root()
+
+    table_dict = None
+    table_ran = scenario.runs_table(tier)
+    if table_ran:
+        from ..analysis.ablations import ALL_ABLATIONS
+        from ..analysis.experiments import ALL_EXPERIMENTS
+
+        registry = {**ALL_EXPERIMENTS, **ALL_ABLATIONS}
+        report = registry[scenario.table](**params["table"])
+        table_dict = to_jsonable(_serialize_table(report))
+        log(report.render())
+
+    metrics: dict[str, Any] = {}
+    detail: dict[str, Any] = {}
+    if scenario.bench is not None:
+        from .benches import BENCH_RUNNERS
+
+        metrics, detail = BENCH_RUNNERS[scenario.bench](params["bench"], log)
+        metrics = to_jsonable(metrics)
+        detail = to_jsonable(detail)
+    if table_dict is not None:
+        metrics.setdefault("table_rows", len(table_dict["rows"]))
+
+    acceptance = _evaluate_acceptance(
+        scenario, metrics, table_dict, table_ran=table_ran
+    )
+    fresh = {
+        "schema": SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "scenario": scenario.scenario_id,
+        "tier": tier,
+        "title": scenario.title,
+        "axes": scenario.axes_dict(),
+        "params": params,
+        "metrics": metrics,
+        "table": table_dict,
+        "acceptance": acceptance,
+        "detail": detail,
+    }
+    fresh = to_jsonable(fresh)
+
+    result = ScenarioResult(
+        scenario_id=scenario.scenario_id, tier=tier, record=fresh,
+        acceptance=fresh["acceptance"],
+    )
+
+    if write_bench_json and scenario.bench_json is not None:
+        bench_path = root.parent / scenario.bench_json
+        if bench_path.parent.is_dir():
+            bench_path.write_text(
+                json.dumps(fresh, indent=2, sort_keys=True) + "\n"
+            )
+
+    if check:
+        recorded = load_record(record_path(root, tier, scenario.scenario_id))
+        result.drift = compare_records(
+            recorded, fresh, scenario.drift,
+            scenario_id=scenario.scenario_id, tier=tier,
+        )
+        log(result.drift.render())
+    if record:
+        result.record_file = write_record(
+            fresh, root, tier, scenario.scenario_id
+        )
+        log(f"{scenario.scenario_id} [{tier}]: recorded "
+            f"{result.record_file}")
+
+    for entry in result.acceptance:
+        status = "PASS" if entry["ok"] else "FAIL"
+        log(f"  [{status}] {entry['check']} (observed {entry['observed']!r})")
+    return result

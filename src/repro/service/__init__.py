@@ -42,6 +42,7 @@ from .cluster import (
     start_router_background,
 )
 from .loadgen import (
+    CALIBRATIONS,
     ChurnStreamConfig,
     ChurnStreamReport,
     LoadGenConfig,
@@ -79,6 +80,7 @@ from .server import (
 
 __all__ = [
     "AdmissionQueue",
+    "CALIBRATIONS",
     "AsyncServiceClient",
     "BackendSpec",
     "BatchConfig",

@@ -38,6 +38,7 @@ from .protocol import ProtocolError
 from .resident import ResidentShard
 
 __all__ = [
+    "CALIBRATIONS",
     "ChurnStreamConfig",
     "ChurnStreamReport",
     "LoadGenConfig",
@@ -807,3 +808,14 @@ def run_churn_stream(
 ) -> ChurnStreamReport:
     """Run one closed-loop churn-stream workload against a live server."""
     return asyncio.run(_run_churn_stream_async(host, port, config))
+
+
+# The scenario catalog's workload-axis registry: a scenario names its
+# calibration ("service", "wire", "shm") instead of importing a
+# function, so record files document which host-speed pin sized the
+# workload.  Each entry returns ``(LoadGenConfig, measured_seconds)``.
+CALIBRATIONS = {
+    "service": calibrate_workload,
+    "wire": calibrate_wire_workload,
+    "shm": calibrate_shm_workload,
+}

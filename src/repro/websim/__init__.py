@@ -41,6 +41,7 @@ from .traffic import (
     RandomWalkTraffic,
     StaticZipf,
     TrafficModel,
+    make_traffic,
     zipf_popularities,
 )
 from .website import Website
@@ -78,5 +79,6 @@ __all__ = [
     "build_cluster",
     "run_many",
     "record_trace",
+    "make_traffic",
     "zipf_popularities",
 ]

@@ -27,8 +27,40 @@ __all__ = [
     "RandomWalkTraffic",
     "FlashCrowdTraffic",
     "ComposedTraffic",
+    "make_traffic",
     "zipf_popularities",
 ]
+
+TRAFFIC_KINDS = ("static", "diurnal", "random-walk", "flash",
+                 "diurnal+flash")
+
+
+def make_traffic(kind: str, *, flash_probability: float = 0.1
+                 ) -> "TrafficModel":
+    """Build a traffic model from its declarative name.
+
+    This is the traffic axis of the scenario catalog
+    (:mod:`repro.scenarios`): scenarios name a kind instead of
+    constructing model objects, so a record file's ``axes.traffic``
+    fully documents what drove the load.
+    """
+    if kind == "static":
+        return StaticZipf()
+    if kind == "diurnal":
+        return DiurnalTraffic()
+    if kind == "random-walk":
+        return RandomWalkTraffic()
+    if kind == "flash":
+        return FlashCrowdTraffic(probability=flash_probability)
+    if kind == "diurnal+flash":
+        return ComposedTraffic(
+            (DiurnalTraffic(),
+             FlashCrowdTraffic(probability=flash_probability))
+        )
+    raise ValueError(
+        f"unknown traffic kind {kind!r}; valid kinds: "
+        f"{', '.join(TRAFFIC_KINDS)}"
+    )
 
 
 def zipf_popularities(

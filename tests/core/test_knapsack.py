@@ -101,6 +101,18 @@ class TestFPTAS:
             assert sol.kept_size <= capacity + 1e-9
             assert sol.kept_cost >= (1.0 - eps) * opt - 1e-9
 
+    def test_oversized_item_does_not_inflate_scale_step(self):
+        # Regression: the size-3 item can never fit under capacity 2,
+        # but its cost 7 used to enter c_max and widen the rounding
+        # step until both keepable items scaled to cost 0 — returning
+        # kept_cost 0 against an optimum of 1.
+        for backend in ("kernel", "reference"):
+            sol = keep_max_cost_fptas(
+                [3, 2, 1], [7, 1, 0], 2, eps=0.5, backend=backend
+            )
+            assert sol.kept_size <= 2.0
+            assert sol.kept_cost >= 0.5 * 1 - 1e-9
+
     def test_all_zero_costs_keeps_feasible(self):
         sol = keep_max_cost_fptas([2, 3], [0, 0], 4)
         assert sol.kept_size <= 4.0

@@ -1,0 +1,247 @@
+"""The drift comparator: every failure mode is a distinct, actionable
+error — tolerance-band pass/fail, exact-field mismatch, missing/extra
+metric keys, schema-version mismatch, table drift."""
+
+import pytest
+
+from repro.scenarios import (
+    SCHEMA,
+    SCHEMA_VERSION,
+    DriftPolicy,
+    ExactMismatch,
+    ExtraMetric,
+    MissingMetric,
+    SchemaVersionMismatch,
+    TableMismatch,
+    ToleranceExceeded,
+    compare_records,
+)
+
+
+def record(metrics=None, table=None, schema=SCHEMA, version=SCHEMA_VERSION):
+    return {
+        "schema": schema,
+        "schema_version": version,
+        "scenario": "EX",
+        "tier": "ci",
+        "metrics": dict(metrics or {}),
+        "table": table,
+    }
+
+
+class TestToleranceBands:
+    POLICY = DriftPolicy(band={"goodput_ratio": 2.0})
+
+    def test_within_band_passes(self):
+        rep = compare_records(
+            record({"goodput_ratio": 5.0}),
+            record({"goodput_ratio": 9.9}),
+            self.POLICY,
+        )
+        assert rep.ok
+
+    def test_band_is_symmetric(self):
+        rep = compare_records(
+            record({"goodput_ratio": 9.9}),
+            record({"goodput_ratio": 5.0}),
+            self.POLICY,
+        )
+        assert rep.ok
+
+    def test_outside_band_fails_with_tolerance_error(self):
+        rep = compare_records(
+            record({"goodput_ratio": 5.0}),
+            record({"goodput_ratio": 10.1}),
+            self.POLICY,
+        )
+        assert not rep.ok
+        assert [i.kind for i in rep.issues] == ["tolerance-exceeded"]
+        assert rep.issues[0].path == "metrics.goodput_ratio"
+        with pytest.raises(ToleranceExceeded):
+            rep.raise_first()
+
+    def test_zero_only_matches_zero(self):
+        rep = compare_records(
+            record({"goodput_ratio": 0.0}),
+            record({"goodput_ratio": 0.5}),
+            self.POLICY,
+        )
+        assert [i.kind for i in rep.issues] == ["tolerance-exceeded"]
+        assert compare_records(
+            record({"goodput_ratio": 0.0}),
+            record({"goodput_ratio": 0.0}),
+            self.POLICY,
+        ).ok
+
+
+class TestExactFields:
+    POLICY = DriftPolicy(exact=("trajectory_identical", "errors_total"))
+
+    def test_equal_passes(self):
+        rep = compare_records(
+            record({"trajectory_identical": True, "errors_total": 0}),
+            record({"trajectory_identical": True, "errors_total": 0}),
+            self.POLICY,
+        )
+        assert rep.ok
+
+    def test_mismatch_is_exact_error(self):
+        rep = compare_records(
+            record({"trajectory_identical": True, "errors_total": 0}),
+            record({"trajectory_identical": False, "errors_total": 0}),
+            self.POLICY,
+        )
+        assert [i.kind for i in rep.issues] == ["exact-mismatch"]
+        assert "trajectory_identical" in rep.issues[0].path
+        with pytest.raises(ExactMismatch):
+            rep.raise_first()
+
+    def test_float_jitter_within_1e9_tolerated(self):
+        rep = compare_records(
+            record({"trajectory_identical": 1.0, "errors_total": 0}),
+            record({"trajectory_identical": 1.0 + 1e-12, "errors_total": 0}),
+            self.POLICY,
+        )
+        assert rep.ok
+
+    def test_none_only_equals_none(self):
+        policy = DriftPolicy(exact=("planted",))
+        assert compare_records(
+            record({"planted": None}), record({"planted": None}), policy
+        ).ok
+        rep = compare_records(
+            record({"planted": None}), record({"planted": 1.0}), policy
+        )
+        assert [i.kind for i in rep.issues] == ["exact-mismatch"]
+
+    def test_bool_does_not_equal_int_shaped_float(self):
+        policy = DriftPolicy(exact=("flag",))
+        rep = compare_records(
+            record({"flag": True}), record({"flag": 2}), policy
+        )
+        assert not rep.ok
+
+
+class TestKeySetDrift:
+    POLICY = DriftPolicy(exact=("a",))
+
+    def test_missing_metric_distinct_error(self):
+        rep = compare_records(
+            record({"a": 1, "gone": 2}), record({"a": 1}), self.POLICY
+        )
+        assert [i.kind for i in rep.issues] == ["missing-metric"]
+        assert rep.issues[0].path == "metrics.gone"
+        assert "re-record" in rep.issues[0].message
+        with pytest.raises(MissingMetric):
+            rep.raise_first()
+
+    def test_extra_metric_distinct_error(self):
+        rep = compare_records(
+            record({"a": 1}), record({"a": 1, "new": 2}), self.POLICY
+        )
+        assert [i.kind for i in rep.issues] == ["extra-metric"]
+        assert rep.issues[0].path == "metrics.new"
+        with pytest.raises(ExtraMetric):
+            rep.raise_first()
+
+    def test_informational_keys_checked_for_presence_not_value(self):
+        rep = compare_records(
+            record({"a": 1, "info": 123}),
+            record({"a": 1, "info": 456}),
+            self.POLICY,
+        )
+        assert rep.ok  # value differs but the key is informational
+
+
+class TestSchemaVersion:
+    POLICY = DriftPolicy(exact=("a",))
+
+    def test_version_mismatch_short_circuits(self):
+        rep = compare_records(
+            record({"a": 1}, version=SCHEMA_VERSION + 1),
+            record({"a": 2}),
+            self.POLICY,
+        )
+        assert [i.kind for i in rep.issues] == ["schema-version-mismatch"]
+        assert "regenerate" in rep.issues[0].message
+        with pytest.raises(SchemaVersionMismatch):
+            rep.raise_first()
+
+    def test_fresh_side_checked_too(self):
+        rep = compare_records(
+            record({"a": 1}),
+            record({"a": 1}, schema="something.else"),
+            self.POLICY,
+        )
+        assert [i.kind for i in rep.issues] == ["schema-version-mismatch"]
+
+
+class TestTableDrift:
+    POLICY = DriftPolicy(table_exact_columns=("family", "within"))
+
+    def table(self, rows):
+        return {"columns": ["family", "time (ms)", "within"], "rows": rows}
+
+    def test_identical_cells_pass_timing_column_free(self):
+        rep = compare_records(
+            record(table=self.table([["tight", 1.0, True]])),
+            record(table=self.table([["tight", 99.0, True]])),
+            self.POLICY,
+        )
+        assert rep.ok  # "time (ms)" is not a gated column
+
+    def test_cell_change_is_table_mismatch(self):
+        rep = compare_records(
+            record(table=self.table([["tight", 1.0, True]])),
+            record(table=self.table([["tight", 1.0, False]])),
+            self.POLICY,
+        )
+        assert [i.kind for i in rep.issues] == ["table-mismatch"]
+        assert rep.issues[0].path == "table[0].within"
+        with pytest.raises(TableMismatch):
+            rep.raise_first()
+
+    def test_column_change_is_shape_drift(self):
+        fresh = record(table={"columns": ["family", "within"],
+                              "rows": [["tight", True]]})
+        rep = compare_records(
+            record(table=self.table([["tight", 1.0, True]])), fresh,
+            self.POLICY,
+        )
+        assert [i.kind for i in rep.issues] == ["table-shape"]
+
+    def test_row_count_change_is_shape_drift(self):
+        rep = compare_records(
+            record(table=self.table([["tight", 1.0, True]])),
+            record(table=self.table([["tight", 1.0, True],
+                                     ["random", 2.0, True]])),
+            self.POLICY,
+        )
+        assert [i.kind for i in rep.issues] == ["table-shape"]
+
+    def test_vanished_table_is_shape_drift(self):
+        rep = compare_records(
+            record(table=self.table([["tight", 1.0, True]])),
+            record(table=None),
+            self.POLICY,
+        )
+        assert [i.kind for i in rep.issues] == ["table-shape"]
+
+
+class TestReportRendering:
+    def test_report_names_every_issue(self):
+        policy = DriftPolicy(exact=("a",), band={"b": 2.0})
+        rep = compare_records(
+            record({"a": 1, "b": 1.0, "gone": 0}),
+            record({"a": 2, "b": 9.0, "new": 0}),
+            policy,
+            scenario_id="E99",
+            tier="ci",
+        )
+        kinds = sorted(i.kind for i in rep.issues)
+        assert kinds == ["exact-mismatch", "extra-metric", "missing-metric",
+                        "tolerance-exceeded"]
+        text = rep.render()
+        assert "E99" in text and "4 drift issue(s)" in text
+        as_dict = rep.as_dict()
+        assert as_dict["ok"] is False and len(as_dict["issues"]) == 4
