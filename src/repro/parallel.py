@@ -43,6 +43,7 @@ __all__ = [
     "default_workers",
     "run_sweep",
     "run_until",
+    "spawn_piped_process",
 ]
 
 
@@ -301,6 +302,25 @@ _OK = b"\x00"
 _ERR = b"\x01"
 
 
+def spawn_piped_process(target, *args, daemon: bool = True):
+    """Start a ``spawn``-context process wired to a duplex pipe.
+
+    ``target(child_conn, *args)`` runs in the child; the parent gets
+    ``(process, parent_conn)``.  The child's end is closed in the
+    parent so EOF propagates when the child exits — the idiom both
+    :class:`PersistentWorkerPool` and the sharded-router control plane
+    build their pipe protocols on.  ``spawn`` (never fork): forking a
+    process that already runs an asyncio loop plus solver threads is
+    undefined behavior.
+    """
+    ctx = multiprocessing.get_context("spawn")
+    parent, child = ctx.Pipe()
+    proc = ctx.Process(target=target, args=(child, *args), daemon=daemon)
+    proc.start()
+    child.close()
+    return proc, parent
+
+
 def _persistent_worker_loop(conn, handler, initializer, initargs) -> None:
     """Worker-process main: init once, then serve requests until EOF.
 
@@ -372,7 +392,6 @@ class PersistentWorkerPool:
     ) -> None:
         if workers <= 0:
             raise ValueError("workers must be positive")
-        ctx = multiprocessing.get_context("spawn")
         # The pool owns the optional snapshot ring's lifetime: workers
         # attach to it during init (the ready handshake covers attach
         # failures), and close() unlinks it only after every worker has
@@ -381,14 +400,9 @@ class PersistentWorkerPool:
         self._procs = []
         self._conns = []
         for _ in range(workers):
-            parent, child = ctx.Pipe()
-            proc = ctx.Process(
-                target=_persistent_worker_loop,
-                args=(child, handler, initializer, initargs),
-                daemon=True,
+            proc, parent = spawn_piped_process(
+                _persistent_worker_loop, handler, initializer, initargs
             )
-            proc.start()
-            child.close()
             self._procs.append(proc)
             self._conns.append(parent)
         for index, conn in enumerate(self._conns):

@@ -900,6 +900,363 @@ def bench_e18(params: dict[str, Any], log: Log):
     return metrics, detail
 
 
+# ----------------------------------------------------------------------
+# E19 — sharded router data plane: many-core scale-out proof.
+# ----------------------------------------------------------------------
+def bench_e19(params: dict[str, Any], log: Log):
+    """Router goodput scales with data-plane worker processes.
+
+    The measurement device mirrors E17's ``--solve-delay-ms``: each
+    worker's relay capacity is *pinned by construction* with a
+    concurrency gate (``relay_concurrency`` permits) plus a synthetic
+    per-relay service-time floor held under the permit
+    (``relay_delay_s``), so per-worker capacity is
+    ``permits / (delay + real service)`` — independent of how many
+    host cores happen to exist.  Offering both legs the same rate
+    (an ``overload`` multiple of the N-worker aggregate) makes the
+    goodput ratio N-to-1 a property of the architecture, measurable
+    on a one-core CI box and unchanged on a many-core host (where the
+    pin also stops mattering).
+    """
+    import os
+
+    import numpy as np
+
+    from ..service import (
+        BackendSpec,
+        ChurnStreamConfig,
+        LoadGenConfig,
+        RouterConfig,
+        ServiceClient,
+        HashRing,
+        run_churn_stream,
+        run_loadgen,
+        spawn_serve_process,
+        start_sharded_router,
+        worker_for,
+    )
+    from ..websim import (
+        EngineMPartitionPolicy,
+        ServicePolicy,
+        Simulation,
+        build_cluster,
+        make_traffic,
+    )
+
+    workers = params.get("workers", 4)
+    min_ratio = params.get("min_ratio", 2.5)
+    relay_concurrency = params.get("relay_concurrency", 1)
+    relay_delay_ms = params.get("relay_delay_ms", 40.0)
+    relay_queue = params.get("relay_queue", 6)
+    overload = params.get("overload", 1.2)
+    duration_s = params.get("duration_s", 4.0)
+    deadline_ms = params.get("deadline_ms", 600.0)
+    p99_tolerance = params.get("p99_tolerance", 1.05)
+    sites = params.get("sites", 400)
+    servers = params.get("servers", 8)
+    k = params.get("k", 4)
+    shards = params.get("shards", 2 * workers)
+    connections = params.get("connections", 16)
+    traj_epochs = params.get("traj_epochs", 12)
+    traj_k = params.get("traj_k", 3)
+    traj_sites = params.get("traj_sites", 80)
+    traj_servers = params.get("traj_servers", 6)
+    traj_seed = params.get("traj_seed", 36)
+    enc_sites = params.get("enc_sites", 2_000)
+    enc_churn = params.get("enc_churn", 8)
+    enc_epochs = params.get("enc_epochs", 150)
+    enc_shards = params.get("enc_shards", 2)
+    seed = params.get("seed", 19)
+    cores = os.cpu_count() or 1
+
+    def balanced_worker_base() -> str:
+        """A shard-name base whose ``shards`` streams split perfectly
+        across the ``workers`` crc32-affine data-plane slices."""
+        target = shards // workers
+        best, best_spread = "e19", 1
+        for attempt in range(5_000):
+            base = f"e19-{attempt}"
+            counts = [0] * workers
+            for i in range(shards):
+                counts[worker_for(f"{base}-{i}", workers)] += 1
+            if max(counts) == target:
+                return base
+            spread = sum(1 for c in counts if c)
+            if spread > best_spread:
+                best, best_spread = base, spread
+        if best_spread != workers:
+            raise RuntimeError("no shard base covers all workers")
+        return best
+
+    shard_base = balanced_worker_base()
+    per_worker_capacity = relay_concurrency / (relay_delay_ms / 1e3)
+    rate = overload * per_worker_capacity * workers
+
+    def scaling_leg(worker_count: int):
+        processes = []
+        try:
+            processes = [spawn_serve_process(), spawn_serve_process()]
+            specs = tuple(
+                BackendSpec(f"backend-{i}", p.host, p.port)
+                for i, p in enumerate(processes)
+            )
+            config = RouterConfig(
+                backends=specs, replicate=False,
+                relay_concurrency=relay_concurrency,
+                relay_delay_s=relay_delay_ms / 1e3,
+                relay_queue=relay_queue,
+            )
+            lg = LoadGenConfig(
+                rate=rate, duration_s=duration_s,
+                connections=connections, duplicates=1,
+                num_sites=sites, num_servers=servers, k=k,
+                deadline_ms=deadline_ms, seed=seed,
+                protocol="binary", delta=False,
+                shards=shards, shard=shard_base, traffic="drift",
+            )
+            with start_sharded_router(config, worker_count) as sharded:
+                report = run_loadgen(sharded.host, sharded.port, lg)
+                with ServiceClient(sharded.host, sharded.port,
+                                   timeout=30.0) as probe:
+                    status = probe.status()
+            counters = status["router"]["metrics"]["counters"]
+            return report, counters
+        finally:
+            for proc in processes:
+                proc.terminate()
+
+    single, single_counters = scaling_leg(1)
+    log(f"[E19] offered {rate:.0f}/s ({overload:.1f}x the {workers}-worker "
+        f"aggregate): 1 worker goodput {single.goodput_per_s:.1f}/s, "
+        f"p99 {single.p99_ms:.0f}ms, rejected {single.rejected}")
+    multi, multi_counters = scaling_leg(workers)
+    ratio = multi.goodput_per_s / max(single.goodput_per_s, 1e-9)
+    log(f"[E19] {workers} workers: goodput {multi.goodput_per_s:.1f}/s, "
+        f"p99 {multi.p99_ms:.0f}ms, rejected {multi.rejected} -> "
+        f"{ratio:.2f}x at {'<=' if multi.p99_ms <= single.p99_ms else '>'} "
+        f"single-worker p99")
+
+    # -- trajectory identity through the sharded data plane ------------
+    def simulation(policy):
+        rng = np.random.default_rng(traj_seed)
+        cluster = build_cluster(traj_sites, traj_servers, rng)
+        traffic = make_traffic("diurnal+flash", flash_probability=0.2)
+        return Simulation(cluster=cluster, traffic=traffic, policy=policy,
+                          seed=traj_seed)
+
+    want = simulation(EngineMPartitionPolicy(k=traj_k)).run(traj_epochs)
+
+    def identical(got) -> bool:
+        return len(got.records) == len(want.records) == traj_epochs and all(
+            ours.makespan == theirs.makespan
+            and ours.migrations == theirs.migrations
+            and ours.migration_cost == theirs.migration_cost
+            and ours.imbalance == theirs.imbalance
+            for ours, theirs in zip(got.records, want.records)
+        )
+
+    class _MidRunFault:
+        """Fire ``action`` right before deciding epoch ``at_epoch``;
+        deep-copy-safe the same way the E17 kill wrapper is."""
+
+        name = "service-faults"
+
+        def __init__(self, inner, at_epoch, action):
+            self.inner = inner
+            self.at_epoch = at_epoch
+            self.action = action
+            self.fired = False
+
+        def __deepcopy__(self, memo):
+            return self
+
+        def decide(self, instance, epoch):
+            if epoch == self.at_epoch and not self.fired:
+                self.fired = True
+                self.action()
+            return self.inner.decide(instance, epoch)
+
+    traj_shard = "bench-traj"
+
+    def traj_leg(fault: str | None):
+        processes = [spawn_serve_process(), spawn_serve_process()]
+        try:
+            specs = tuple(
+                BackendSpec(f"backend-{i}", p.host, p.port)
+                for i, p in enumerate(processes)
+            )
+            config = RouterConfig(backends=specs)
+            owner, standby = HashRing(
+                tuple(s.name for s in specs)
+            ).owners(traj_shard, 2)
+            with start_sharded_router(config, workers) as sharded:
+                policy = ServicePolicy(
+                    sharded.host, sharded.port, k=traj_k,
+                    shard=traj_shard, protocol="binary", delta=True,
+                    retries=8,
+                )
+
+                def kill_owner():
+                    processes[int(owner.rsplit("-", 1)[1])].kill()
+
+                def migrate_to_standby():
+                    with ServiceClient(sharded.host, sharded.port,
+                                       retries=4) as probe:
+                        moved = probe.call(
+                            {"op": "migrate", "shard": traj_shard,
+                             "target": standby},
+                            shard=traj_shard,
+                        )
+                        assert moved.get("ok"), moved
+
+                action = {"kill9": kill_owner,
+                          "migrate": migrate_to_standby}.get(fault)
+                wrapped = (
+                    policy if action is None
+                    else _MidRunFault(policy, traj_epochs // 2, action)
+                )
+                try:
+                    got = simulation(wrapped).run(traj_epochs)
+                finally:
+                    policy.close()
+                with ServiceClient(sharded.host, sharded.port,
+                                   timeout=30.0) as probe:
+                    counters = (
+                        probe.status()["router"]["metrics"]["counters"]
+                    )
+            return identical(got), counters
+        finally:
+            for proc in processes:
+                proc.terminate()
+
+    traj_plain, plain_counters = traj_leg(None)
+    log(f"[E19] plain trajectory identical through {workers}-worker "
+        f"data plane: {traj_plain} "
+        f"({plain_counters.get('router.resident_deltas', 0)} passthrough "
+        f"deltas)")
+    traj_kill, kill_counters = traj_leg("kill9")
+    log(f"[E19] kill -9 backend mid-run: identical {traj_kill}, deaths "
+        f"{kill_counters.get('router.backend_deaths', 0)}")
+    traj_migrate, migrate_counters = traj_leg("migrate")
+    log(f"[E19] live migration mid-run: identical {traj_migrate}, "
+        f"migrations {migrate_counters.get('router.migrations', 0)}")
+
+    # -- client-side CPU: reusable frame encoder A/B -------------------
+    # One discard run absorbs interpreter/numpy warmup, then the sides
+    # alternate and each takes its *min* CPU over ``enc_reps`` — the
+    # per-epoch meta-encode saving is small against run noise, so a
+    # single-shot comparison would gate on GC luck, not the code path.
+    enc_reps = params.get("enc_reps", 3)
+    enc_proc = spawn_serve_process()
+    try:
+        enc_config = ChurnStreamConfig(
+            shard="e19-enc", shards=enc_shards, k=16,
+            num_sites=enc_sites, num_servers=16, churn=enc_churn,
+            epochs=enc_epochs, warmup_epochs=3, seed=seed,
+            use_encoder=True,
+        )
+        run_churn_stream(
+            enc_proc.host, enc_proc.port,
+            replace(enc_config, epochs=min(20, enc_epochs)),
+        )
+        cpu_on: list[float] = []
+        cpu_off: list[float] = []
+        enc_on = enc_off = None
+        for _ in range(enc_reps):
+            enc_off = run_churn_stream(
+                enc_proc.host, enc_proc.port,
+                replace(enc_config, use_encoder=False),
+            )
+            enc_on = run_churn_stream(
+                enc_proc.host, enc_proc.port, enc_config
+            )
+            cpu_off.append(enc_off.client_cpu_s)
+            cpu_on.append(enc_on.client_cpu_s)
+    finally:
+        enc_proc.terminate()
+    best_on, best_off = min(cpu_on), min(cpu_off)
+    enc_ratio = best_off / max(best_on, 1e-9)
+    enc_identical = enc_on.trajectories == enc_off.trajectories
+    log(f"[E19] encoder A/B over {enc_shards * enc_epochs} epochs x "
+        f"{enc_reps} reps: client CPU {best_on:.3f}s (encoder) vs "
+        f"{best_off:.3f}s (dict rebuild) -> {enc_ratio:.2f}x, "
+        f"byte-identical {enc_identical}")
+
+    p99_bounded = multi.p99_ms <= p99_tolerance * single.p99_ms
+    metrics = {
+        "cores": cores,
+        "workers": workers,
+        "scaling_ratio": ratio,
+        "min_ratio": min_ratio,
+        "scaleout_ok": bool(ratio >= min_ratio),
+        "goodput_single_per_s": single.goodput_per_s,
+        "goodput_multi_per_s": multi.goodput_per_s,
+        "p99_single_ms": single.p99_ms,
+        "p99_multi_ms": multi.p99_ms,
+        "p99_bounded": bool(p99_bounded),
+        "scaling_clean": bool(
+            single.errors == 0 and multi.errors == 0
+            and _accounted(single) and _accounted(multi)
+        ),
+        "relay_path_used": bool(
+            multi_counters.get("router.relayed_fulls", 0) > 0
+        ),
+        "traj_plain_identical": bool(traj_plain),
+        "traj_kill9_identical": bool(traj_kill),
+        "traj_migrate_identical": bool(traj_migrate),
+        "kill9_deaths": kill_counters.get("router.backend_deaths", 0),
+        "migrations": migrate_counters.get("router.migrations", 0),
+        "encoder_cpu_ratio": enc_ratio,
+        "encoder_not_slower": bool(best_on <= 1.1 * best_off),
+        "encoder_trajectory_identical": bool(enc_identical),
+        "encoder_clean": bool(
+            enc_on.errors == 0 and enc_off.errors == 0
+            and enc_on.fp_mismatches == 0 and enc_off.fp_mismatches == 0
+        ),
+    }
+    detail = {
+        "capacity_pin": {
+            "relay_concurrency": relay_concurrency,
+            "relay_delay_ms": relay_delay_ms,
+            "relay_queue": relay_queue,
+            "per_worker_capacity_per_s": per_worker_capacity,
+            "offered_rate_per_s": rate,
+            "overload_vs_multi_aggregate": overload,
+            "cores": cores,
+            "note": "per-worker capacity is pinned by the relay gate "
+                    "(permits / (delay + service)); the 1-to-N goodput "
+                    "ratio is host-core-independent by construction",
+        },
+        "workload": {
+            "sites": sites, "servers": servers, "k": k,
+            "shards": shards, "shard_base": shard_base,
+            "duration_s": duration_s, "deadline_ms": deadline_ms,
+            "connections": connections,
+        },
+        "single_worker": {**_leg_record(single),
+                          "router_counters": single_counters},
+        "multi_worker": {**_leg_record(multi),
+                         "router_counters": multi_counters},
+        "trajectories": {
+            "epochs": traj_epochs, "k": traj_k, "sites": traj_sites,
+            "servers": traj_servers,
+            "plain_counters": plain_counters,
+            "kill9_counters": kill_counters,
+            "migrate_counters": migrate_counters,
+        },
+        "encoder_ab": {
+            "sites": enc_sites, "churn": enc_churn,
+            "epochs": enc_epochs, "shards": enc_shards,
+            "reps": enc_reps,
+            "client_cpu_s_encoder": cpu_on,
+            "client_cpu_s_dict": cpu_off,
+            "encoder": _leg_record(enc_on),
+            "dict_rebuild": _leg_record(enc_off),
+        },
+    }
+    return metrics, detail
+
+
 BENCH_RUNNERS: dict[str, Callable[[dict, Log], tuple[dict, dict]]] = {
     "e13-kernels": bench_e13,
     "e14-service": bench_e14,
@@ -907,4 +1264,5 @@ BENCH_RUNNERS: dict[str, Callable[[dict, Log], tuple[dict, dict]]] = {
     "e16-shm": bench_e16,
     "e17-cluster": bench_e17,
     "e18-scale": bench_e18,
+    "e19-dataplane": bench_e19,
 }

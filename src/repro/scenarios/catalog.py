@@ -396,6 +396,63 @@ _SCENARIOS = (
         description="trajectory_identical / replication_trajectory_identical "
                     "are E18's byte-identity contracts.",
     ),
+    Scenario(
+        scenario_id="E19",
+        title="Sharded router data plane: shard-affine worker processes "
+              "and the many-core scale-out proof",
+        workload=WorkloadAxis(family="drifting", sizes="drifting", seed=19),
+        traffic=TrafficAxis(kind="open-loop+diurnal", arrival="open-loop",
+                            failure="kill9@midrun"),
+        transport=TransportAxis(wire="v2", executor="process",
+                                router_backends=2, router_workers="1..N"),
+        bench="e19-dataplane",
+        bench_json="BENCH_e19.json",
+        params={"bench": {"relay_concurrency": 1, "relay_delay_ms": 40.0,
+                          "relay_queue": 6, "overload": 1.2,
+                          "deadline_ms": 600.0, "sites": 400, "servers": 8,
+                          "k": 4, "connections": 16, "traj_epochs": 12,
+                          "traj_k": 3, "traj_sites": 80, "traj_servers": 6,
+                          "traj_seed": 36, "enc_sites": 2_000,
+                          "enc_churn": 8, "enc_shards": 2, "enc_reps": 3,
+                          "seed": 19}},
+        tiers={
+            "ci": {"bench": {"workers": 2, "min_ratio": 1.6,
+                             "duration_s": 2.5, "shards": 4,
+                             "enc_epochs": 80}},
+            "full": {"bench": {"workers": 4, "min_ratio": 2.5,
+                               "duration_s": 4.0, "shards": 8,
+                               "enc_epochs": 150}},
+        },
+        acceptance=(
+            Check("scaleout_ok", "truthy"),
+            Check("scaling_ratio", ">=", 1.6),
+            Check("p99_bounded", "truthy"),
+            Check("scaling_clean", "truthy"),
+            Check("relay_path_used", "truthy"),
+            Check("traj_plain_identical", "truthy"),
+            Check("traj_kill9_identical", "truthy"),
+            Check("traj_migrate_identical", "truthy"),
+            Check("kill9_deaths", ">=", 1),
+            Check("migrations", ">=", 1),
+            Check("encoder_not_slower", "truthy"),
+            Check("encoder_trajectory_identical", "truthy"),
+            Check("encoder_clean", "truthy"),
+        ),
+        drift=DriftPolicy(
+            exact=("scaleout_ok", "p99_bounded", "scaling_clean",
+                   "relay_path_used", "traj_plain_identical",
+                   "traj_kill9_identical", "traj_migrate_identical",
+                   "encoder_not_slower", "encoder_trajectory_identical",
+                   "encoder_clean", "workers"),
+            band={"scaling_ratio": 1.5},
+        ),
+        description="Per-worker relay capacity is pinned by construction "
+                    "(permits / (delay + service)), so the 1-to-N goodput "
+                    "ratio proves the architecture scales independent of "
+                    "host cores; the three traj_* bits are E19's "
+                    "byte-identity contracts through the sharded data "
+                    "plane (plain, kill -9 failover, live migration).",
+    ),
     # ------------------------------------------------------------------
     # Ablations.
     # ------------------------------------------------------------------

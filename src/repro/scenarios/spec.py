@@ -95,6 +95,8 @@ class TransportAxis:
     executor: str = "inline"     # "inline" | "thread" | "process" |
                                  # "process+shm" | "both"
     router_backends: int = 0     # backend processes behind a router
+    router_workers: int | str = 0  # data-plane worker processes
+                                   # ("1..N" for E19's scaling sweep)
 
 
 @dataclass(frozen=True)

@@ -29,7 +29,13 @@ shard placement, delta-replay replication, failover, live migration),
 
 from .admission import AdmissionQueue, PendingRequest
 from .batching import BatchConfig, MicroBatcher, ShardLane, UniqueSolve
-from .client import AsyncServiceClient, Overloaded, ServiceClient, ServiceError
+from .client import (
+    AsyncServiceClient,
+    ConnectionClosed,
+    Overloaded,
+    ServiceClient,
+    ServiceError,
+)
 from .cluster import (
     BackendSpec,
     ClusterRouter,
@@ -40,6 +46,13 @@ from .cluster import (
     spawn_router_process,
     spawn_serve_process,
     start_router_background,
+)
+from .dataplane import (
+    RouterWorker,
+    ShardedRouter,
+    default_router_workers,
+    start_sharded_router,
+    worker_for,
 )
 from .loadgen import (
     CALIBRATIONS,
@@ -59,11 +72,17 @@ from .protocol import (
     PROTOCOL_V1,
     PROTOCOL_V2,
     ProtocolError,
+    RebalanceEncoder,
+    decode_body,
     encode_frame,
+    encode_frame_into,
     error_response,
+    frame_header,
     ok_response,
     pack_payload,
+    peek_meta,
     read_frame,
+    read_frame_raw,
     read_frame_sync,
     read_frame_sync_versioned,
     read_frame_versioned,
@@ -87,7 +106,11 @@ __all__ = [
     "ChurnStreamConfig",
     "ChurnStreamReport",
     "ClusterRouter",
+    "ConnectionClosed",
     "HashRing",
+    "RebalanceEncoder",
+    "RouterWorker",
+    "ShardedRouter",
     "RouterConfig",
     "RouterHandle",
     "ServeProcess",
@@ -112,11 +135,17 @@ __all__ = [
     "calibrate_shm_workload",
     "calibrate_workload",
     "calibrate_wire_workload",
+    "decode_body",
+    "default_router_workers",
     "encode_frame",
+    "encode_frame_into",
     "error_response",
+    "frame_header",
     "ok_response",
     "pack_payload",
+    "peek_meta",
     "read_frame",
+    "read_frame_raw",
     "read_frame_sync",
     "read_frame_sync_versioned",
     "read_frame_versioned",
@@ -126,6 +155,8 @@ __all__ = [
     "spawn_serve_process",
     "start_background",
     "start_router_background",
+    "start_sharded_router",
     "unpack_payload",
+    "worker_for",
     "write_frame_sync",
 ]

@@ -21,10 +21,13 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
 import signal
 import sys
+import threading
 from pathlib import Path
 
+from .client import ServiceClient
 from .cluster import (
     BackendSpec,
     ClusterRouter,
@@ -32,6 +35,11 @@ from .cluster import (
     ServeProcess,
     spawn_serve_process,
     start_router_background,
+)
+from .dataplane import (
+    ShardedRouter,
+    default_router_workers,
+    start_sharded_router,
 )
 from .loadgen import (
     ChurnStreamConfig,
@@ -238,7 +246,27 @@ def router_main(argv: list[str] | None = None) -> int:
         help="delay each replication drain step to batch frames and "
         "keep standby replay off the decide response tail",
     )
+    parser.add_argument(
+        "--router-workers", type=int, default=1, metavar="N",
+        help="router data-plane worker processes sharing the listening "
+        "port, each owning a shard-affine slice of resident tips "
+        "(1 = classic single-process router; 0 = auto, min(4, cores))",
+    )
+    parser.add_argument(
+        "--relay-concurrency", type=int, default=0,
+        help="per-worker relayed-full concurrency cap (0 = unbounded); "
+        "with --relay-delay-ms this pins a worker's relay capacity "
+        "regardless of host CPU, the E19 measurement device",
+    )
+    parser.add_argument(
+        "--relay-delay-ms", type=float, default=0.0, metavar="MS",
+        help="synthetic per-relay service-time floor held under the "
+        "concurrency permit",
+    )
     args = parser.parse_args(argv)
+
+    if args.router_workers < 0:
+        parser.error("--router-workers must be >= 0")
 
     processes: list[ServeProcess] = []
     if args.spawn is not None:
@@ -259,12 +287,44 @@ def router_main(argv: list[str] | None = None) -> int:
         repl_coalesce_s=args.repl_coalesce_ms / 1e3,
         health_interval_s=args.health_interval,
         health_misses=args.health_misses,
+        relay_concurrency=args.relay_concurrency,
+        relay_delay_s=args.relay_delay_ms / 1e3,
     )
+    workers = args.router_workers or default_router_workers()
+    backends = ", ".join(f"{b.name}@{b.host}:{b.port}" for b in specs)
+
+    if workers > 1:
+        # Sharded data plane: worker processes accept on the shared
+        # port; this process is the control plane (health, death
+        # declaration, worker respawn).  The control loop is a plain
+        # thread, so signal handling is a threading.Event, not asyncio.
+        try:
+            sharded = start_sharded_router(config, workers)
+        except BaseException:
+            for proc in processes:
+                proc.terminate()
+            raise
+        stop_event = threading.Event()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            signal.signal(sig, lambda *_: stop_event.set())
+        try:
+            print(
+                f"repro-router listening on {config.host}:{sharded.port} "
+                f"({workers} workers) -> [{backends}]",
+                flush=True,
+            )
+            if args.port_file is not None:
+                args.port_file.write_text(f"{sharded.port}\n")
+            stop_event.wait()
+        finally:
+            sharded.stop()
+            for proc in processes:
+                proc.terminate()
+        return 0
 
     async def main() -> None:
         router = ClusterRouter(config)
         await router.start()
-        backends = ", ".join(f"{b.name}@{b.host}:{b.port}" for b in specs)
         print(
             f"repro-router listening on {config.host}:{router.port} "
             f"-> [{backends}]",
@@ -285,6 +345,40 @@ def router_main(argv: list[str] | None = None) -> int:
         for proc in processes:
             proc.terminate()
     return 0
+
+
+def _schedule_router_worker_kill(
+    host: str, port: int, delay_s: float
+) -> threading.Timer:
+    """Fault injection for the cluster smoke: ``delay_s`` seconds in,
+    look up the sharded router's data-plane workers via ``status`` and
+    SIGKILL the lowest-indexed one.  The control plane must respawn it
+    and the in-flight churn streams must ride out the gap on their
+    retry budget for ``--assert-clean`` to pass.
+    """
+
+    def kill() -> None:
+        try:
+            client = ServiceClient(host, port, timeout=5.0, retries=2)
+            try:
+                status = client.call({"op": "status"})
+            finally:
+                client.close()
+            workers = status.get("router", {}).get("workers") or {}
+            if not workers:
+                print("no router workers reported; kill skipped", flush=True)
+                return
+            index = min(workers, key=int)
+            pid = int(workers[index]["pid"])
+            os.kill(pid, signal.SIGKILL)
+            print(f"killed router worker {index} (pid {pid})", flush=True)
+        except Exception as exc:  # pragma: no cover - smoke diagnostics
+            print(f"router-worker kill failed: {exc}", flush=True)
+
+    timer = threading.Timer(delay_s, kill)
+    timer.daemon = True
+    timer.start()
+    return timer
 
 
 def loadgen_main(argv: list[str] | None = None) -> int:
@@ -308,6 +402,29 @@ def loadgen_main(argv: list[str] | None = None) -> int:
         "and drive the run through the router",
     )
     _server_arguments(parser)
+    parser.add_argument(
+        "--router-workers", type=int, default=1, metavar="N",
+        help="data-plane worker processes for the spawned router "
+        "(with --router; 1 = classic single-process router, 0 = auto)",
+    )
+    parser.add_argument(
+        "--kill-router-worker-after", type=float, default=None,
+        metavar="S",
+        help="kill -9 one router data-plane worker S seconds into the "
+        "run (requires --router with --router-workers > 1); the run "
+        "must survive the respawn to pass --assert-clean",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=None,
+        help="per-request retry budget (churn-stream traffic only; "
+        "default 2 — raise it so a stream spans a worker respawn)",
+    )
+    parser.add_argument(
+        "--no-encoder", action="store_true",
+        help="rebuild each churn-stream epoch's message dict instead "
+        "of using the reusable frame encoder (the client-CPU A/B "
+        "baseline)",
+    )
     parser.add_argument("--rate", type=float, default=50.0,
                         help="arrivals per second (open loop)")
     parser.add_argument("--duration", type=float, default=2.0,
@@ -377,7 +494,17 @@ def loadgen_main(argv: list[str] | None = None) -> int:
     deadline_ms = args.deadline_ms
     if deadline_ms is not None and deadline_ms <= 0:
         deadline_ms = None
+    if args.kill_router_worker_after is not None and (
+        args.router is None or args.router_workers == 1
+    ):
+        parser.error(
+            "--kill-router-worker-after requires --router with "
+            "--router-workers > 1"
+        )
     if args.traffic == "churn-stream":
+        extra = {}
+        if args.retries is not None:
+            extra["retries"] = args.retries
         config = ChurnStreamConfig(
             shards=args.shards, k=args.k,
             num_sites=args.sites, num_servers=args.servers,
@@ -385,6 +512,8 @@ def loadgen_main(argv: list[str] | None = None) -> int:
             warmup_epochs=args.warmup_epochs,
             seed=args.seed, deadline_ms=deadline_ms,
             epoch_interval_ms=args.epoch_interval_ms,
+            use_encoder=not args.no_encoder,
+            **extra,
         )
     else:
         if args.deadline_ms is None:
@@ -400,6 +529,8 @@ def loadgen_main(argv: list[str] | None = None) -> int:
 
     handle = None
     router_handle = None
+    sharded: ShardedRouter | None = None
+    kill_timer: threading.Timer | None = None
     processes: list[ServeProcess] = []
     if args.spawn:
         handle = start_background(_config_from(args))
@@ -408,28 +539,42 @@ def loadgen_main(argv: list[str] | None = None) -> int:
         if args.router <= 0:
             parser.error("--router must be positive")
         processes, specs = _spawn_backends(args.router, args)
+        router_workers = args.router_workers or default_router_workers()
         try:
-            router_handle = start_router_background(RouterConfig(backends=specs))
+            router_config = RouterConfig(backends=specs)
+            if router_workers > 1:
+                sharded = start_sharded_router(router_config, router_workers)
+                host, port = sharded.host, sharded.port
+            else:
+                router_handle = start_router_background(router_config)
+                host, port = router_handle.host, router_handle.port
         except BaseException:
             for proc in processes:
                 proc.terminate()
             raise
-        host, port = router_handle.host, router_handle.port
     else:
         host, _, port_text = args.connect.rpartition(":")
         if not host or not port_text.isdigit():
             parser.error("--connect must look like HOST:PORT")
         port = int(port_text)
+    if args.kill_router_worker_after is not None:
+        kill_timer = _schedule_router_worker_kill(
+            host, port, args.kill_router_worker_after
+        )
     try:
         if args.traffic == "churn-stream":
             report = run_churn_stream(host, port, config)
         else:
             report = run_loadgen(host, port, config)
     finally:
+        if kill_timer is not None:
+            kill_timer.cancel()
         if handle is not None:
             handle.stop()
         if router_handle is not None:
             router_handle.stop()
+        if sharded is not None:
+            sharded.stop()
         for proc in processes:
             proc.terminate()
 

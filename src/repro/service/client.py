@@ -33,6 +33,7 @@ the load generator fans out with.
 from __future__ import annotations
 
 import asyncio
+import json
 import random
 import socket
 import time
@@ -48,13 +49,17 @@ from .protocol import (
     PROTOCOL_V2,
     ProtocolError,
     encode_frame,
+    frame_header,
+    peek_meta,
     read_frame,
+    read_frame_raw,
     read_frame_sync,
     write_frame_sync,
 )
 
 __all__ = [
     "AsyncServiceClient",
+    "ConnectionClosed",
     "Overloaded",
     "ServiceClient",
     "ServiceError",
@@ -68,6 +73,16 @@ class ServiceError(Exception):
         super().__init__(error)
         self.error = error
         self.response = response or {}
+
+
+class ConnectionClosed(ServiceError, ConnectionError):
+    """The server closed the connection mid-request.
+
+    Inherits :class:`ConnectionError` too so transport-level handlers
+    (``except OSError``) see it as the transport failure it is — the
+    cluster router fails over on transport errors only, never on
+    well-formed error *responses* from a live backend.
+    """
 
 
 class Overloaded(ServiceError):
@@ -119,6 +134,11 @@ def _raise_for(response: dict[str, Any]) -> None:
 # response makes no sense.
 _BACKOFF_BASE_S = 0.05
 
+# A ``moved`` redirect chain longer than this is a routing loop (e.g.
+# two workers each claiming the other owns the shard), not a topology
+# to follow.
+_MAX_REDIRECTS = 8
+
 
 def _transport_backoff_s(attempt: int, timeout: float) -> float:
     """Jittered exponential backoff before transport-failure retry
@@ -151,8 +171,13 @@ class _WireState:
         # Per shard: (fingerprint hex, instance) of the last snapshot
         # the server acknowledged — the delta base.
         self.bases: dict[str, tuple[str, Instance]] = {}
+        # Per shard: the direct port of the sharded-router worker that
+        # owns it, learned from ``moved`` redirects.  Empty against a
+        # single-process server/router (nothing ever answers ``moved``).
+        self.ports: dict[str, int] = {}
         self.deltas_sent = 0
         self.fulls_sent = 0
+        self.moved_redirects = 0
 
     def rebalance_message(
         self,
@@ -211,6 +236,15 @@ class _WireState:
         if isinstance(fp_hex, str):
             self.bases[shard] = (fp_hex, instance)
 
+    def note_moved(self, shard: str, port: int) -> None:
+        self.ports[shard] = int(port)
+        self.moved_redirects += 1
+
+    def forget_port(self, shard: str) -> None:
+        """Drop a cached redirect — the worker behind it died or was
+        respawned on a fresh port; the shared port re-redirects."""
+        self.ports.pop(shard, None)
+
     def forget(self, shard: str | None) -> None:
         if shard is None:
             self.bases.clear()
@@ -219,11 +253,14 @@ class _WireState:
 
 
 class ServiceClient:
-    """Blocking client over one lazily (re)connected TCP socket.
+    """Blocking client over lazily (re)connected TCP sockets.
 
     One request is in flight per client at a time (the protocol is
     request/response per connection); use several clients — or the
-    async client — for concurrency.
+    async client — for concurrency.  Against a sharded router the
+    client keeps one socket per *port* it has been redirected to
+    (shared port plus the direct ports of the workers owning its
+    shards); against a plain server only the primary socket exists.
     """
 
     def __init__(
@@ -241,7 +278,7 @@ class ServiceClient:
         self.timeout = timeout
         self.retries = retries
         self._wire = _WireState(protocol, delta)
-        self._sock: socket.socket | None = None
+        self._socks: dict[int, socket.socket] = {}
         # Observability for retry behavior (tests pin the no-spin fix).
         self.transport_retries = 0
         self.backoff_slept_s = 0.0
@@ -256,20 +293,32 @@ class ServiceClient:
         """Rebalance requests that went out as full snapshots."""
         return self._wire.fulls_sent
 
+    @property
+    def moved_redirects(self) -> int:
+        """``moved`` redirects followed (sharded router only)."""
+        return self._wire.moved_redirects
+
     # -- connection management ----------------------------------------
-    def _connection(self) -> socket.socket:
-        if self._sock is None:
-            self._sock = socket.create_connection(
-                (self.host, self.port), timeout=self.timeout
+    def _connection(self, port: int) -> socket.socket:
+        sock = self._socks.get(port)
+        if sock is None:
+            sock = socket.create_connection(
+                (self.host, port), timeout=self.timeout
             )
-        return self._sock
+            self._socks[port] = sock
+        return sock
+
+    def _drop(self, port: int) -> None:
+        sock = self._socks.pop(port, None)
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - close never blocks us
+                pass
 
     def close(self) -> None:
-        if self._sock is not None:
-            try:
-                self._sock.close()
-            finally:
-                self._sock = None
+        for port in list(self._socks):
+            self._drop(port)
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -278,29 +327,73 @@ class ServiceClient:
         self.close()
 
     # -- raw request/response -----------------------------------------
-    def call(self, message: dict[str, Any]) -> dict[str, Any]:
+    def call(
+        self,
+        message: dict[str, Any],
+        *,
+        shard: str | None = None,
+        encoded: bytes | bytearray | memoryview | None = None,
+    ) -> dict[str, Any]:
         """One round-trip, with reconnect-and-retry on transport
-        failure (jittered exponential backoff, capped at ``timeout``)
-        and overload backoff.  Returns the raw response."""
+        failure (jittered exponential backoff, capped at ``timeout``),
+        overload backoff, and ``moved`` redirect following (a redirect
+        is routing, not a failure — it does not consume the retry
+        budget).  ``encoded`` sends a pre-encoded frame verbatim
+        instead of encoding ``message`` (see
+        :class:`~repro.service.protocol.RebalanceEncoder`); the bytes
+        must stay valid for the duration of the call.  Returns the raw
+        response."""
+        if shard is None:
+            maybe = message.get("shard")
+            shard = maybe if isinstance(maybe, str) else None
         last_error: Exception | None = None
-        for attempt in range(self.retries + 1):
+        attempt = 0
+        redirects = 0
+        while attempt <= self.retries:
+            port = (
+                self._wire.ports.get(shard, self.port)
+                if shard is not None else self.port
+            )
             try:
-                sock = self._connection()
-                write_frame_sync(sock, message, version=self._wire.version)
+                sock = self._connection(port)
+                if encoded is not None:
+                    sock.sendall(encoded)
+                else:
+                    write_frame_sync(sock, message, version=self._wire.version)
                 response = read_frame_sync(sock)
                 if response is None:
-                    raise ServiceError("server closed the connection")
+                    raise ConnectionClosed("server closed the connection")
             except (OSError, ProtocolError, ServiceError) as exc:
                 # Dead or poisoned connection: drop it and retry fresh —
                 # after a backoff, so a dead server sees a probe per
                 # backoff window instead of a tight reconnect spin.
-                self.close()
+                self._drop(port)
+                if shard is not None and port != self.port:
+                    # The cached redirect may outlive its worker (a
+                    # respawn listens on a fresh port): fall back to
+                    # the shared port, which knows the new owner.
+                    self._wire.forget_port(shard)
                 last_error = exc
-                if attempt < self.retries:
+                attempt += 1
+                if attempt <= self.retries:
                     self.transport_retries += 1
-                    delay = _transport_backoff_s(attempt, self.timeout)
+                    delay = _transport_backoff_s(attempt - 1, self.timeout)
                     self.backoff_slept_s += delay
                     time.sleep(delay)
+                continue
+            if not response.get("ok") and response.get("error") == "moved":
+                target = response.get("port")
+                if (
+                    shard is not None
+                    and isinstance(target, int)
+                    and target > 0
+                    and redirects < _MAX_REDIRECTS
+                ):
+                    redirects += 1
+                    self._wire.note_moved(shard, target)
+                    continue
+                last_error = ServiceError("moved", response)
+                attempt += 1
                 continue
             if not response.get("ok") and response.get("error") == "overloaded":
                 # The raised Overloaded (below, after the last attempt)
@@ -308,7 +401,8 @@ class ServiceClient:
                 # survives to the caller even when every attempt was
                 # rejected.
                 last_error = Overloaded("overloaded", response)
-                if attempt < self.retries:
+                attempt += 1
+                if attempt <= self.retries:
                     time.sleep(
                         float(response.get("retry_after_ms", 5.0)) / 1e3
                     )
@@ -316,6 +410,16 @@ class ServiceClient:
             return response
         assert last_error is not None
         raise last_error
+
+    def call_encoded(
+        self,
+        frame: bytes | bytearray | memoryview,
+        *,
+        shard: str | None = None,
+    ) -> dict[str, Any]:
+        """Round-trip a pre-encoded frame with the full retry/redirect
+        machinery of :meth:`call`."""
+        return self.call({}, shard=shard, encoded=frame)
 
     # -- operations ----------------------------------------------------
     def rebalance(
@@ -389,9 +493,10 @@ class AsyncServiceClient:
         self.timeout = timeout
         self.retries = retries
         # A caller-supplied wire state shares the delta-base registry
-        # (and delta/full counters) across a pool of connections.
+        # (and delta/full counters and the moved-port cache) across a
+        # pool of connections.
         self._wire = wire_state if wire_state is not None else _WireState(protocol, delta)
-        self._streams: tuple[asyncio.StreamReader, asyncio.StreamWriter] | None = None
+        self._streams: dict[int, tuple[asyncio.StreamReader, asyncio.StreamWriter]] = {}
         # Observability for retry behavior (tests pin the no-spin fix).
         self.transport_retries = 0
         self.backoff_slept_s = 0.0
@@ -406,22 +511,35 @@ class AsyncServiceClient:
         """Rebalance requests that went out as full snapshots."""
         return self._wire.fulls_sent
 
-    async def _connection(self) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
-        if self._streams is None:
-            self._streams = await asyncio.wait_for(
-                asyncio.open_connection(self.host, self.port), self.timeout
-            )
-        return self._streams
+    @property
+    def moved_redirects(self) -> int:
+        """``moved`` redirects followed (sharded router only)."""
+        return self._wire.moved_redirects
 
-    async def close(self) -> None:
-        if self._streams is not None:
-            _, writer = self._streams
-            self._streams = None
+    async def _connection(
+        self, port: int
+    ) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        streams = self._streams.get(port)
+        if streams is None:
+            streams = await asyncio.wait_for(
+                asyncio.open_connection(self.host, port), self.timeout
+            )
+            self._streams[port] = streams
+        return streams
+
+    async def _drop(self, port: int) -> None:
+        streams = self._streams.pop(port, None)
+        if streams is not None:
+            _, writer = streams
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
                 pass
+
+    async def close(self) -> None:
+        for port in list(self._streams):
+            await self._drop(port)
 
     async def __aenter__(self) -> "AsyncServiceClient":
         return self
@@ -429,37 +547,78 @@ class AsyncServiceClient:
     async def __aexit__(self, *exc: object) -> None:
         await self.close()
 
-    async def call(self, message: dict[str, Any]) -> dict[str, Any]:
+    async def call(
+        self,
+        message: dict[str, Any],
+        *,
+        shard: str | None = None,
+        encoded: bytes | bytearray | memoryview | None = None,
+    ) -> dict[str, Any]:
         """One round-trip with reconnect/overload retry (async).
 
         Same semantics as :meth:`ServiceClient.call`: transport
         failures back off exponentially with jitter (capped at
         ``timeout``) before the reconnect, overloaded responses sleep
-        the server's ``retry_after_ms`` hint, and the final attempt's
-        failure is what the caller sees.
+        the server's ``retry_after_ms`` hint, ``moved`` redirects are
+        followed without consuming the retry budget, and the final
+        attempt's failure is what the caller sees.
         """
+        if shard is None:
+            maybe = message.get("shard")
+            shard = maybe if isinstance(maybe, str) else None
         last_error: Exception | None = None
-        for attempt in range(self.retries + 1):
+        attempt = 0
+        redirects = 0
+        while attempt <= self.retries:
+            port = (
+                self._wire.ports.get(shard, self.port)
+                if shard is not None else self.port
+            )
             try:
-                reader, writer = await self._connection()
-                writer.write(encode_frame(message, version=self._wire.version))
+                reader, writer = await self._connection(port)
+                if encoded is not None:
+                    writer.write(encoded)
+                else:
+                    writer.write(
+                        encode_frame(message, version=self._wire.version)
+                    )
                 await writer.drain()
                 response = await asyncio.wait_for(
                     read_frame(reader), self.timeout
                 )
                 if response is None:
-                    raise ServiceError("server closed the connection")
+                    raise ConnectionClosed("server closed the connection")
             except (OSError, ProtocolError, asyncio.TimeoutError, ServiceError) as exc:
                 # Dead or poisoned connection: drop it and retry fresh —
                 # after a backoff, so a dead server sees a probe per
                 # backoff window instead of a tight reconnect spin.
-                await self.close()
+                await self._drop(port)
+                if shard is not None and port != self.port:
+                    # The cached redirect may outlive its worker (a
+                    # respawn listens on a fresh port): fall back to
+                    # the shared port, which knows the new owner.
+                    self._wire.forget_port(shard)
                 last_error = exc
-                if attempt < self.retries:
+                attempt += 1
+                if attempt <= self.retries:
                     self.transport_retries += 1
-                    delay = _transport_backoff_s(attempt, self.timeout)
+                    delay = _transport_backoff_s(attempt - 1, self.timeout)
                     self.backoff_slept_s += delay
                     await asyncio.sleep(delay)
+                continue
+            if not response.get("ok") and response.get("error") == "moved":
+                target = response.get("port")
+                if (
+                    shard is not None
+                    and isinstance(target, int)
+                    and target > 0
+                    and redirects < _MAX_REDIRECTS
+                ):
+                    redirects += 1
+                    self._wire.note_moved(shard, target)
+                    continue
+                last_error = ServiceError("moved", response)
+                attempt += 1
                 continue
             if not response.get("ok") and response.get("error") == "overloaded":
                 # The raised Overloaded (below, after the last attempt)
@@ -467,7 +626,8 @@ class AsyncServiceClient:
                 # survives to the caller even when every attempt was
                 # rejected.
                 last_error = Overloaded("overloaded", response)
-                if attempt < self.retries:
+                attempt += 1
+                if attempt <= self.retries:
                     await asyncio.sleep(
                         float(response.get("retry_after_ms", 5.0)) / 1e3
                     )
@@ -475,6 +635,51 @@ class AsyncServiceClient:
             return response
         assert last_error is not None
         raise last_error
+
+    async def call_encoded(
+        self,
+        frame: bytes | bytearray | memoryview,
+        *,
+        shard: str | None = None,
+    ) -> dict[str, Any]:
+        """Round-trip a pre-encoded frame with the full retry/redirect
+        machinery of :meth:`call`."""
+        return await self.call({}, shard=shard, encoded=frame)
+
+    async def relay(
+        self, body: bytes | bytearray | memoryview, version: int
+    ) -> tuple[dict[str, Any], bytes, int]:
+        """Round-trip a raw frame *body* verbatim — the
+        zero-materialization path of the sharded-router data plane.
+
+        Sends ``frame_header + body``, reads the response frame without
+        decoding its arrays, and returns ``(response_meta, raw_response
+        body, response_version)`` — the meta (via
+        :func:`~repro.service.protocol.peek_meta`) is enough to decide
+        ok/fingerprint/error, and the raw body can be relayed onward
+        byte-for-byte.  No retries: a transport failure is routing
+        signal for the caller, which replays on another node.
+        """
+        port = self.port
+        try:
+            reader, writer = await self._connection(port)
+            writer.write(frame_header(len(body), version=version))
+            writer.write(body)
+            await writer.drain()
+            raw = await asyncio.wait_for(read_frame_raw(reader), self.timeout)
+            if raw is None:
+                raise ConnectionClosed("server closed the connection")
+        except BaseException:
+            # Also covers cancellation mid-frame: a half-read
+            # connection must not be reused.
+            await self._drop(port)
+            raise
+        resp_body, resp_version = raw
+        if resp_version == PROTOCOL_V2:
+            meta = peek_meta(resp_body)
+        else:
+            meta = json.loads(bytes(resp_body).decode("utf-8"))
+        return meta, resp_body, resp_version
 
     async def rebalance(
         self,

@@ -205,6 +205,16 @@ class RouterConfig:
     connections_per_backend: int = 8
     backend_timeout: float = 30.0
     base_cache_size: int = 32        # delta bases kept per shard
+    # Relay capacity pinning (the router-tier analog of ``serve
+    # --solve-delay-ms``): with ``relay_concurrency`` permits each held
+    # for the request plus ``relay_delay_s``, per-process rebalance
+    # capacity is permits/(service+delay) *by construction* — the knob
+    # E19 uses to make router scaling measurable independent of host
+    # cores.  0 permits = unbounded (the default; no pinning).
+    relay_concurrency: int = 0
+    relay_delay_s: float = 0.0
+    relay_queue: int = 64            # waiters allowed past the permits
+    #                                  before ``overloaded`` is answered
 
     def __post_init__(self) -> None:
         if not self.backends:
@@ -222,6 +232,12 @@ class RouterConfig:
             raise ValueError("connections_per_backend must be positive")
         if self.base_cache_size < 0:
             raise ValueError("base_cache_size must be non-negative")
+        if self.relay_concurrency < 0:
+            raise ValueError("relay_concurrency must be non-negative")
+        if self.relay_delay_s < 0:
+            raise ValueError("relay_delay_s must be non-negative")
+        if self.relay_queue < 0:
+            raise ValueError("relay_queue must be non-negative")
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -234,6 +250,9 @@ class RouterConfig:
             "repl_coalesce_s": self.repl_coalesce_s,
             "health_interval_s": self.health_interval_s,
             "health_misses": self.health_misses,
+            "relay_concurrency": self.relay_concurrency,
+            "relay_delay_s": self.relay_delay_s,
+            "relay_queue": self.relay_queue,
         }
 
 
@@ -292,6 +311,24 @@ class BackendLink:
         except BaseException:
             # Also covers cancellation mid-frame: a half-read
             # connection must not be reused.
+            await client.close()
+            raise
+        finally:
+            self._pool.put_nowait(client)
+
+    async def relay(
+        self, body: bytes | bytearray | memoryview, version: int
+    ) -> tuple[dict[str, Any], bytes, int]:
+        """Round-trip a raw frame body verbatim on a pooled connection
+        (see :meth:`AsyncServiceClient.relay`) — the data-plane
+        worker's zero-materialization forward."""
+        try:
+            client = self._pool.get_nowait()
+        except asyncio.QueueEmpty:
+            client = self._new_client()
+        try:
+            return await client.relay(body, version)
+        except BaseException:
             await client.close()
             raise
         finally:
@@ -407,6 +444,12 @@ class ClusterRouter:
         self._health_task: asyncio.Task | None = None
         self._stop_event: asyncio.Event | None = None
         self._started_at = time.monotonic()
+        # Relay capacity gate (see RouterConfig.relay_concurrency).
+        self._relay_gate: asyncio.Semaphore | None = (
+            asyncio.Semaphore(config.relay_concurrency)
+            if config.relay_concurrency > 0 else None
+        )
+        self._relay_waiters = 0
 
     # -- lifecycle ------------------------------------------------------
     @property
@@ -589,7 +632,12 @@ class ClusterRouter:
                 # retry_after_ms handling works identically behind the
                 # router.
                 return exc.response
-            except (OSError, ProtocolError, ServiceError, asyncio.TimeoutError) as exc:
+            except (OSError, ProtocolError, asyncio.TimeoutError) as exc:
+                # Transport failures only — a well-formed error
+                # *response* from a live backend (bad request, unknown
+                # shard, ...) returns to the client as-is and must
+                # never declare the node dead.  ConnectionClosed is a
+                # ConnectionError, so a severed link still fails over.
                 last_error = exc
                 self._mark_dead(node, "transport")
                 self.metrics.add("router.failover_replays")
@@ -598,6 +646,52 @@ class ClusterRouter:
         return error_response("no backends alive", message=f"routing failed{detail}")
 
     async def _op_rebalance(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Client-facing rebalance, behind the relay capacity gate when
+        one is configured: each request holds a permit for its service
+        time *plus* ``relay_delay_s``, so per-process capacity is
+        ``relay_concurrency / (service + delay)`` by construction —
+        host-core-independent, which is what lets E19 pin worker
+        capacity the way ``serve --solve-delay-ms`` pins backend
+        capacity.  ``relay_queue`` bounds the waiters; past it the
+        router answers ``overloaded`` (bounded p99 instead of an
+        unbounded queue)."""
+        if not await self._relay_admit():
+            return self._relay_rejection()
+        try:
+            return await self._rebalance_gated(message)
+        finally:
+            await self._relay_release()
+
+    async def _relay_admit(self) -> bool:
+        """Take a relay-capacity permit; ``False`` = reject now (the
+        wait queue is full)."""
+        gate = self._relay_gate
+        if gate is None:
+            return True
+        if gate.locked() and self._relay_waiters >= self.config.relay_queue:
+            self.metrics.add("router.relay_rejections")
+            return False
+        self._relay_waiters += 1
+        try:
+            await gate.acquire()
+        finally:
+            self._relay_waiters -= 1
+        return True
+
+    async def _relay_release(self) -> None:
+        if self._relay_gate is None:
+            return
+        if self.config.relay_delay_s > 0:
+            await asyncio.sleep(self.config.relay_delay_s)
+        self._relay_gate.release()
+
+    def _relay_rejection(self) -> dict[str, Any]:
+        return error_response(
+            "overloaded",
+            retry_after_ms=max(5.0, self.config.relay_delay_s * 1e3),
+        )
+
+    async def _rebalance_gated(self, message: dict[str, Any]) -> dict[str, Any]:
         self.metrics.add("router.requests")
         try:
             shard = str(message.get("shard", "default"))
@@ -692,6 +786,14 @@ class ClusterRouter:
                 res.commit(frame, fp)
                 runtime.latest = (fp_hex, k)
                 self._enqueue_replication(shard, ("delta", delta, k))
+            else:
+                # The tip moved underneath the forward (two deltas on
+                # one shard raced): this response's fingerprint names a
+                # state the resident will never hold, and the frame was
+                # neither committed nor replicated.  The client's next
+                # delta against it answers ``unknown base`` and resyncs
+                # with a full — correct, but worth counting.
+                self.metrics.add("router.tip_races")
         return response
 
     def _post_instance(self, res: ResidentShard, frame: Frame) -> Instance:
@@ -746,7 +848,9 @@ class ClusterRouter:
                 return response
             except Overloaded as exc:
                 return exc.response
-            except (OSError, ProtocolError, ServiceError, asyncio.TimeoutError) as exc:
+            except (OSError, ProtocolError, asyncio.TimeoutError) as exc:
+                # Transport failures only, as in _route_solve: error
+                # responses from a live backend are not failover signal.
                 last_error = exc
                 self._mark_dead(node, "transport")
                 self.metrics.add("router.failover_replays")

@@ -34,7 +34,7 @@ import numpy as np
 from .. import telemetry
 from ..core.instance import Instance
 from .client import AsyncServiceClient, Overloaded, ServiceError, _WireState
-from .protocol import ProtocolError
+from .protocol import ProtocolError, RebalanceEncoder
 from .resident import ResidentShard
 
 __all__ = [
@@ -524,6 +524,12 @@ class ChurnStreamConfig:
     timeout: float = 60.0
     retries: int = 2             # closed loop: overload retry is honest
     epoch_interval_ms: float | None = None  # paced epochs (None = closed loop)
+    # Encode each epoch's delta frame through a reusable
+    # :class:`RebalanceEncoder` (static meta serialized once, frame
+    # buffer reused) instead of rebuilding the message dict and
+    # re-serializing the static keys every epoch.  Off = the A side of
+    # E19's client-CPU A/B; the wire semantics are identical.
+    use_encoder: bool = True
 
     def __post_init__(self) -> None:
         if self.shards <= 0:
@@ -564,6 +570,7 @@ class ChurnStreamReport:
     fulls_sent: int = 0
     moves_applied: int = 0
     duration_s: float = 0.0
+    client_cpu_s: float = 0.0    # generator-process CPU (time.process_time)
     steady_ms: telemetry.Histogram = field(default_factory=telemetry.Histogram)
     warmup_ms: telemetry.Histogram = field(default_factory=telemetry.Histogram)
     trajectories: dict[str, str] = field(default_factory=dict)
@@ -591,6 +598,7 @@ class ChurnStreamReport:
             "fulls_sent": self.fulls_sent,
             "moves_applied": self.moves_applied,
             "duration_s": self.duration_s,
+            "client_cpu_s": self.client_cpu_s,
             "steady_p50_ms": self.steady_p50_ms,
             "steady_p95_ms": self.steady_p95_ms,
             "steady_p99_ms": self.steady_p99_ms,
@@ -668,8 +676,21 @@ async def _churn_stream_shard(
             "instance": res.export_instance().to_wire(),
         }
 
+    # The static half of every delta epoch's message never changes —
+    # serialize it exactly once and splice each epoch's delta into a
+    # reusable frame buffer instead of rebuilding the dict and paying
+    # json.dumps for the same keys epochs times per shard.
+    static_meta: dict[str, Any] = {
+        "op": "rebalance", "shard": shard, "k": config.k,
+        "moves_only": True,
+    }
+    if config.deadline_ms is not None:
+        static_meta["deadline_ms"] = config.deadline_ms
+    encoder = RebalanceEncoder(static_meta) if config.use_encoder else None
+
     try:
         for epoch in range(config.epochs):
+            encoded: memoryview | None = None
             if epoch == 0:
                 # Seed the server's resident tip: one full snapshot.
                 message = full_message()
@@ -723,17 +744,26 @@ async def _churn_stream_shard(
                 # late.
                 frame, fp = res.preview(delta)
                 res.commit(frame, fp)
-                message = {
-                    "op": "rebalance", "shard": shard, "k": config.k,
-                    "moves_only": True, "delta": delta,
-                }
+                if encoder is not None:
+                    message = None
+                    encoded = encoder.encode(delta)
+                else:
+                    message = {
+                        "op": "rebalance", "shard": shard, "k": config.k,
+                        "moves_only": True, "delta": delta,
+                    }
                 report.deltas_sent += 1
-            if config.deadline_ms is not None:
+            if message is not None and config.deadline_ms is not None:
                 message["deadline_ms"] = config.deadline_ms
 
             start = loop.time()
             try:
-                response = await client.call(message)
+                if encoded is not None:
+                    response = await client.call_encoded(
+                        encoded, shard=shard
+                    )
+                else:
+                    response = await client.call(message)
                 if (
                     not response.get("ok")
                     and response.get("error") == "unknown base"
@@ -795,10 +825,12 @@ async def _run_churn_stream_async(
         else None
     )
     start = loop.time()
+    cpu_start = time.process_time()
     await asyncio.gather(*(
         _churn_stream_shard(host, port, config, i, report, seed_barrier)
         for i in range(config.shards)
     ))
+    report.client_cpu_s = time.process_time() - cpu_start
     report.duration_s = loop.time() - start
     return report
 

@@ -105,11 +105,17 @@ __all__ = [
     "PROTOCOL_V1",
     "PROTOCOL_V2",
     "ProtocolError",
+    "RebalanceEncoder",
+    "decode_body",
     "encode_frame",
+    "encode_frame_into",
     "error_response",
+    "frame_header",
     "ok_response",
     "pack_payload",
+    "peek_meta",
     "read_frame",
+    "read_frame_raw",
     "read_frame_sync",
     "read_frame_sync_versioned",
     "read_frame_versioned",
@@ -205,6 +211,63 @@ def _patch_offsets(obj: Any, offsets: list[int]) -> None:
             _patch_offsets(value, offsets)
 
 
+def _section_layout(blobs: list[tuple[str, bytes]]) -> tuple[list[int], int]:
+    """Lay the raw array section out: each blob 8-byte aligned, offsets
+    relative to the start of the section.  Returns (offsets, size)."""
+    offsets: list[int] = []
+    cursor = 0
+    for _, data in blobs:
+        cursor = _align8(cursor)
+        offsets.append(cursor)
+        cursor += len(data)
+    return offsets, cursor
+
+
+def _write_body_into(
+    out: bytearray,
+    at: int,
+    meta: bytes,
+    blobs: list[tuple[str, bytes]],
+    offsets: list[int],
+    section_size: int,
+) -> int:
+    """Write one v2 body (meta + aligned blobs) into ``out`` at ``at``.
+
+    ``out`` is grown (never shrunk) so callers can reuse one buffer
+    across frames without reallocating; alignment gaps are zeroed so a
+    reused buffer stays byte-identical to a fresh encode of the same
+    payload.  Returns the end offset.
+    """
+    section_start = _align8(_META_LEN.size + len(meta))
+    end = at + section_start + section_size
+    if len(out) < end:
+        out.extend(bytes(end - len(out)))
+    _META_LEN.pack_into(out, at, len(meta))
+    meta_start = at + _META_LEN.size
+    out[meta_start:meta_start + len(meta)] = meta
+    out[meta_start + len(meta):at + section_start] = bytes(
+        section_start - _META_LEN.size - len(meta)
+    )
+    prev_end = 0
+    for (_, data), offset in zip(blobs, offsets):
+        start = at + section_start + offset
+        out[at + section_start + prev_end:start] = bytes(offset - prev_end)
+        out[start:start + len(data)] = data
+        prev_end = offset + len(data)
+    return end
+
+
+def _pack_payload_into(payload: dict[str, Any], out: bytearray, at: int) -> int:
+    """:func:`pack_payload`, but writing into ``out`` at offset ``at``;
+    returns the end offset."""
+    blobs: list[tuple[str, bytes]] = []
+    meta_obj = _strip_arrays(payload, blobs)
+    offsets, section_size = _section_layout(blobs)
+    _patch_offsets(meta_obj, offsets)
+    meta = json.dumps(meta_obj, separators=(",", ":")).encode("utf-8")
+    return _write_body_into(out, at, meta, blobs, offsets, section_size)
+
+
 def pack_payload(payload: dict[str, Any]) -> bytes:
     """Serialize one message to the v2 binary body (no frame header).
 
@@ -212,25 +275,8 @@ def pack_payload(payload: dict[str, Any]) -> bytes:
     executor: worker payloads cross the pipe in exactly the bytes a v2
     frame body would carry.
     """
-    blobs: list[tuple[str, bytes]] = []
-    meta_obj = _strip_arrays(payload, blobs)
-    # Lay the raw array section out: each blob 8-byte aligned, offsets
-    # relative to the start of the section.
-    offsets: list[int] = []
-    cursor = 0
-    for _, data in blobs:
-        cursor = _align8(cursor)
-        offsets.append(cursor)
-        cursor += len(data)
-    _patch_offsets(meta_obj, offsets)
-    meta = json.dumps(meta_obj, separators=(",", ":")).encode("utf-8")
-    section_start = _align8(_META_LEN.size + len(meta))
-    out = bytearray(section_start + cursor)
-    _META_LEN.pack_into(out, 0, len(meta))
-    out[_META_LEN.size:_META_LEN.size + len(meta)] = meta
-    for (_, data), offset in zip(blobs, offsets):
-        start = section_start + offset
-        out[start:start + len(data)] = data
+    out = bytearray()
+    _pack_payload_into(payload, out, 0)
     return bytes(out)
 
 
@@ -257,14 +303,12 @@ def _revive_arrays(obj: Any, section: memoryview) -> Any:
     return obj
 
 
-def unpack_payload(body: bytes | bytearray | memoryview) -> dict[str, Any]:
-    """Inverse of :func:`pack_payload`.
+def _parse_meta(view: memoryview) -> tuple[dict[str, Any], int]:
+    """Parse a v2 body's meta JSON; return ``(message, section_start)``.
 
-    Arrays are :func:`numpy.frombuffer` views over ``body`` — zero
-    copies; they stay valid as long as ``body`` is alive and are
-    read-only when ``body`` is immutable ``bytes``.
+    Array values stay as ``{"__nd__": [dtype, count, offset]}``
+    descriptors — the raw array section is not touched.
     """
-    view = memoryview(body)
     if len(view) < _META_LEN.size:
         raise ProtocolError("binary body too short for its meta length")
     (meta_len,) = _META_LEN.unpack_from(view, 0)
@@ -278,6 +322,29 @@ def unpack_payload(body: bytes | bytearray | memoryview) -> dict[str, Any]:
         raise ProtocolError(f"undecodable frame meta: {exc}") from exc
     if not isinstance(message, dict):
         raise ProtocolError("frame body must be a JSON object")
+    return message, section_start
+
+
+def peek_meta(body: bytes | bytearray | memoryview) -> dict[str, Any]:
+    """Parse only the meta JSON of a v2 body — no array revival.
+
+    O(meta), independent of the snapshot size: this is how the
+    data-plane router routes a full-snapshot ``rebalance`` by shard/k
+    and relays the raw bytes without ever materializing the instance.
+    Array values appear as their ``{"__nd__": ...}`` descriptors.
+    """
+    return _parse_meta(memoryview(body))[0]
+
+
+def unpack_payload(body: bytes | bytearray | memoryview) -> dict[str, Any]:
+    """Inverse of :func:`pack_payload`.
+
+    Arrays are :func:`numpy.frombuffer` views over ``body`` — zero
+    copies; they stay valid as long as ``body`` is alive and are
+    read-only when ``body`` is immutable ``bytes``.
+    """
+    view = memoryview(body)
+    message, section_start = _parse_meta(view)
     return _revive_arrays(message, view[section_start:])
 
 
@@ -311,6 +378,116 @@ def encode_frame(payload: dict[str, Any], version: int = PROTOCOL_V1) -> bytes:
             raise ProtocolError(f"frame of {len(body)} bytes exceeds the maximum")
         return _MAGIC + _V2_TAIL.pack(PROTOCOL_V2, 0, len(body)) + body
     raise ProtocolError(f"unknown protocol version {version}")
+
+
+def frame_header(body_len: int, version: int = PROTOCOL_V2) -> bytes:
+    """The frame header for a ``body_len``-byte body.
+
+    The relay path uses this to forward an already-encoded body
+    verbatim: header + raw bytes, no decode/re-encode round trip.
+    """
+    _check_length(body_len)
+    if version == PROTOCOL_V1:
+        return _HEADER.pack(body_len)
+    if version == PROTOCOL_V2:
+        return _MAGIC + _V2_TAIL.pack(PROTOCOL_V2, 0, body_len)
+    raise ProtocolError(f"unknown protocol version {version}")
+
+
+def decode_body(body: bytes | bytearray | memoryview, version: int
+                ) -> dict[str, Any]:
+    """Decode a raw frame body read by :func:`read_frame_raw`."""
+    if version == PROTOCOL_V1:
+        return _decode_json_body(bytes(body))
+    if version == PROTOCOL_V2:
+        return unpack_payload(body)
+    raise ProtocolError(f"unknown protocol version {version}")
+
+
+def encode_frame_into(
+    payload: dict[str, Any], buf: bytearray, version: int = PROTOCOL_V1
+) -> memoryview:
+    """:func:`encode_frame` into a reusable buffer.
+
+    ``buf`` is grown as needed and never shrunk, so a connection can
+    keep one scratch buffer and skip the per-frame allocation and the
+    header+body concatenation copy.  Returns a memoryview of the
+    encoded frame — valid until the next call with the same buffer
+    (asyncio transports copy on ``write``, so handing the view straight
+    to a transport is safe).
+    """
+    if version == PROTOCOL_V1:
+        body = json.dumps(
+            payload, separators=(",", ":"), default=_json_default
+        ).encode("utf-8")
+        if len(body) > MAX_FRAME_BYTES:
+            raise ProtocolError(f"frame of {len(body)} bytes exceeds the maximum")
+        end = _HEADER.size + len(body)
+        if len(buf) < end:
+            buf.extend(bytes(end - len(buf)))
+        _HEADER.pack_into(buf, 0, len(body))
+        buf[_HEADER.size:end] = body
+        return memoryview(buf)[:end]
+    if version == PROTOCOL_V2:
+        end = _pack_payload_into(payload, buf, _V2_HEADER_SIZE)
+        body_len = end - _V2_HEADER_SIZE
+        if body_len > MAX_FRAME_BYTES:
+            raise ProtocolError(f"frame of {body_len} bytes exceeds the maximum")
+        buf[:len(_MAGIC)] = _MAGIC
+        _V2_TAIL.pack_into(buf, len(_MAGIC), PROTOCOL_V2, 0, body_len)
+        return memoryview(buf)[:end]
+    raise ProtocolError(f"unknown protocol version {version}")
+
+
+class RebalanceEncoder:
+    """Reusable v2 encoder for a fixed rebalance meta + per-epoch delta.
+
+    A steady-state churn stream sends the same static meta ``{"op":
+    "rebalance", "shard": ..., "k": ..., ...}`` every epoch; only the
+    ``delta`` object (and its arrays) changes.  Re-serializing the
+    static keys through ``json.dumps`` every epoch is pure client-side
+    CPU, so this caches the static JSON fragment once and splices the
+    per-epoch delta fragment into a reusable frame buffer.
+
+    ``encode(delta)`` is byte-identical to ``encode_frame({**static,
+    "delta": delta}, version=PROTOCOL_V2)`` — the static fragment
+    serializes first (dict insertion order), the delta's arrays are the
+    only blobs, and alignment gaps are zeroed.
+    """
+
+    def __init__(self, static: dict[str, Any]) -> None:
+        if not static:
+            raise ValueError("static meta must be non-empty")
+        if "delta" in static:
+            raise ValueError("'delta' is the per-epoch field, not static")
+        blobs: list[tuple[str, bytes]] = []
+        static_obj = _strip_arrays(static, blobs)
+        if blobs:
+            raise ValueError("static meta must not carry arrays")
+        prefix = json.dumps(static_obj, separators=(",", ":")).encode("utf-8")
+        self._prefix = prefix[:-1] + b',"delta":'
+        self._buf = bytearray()
+
+    def encode(self, delta: dict[str, Any]) -> memoryview:
+        """One frame; the returned view is valid until the next call."""
+        blobs: list[tuple[str, bytes]] = []
+        delta_obj = _strip_arrays(delta, blobs)
+        offsets, section_size = _section_layout(blobs)
+        _patch_offsets(delta_obj, offsets)
+        meta = b"".join((
+            self._prefix,
+            json.dumps(delta_obj, separators=(",", ":")).encode("utf-8"),
+            b"}",
+        ))
+        end = _write_body_into(
+            self._buf, _V2_HEADER_SIZE, meta, blobs, offsets, section_size
+        )
+        body_len = end - _V2_HEADER_SIZE
+        if body_len > MAX_FRAME_BYTES:
+            raise ProtocolError(f"frame of {body_len} bytes exceeds the maximum")
+        self._buf[:len(_MAGIC)] = _MAGIC
+        _V2_TAIL.pack_into(self._buf, len(_MAGIC), PROTOCOL_V2, 0, body_len)
+        return memoryview(self._buf)[:end]
 
 
 def _decode_json_body(body: bytes | bytearray) -> dict[str, Any]:
@@ -381,6 +558,33 @@ async def read_frame(reader: asyncio.StreamReader) -> dict[str, Any] | None:
     """Read one message (either version); ``None`` on clean EOF."""
     frame = await read_frame_versioned(reader)
     return None if frame is None else frame[0]
+
+
+async def read_frame_raw(
+    reader: asyncio.StreamReader,
+) -> tuple[bytes, int] | None:
+    """Read one frame without decoding it: ``(raw_body, version)``.
+
+    The v2 body is returned verbatim (:func:`peek_meta` routes on it,
+    :func:`unpack_payload` fully decodes it, :func:`frame_header` +
+    the raw bytes forward it); the v1 body is the JSON bytes.  Same
+    EOF/torn-frame contract as :func:`read_frame_versioned`.
+    """
+    try:
+        head = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-header") from exc
+    if head[:len(_MAGIC)] == _MAGIC:
+        head += await _read_exactly(
+            reader, _V2_HEADER_SIZE - _HEADER.size, "header"
+        )
+        length = _parse_v2_tail(head)
+        return await _read_exactly(reader, length, "frame"), PROTOCOL_V2
+    (length,) = _HEADER.unpack(head)
+    _check_length(length)
+    return await _read_exactly(reader, length, "frame"), PROTOCOL_V1
 
 
 # ----------------------------------------------------------------------

@@ -8,6 +8,7 @@ checked against the in-process solver.
 
 from __future__ import annotations
 
+import asyncio
 import time
 
 import numpy as np
@@ -18,6 +19,8 @@ from repro.core.engine import snapshot_fingerprint
 from repro.core.partition import m_partition_rebalance
 from repro.service import (
     BackendSpec,
+    ClusterRouter,
+    ConnectionClosed,
     HashRing,
     ProtocolError,
     RouterConfig,
@@ -28,6 +31,7 @@ from repro.service import (
     start_background,
     start_router_background,
 )
+from repro.service.resident import ResidentShard
 from repro.websim import (
     ComposedTraffic,
     DiurnalTraffic,
@@ -139,6 +143,15 @@ class TestRouterConfig:
         spec = (BackendSpec("b", "127.0.0.1", 1),)
         with pytest.raises(ValueError):
             RouterConfig(backends=spec, repl_coalesce_s=-0.001)
+
+    def test_rejects_negative_relay_knobs(self):
+        spec = (BackendSpec("b", "127.0.0.1", 1),)
+        with pytest.raises(ValueError):
+            RouterConfig(backends=spec, relay_concurrency=-1)
+        with pytest.raises(ValueError):
+            RouterConfig(backends=spec, relay_delay_s=-0.001)
+        with pytest.raises(ValueError):
+            RouterConfig(backends=spec, relay_queue=-1)
 
 
 @pytest.fixture()
@@ -495,3 +508,183 @@ class TestKillMinusNine:
             assert elapsed >= client.backoff_slept_s
         finally:
             process.terminate()
+
+
+class _StubLink:
+    """BackendLink stand-in: scripted per-call outcomes (a response
+    dict to return, or an exception to raise)."""
+
+    def __init__(self, outcomes=()):
+        self.outcomes = list(outcomes)
+        self.calls = 0
+
+    async def _next(self):
+        self.calls += 1
+        out = self.outcomes.pop(0)
+        if isinstance(out, Exception):
+            raise out
+        return out
+
+    async def solve(self, shard, k, instance, deadline_ms, moves_only=False):
+        return await self._next()
+
+    async def call(self, message):
+        return await self._next()
+
+
+def _stub_router(**config_kwargs) -> ClusterRouter:
+    """An unstarted router over two fake backends; tests inject
+    :class:`_StubLink` objects and drive the routing coroutines
+    directly."""
+    config = RouterConfig(
+        backends=(
+            BackendSpec("backend-0", "127.0.0.1", 1),
+            BackendSpec("backend-1", "127.0.0.1", 2),
+        ),
+        replicate=False,
+        **config_kwargs,
+    )
+    return ClusterRouter(config)
+
+
+class TestTransportOnlyFailover:
+    """Regression: failover fires on *transport* failures only.  A
+    well-formed error response from a live backend (bad request,
+    unknown shard, ...) must return to the client as-is — treating it
+    as death signal once turned every malformed request into a
+    cluster-shrinking event."""
+
+    def test_error_response_does_not_mark_backend_dead(self):
+        router = _stub_router()
+        owner = router.ring.owner("s")
+        bad = {"ok": False, "error": "bad request", "message": "nope"}
+        for node in router.ring.nodes:
+            router._links[node] = _StubLink()
+        router._links[owner] = _StubLink([bad])
+        response = asyncio.run(
+            router._route_solve("s", 2, _instance(), None, False)
+        )
+        assert response == bad
+        assert router._dead == set()
+        assert router.metrics.counters.get("router.backend_deaths", 0) == 0
+        assert router._links[owner].calls == 1
+
+    def test_connection_closed_still_fails_over(self):
+        """``ConnectionClosed`` is a ConnectionError: a severed link is
+        transport signal and must still replay on the survivor."""
+        router = _stub_router()
+        owner = router.ring.owner("s")
+        other = next(n for n in router.ring.nodes if n != owner)
+        ok = {"ok": True, "fingerprint": "ab"}
+        router._links[owner] = _StubLink(
+            [ConnectionClosed("server closed the connection")]
+        )
+        router._links[other] = _StubLink([ok])
+        response = asyncio.run(
+            router._route_solve("s", 2, _instance(), None, False)
+        )
+        assert response == ok
+        assert router._dead == {owner}
+        assert router.metrics.counters["router.failover_replays"] == 1
+
+
+class TestTipRaces:
+    """Two deltas racing on one shard: the loser's frame is neither
+    committed nor replicated, and the race is counted."""
+
+    def test_interleaved_deltas_count_tip_race(self):
+        router = _stub_router()
+        shard = "race"
+        owner = router.ring.owner(shard)
+
+        class _RacingLink(_StubLink):
+            def __init__(self):
+                super().__init__()
+                self.first_blocked = asyncio.Event()
+                self.release_first = asyncio.Event()
+
+            async def call(self, message):
+                self.calls += 1
+                if self.calls == 1:
+                    self.first_blocked.set()
+                    await self.release_first.wait()
+                return {
+                    "ok": True, "fingerprint": "ignored",
+                    "moves_idx": [], "moves_to": [],
+                }
+
+        link = _RacingLink()
+        for node in router.ring.nodes:
+            router._links[node] = link if node == owner else _StubLink()
+
+        async def scenario():
+            res = ResidentShard(_instance(seed=3, n=32))
+            router._residents[shard] = res
+            base = res.fp_hex
+
+            def delta(site: int, size: float) -> dict:
+                return {
+                    "base": base,
+                    "idx": np.array([site], dtype=np.int64),
+                    "sizes": np.array([size]),
+                    "costs": np.array([1.0]),
+                    "initial": np.array([0], dtype=np.int64),
+                }
+
+            d1, d2 = delta(1, 5.0), delta(2, 7.0)
+            m1 = {"op": "rebalance", "shard": shard, "k": 2, "delta": d1}
+            m2 = {"op": "rebalance", "shard": shard, "k": 2, "delta": d2}
+            t1 = asyncio.create_task(
+                router._op_rebalance_delta(shard, 2, m1, res, d1)
+            )
+            await link.first_blocked.wait()
+            # The second delta lands while the first is in flight and
+            # commits the tip first.
+            r2 = await router._op_rebalance_delta(shard, 2, m2, res, d2)
+            link.release_first.set()
+            r1 = await t1
+            return r1, r2, res
+
+        r1, r2, res = asyncio.run(scenario())
+        assert r1["ok"] and r2["ok"]
+        # The winner advanced the tip; the loser's fingerprint names a
+        # state the resident never held.
+        assert res.fp_hex == r2["fingerprint"]
+        assert r1["fingerprint"] != res.fp_hex
+        assert router.metrics.counters["router.tip_races"] == 1
+        assert router.metrics.counters["router.resident_deltas"] == 2
+
+
+class TestRelayGate:
+    """The relay capacity gate: ``relay_concurrency`` permits, a
+    bounded waiter queue, and the delay held *under* the permit."""
+
+    def test_admission_and_queue_bound(self):
+        router = _stub_router(relay_concurrency=1, relay_queue=0)
+
+        async def scenario():
+            assert await router._relay_admit()
+            # Permit held, queue 0: the next arrival is rejected.
+            assert not await router._relay_admit()
+            await router._relay_release()
+            assert await router._relay_admit()
+            await router._relay_release()
+
+        asyncio.run(scenario())
+        assert router.metrics.counters["router.relay_rejections"] == 1
+
+    def test_unbounded_without_concurrency(self):
+        router = _stub_router()
+
+        async def scenario():
+            for _ in range(32):
+                assert await router._relay_admit()
+
+        asyncio.run(scenario())
+        assert "router.relay_rejections" not in router.metrics.counters
+
+    def test_rejection_names_retry_after(self):
+        router = _stub_router(relay_concurrency=1, relay_delay_s=0.05)
+        response = router._relay_rejection()
+        assert not response["ok"] and response["error"] == "overloaded"
+        assert response["retry_after_ms"] >= 50.0

@@ -1,0 +1,274 @@
+"""Sharded router data plane: shard-affine workers, moved redirects,
+zero-materialization relay, worker respawn, and the differential proof
+that N worker processes answer byte-identically to the single-process
+router.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import make_instance
+from repro.core.partition import m_partition_rebalance
+from repro.service import (
+    BackendSpec,
+    ProtocolError,
+    RouterConfig,
+    ServerConfig,
+    ServiceClient,
+    ServiceError,
+    default_router_workers,
+    start_background,
+    start_router_background,
+    start_sharded_router,
+    worker_for,
+)
+
+WORKERS = 2
+
+
+def _instance(seed: int = 11, n: int = 48, m: int = 4):
+    rng = np.random.default_rng(seed)
+    return make_instance(
+        sizes=rng.uniform(1.0, 9.0, n),
+        initial=rng.integers(0, m, n),
+        num_processors=m,
+    )
+
+
+def _shards_by_worker(count: int, per_worker: int) -> dict[int, list[str]]:
+    """Deterministic shard names bucketed by owning worker index."""
+    out: dict[int, list[str]] = {w: [] for w in range(count)}
+    i = 0
+    while any(len(v) < per_worker for v in out.values()):
+        name = f"shard-{i}"
+        bucket = out[worker_for(name, count)]
+        if len(bucket) < per_worker:
+            bucket.append(name)
+        i += 1
+    return out
+
+
+class TestWorkerFor:
+    def test_deterministic_and_bounded(self):
+        for count in (1, 2, 3, 4, 7):
+            for i in range(64):
+                w = worker_for(f"s{i}", count)
+                assert 0 <= w < count
+                assert w == worker_for(f"s{i}", count)
+
+    def test_single_worker_owns_everything(self):
+        assert all(worker_for(f"s{i}", 1) == 0 for i in range(16))
+        assert worker_for("anything", 0) == 0
+
+    def test_spreads_across_workers(self):
+        owners = {worker_for(f"shard-{i}", WORKERS) for i in range(64)}
+        assert owners == set(range(WORKERS))
+
+    def test_default_worker_count_bounds(self):
+        assert 1 <= default_router_workers() <= 4
+
+
+@pytest.fixture()
+def sharded_cluster():
+    """A 2-worker sharded router over two in-process backends."""
+    with start_background(ServerConfig()) as b0, \
+            start_background(ServerConfig()) as b1:
+        config = RouterConfig(backends=(
+            BackendSpec("backend-0", b0.host, b0.port),
+            BackendSpec("backend-1", b1.host, b1.port),
+        ))
+        with start_sharded_router(config, WORKERS) as sharded:
+            yield sharded
+
+
+class TestShardedRouterIntegration:
+    def test_ping_and_merged_status(self, sharded_cluster):
+        sharded = sharded_cluster
+        with ServiceClient(sharded.host, sharded.port) as client:
+            assert client.ping()
+            status = client.status()
+        router = status["router"]
+        assert router["live"] == ["backend-0", "backend-1"]
+        workers = router["workers"]
+        assert len(workers) == WORKERS
+        pids = {int(info["pid"]) for info in workers.values()}
+        assert pids == set(sharded.worker_pids().values())
+
+    def test_moved_redirects_are_cached_per_shard(self, sharded_cluster):
+        """One connection to the shared port lands on exactly one
+        worker; every shard owned by the *other* worker redirects once
+        (``moved`` carries the owner's direct port), then goes direct."""
+        sharded = sharded_cluster
+        shards = _shards_by_worker(WORKERS, 2)
+        all_shards = [s for group in shards.values() for s in group]
+        with ServiceClient(
+            sharded.host, sharded.port, protocol="binary", retries=4
+        ) as client:
+            for round_idx in range(2):
+                for shard in all_shards:
+                    instance = _instance(seed=7 + round_idx)
+                    want = m_partition_rebalance(instance, 2)
+                    got = client.rebalance(instance, 2, shard=shard)
+                    np.testing.assert_array_equal(
+                        got.assignment.mapping, want.assignment.mapping
+                    )
+            # Exactly the foreign worker's shards redirected — once
+            # each; the cached direct ports absorbed round two.
+            assert client.moved_redirects == 2
+            status = client.status()
+        counters = status["router"]["metrics"]["counters"]
+        assert counters.get("router.moved", 0) == 2
+        assert set(status["router"]["residents"]) == set(all_shards)
+
+    def test_reset_fans_across_workers(self, sharded_cluster):
+        sharded = sharded_cluster
+        shards = _shards_by_worker(WORKERS, 1)
+        with ServiceClient(
+            sharded.host, sharded.port, protocol="binary", retries=4
+        ) as client:
+            for group in shards.values():
+                for shard in group:
+                    client.rebalance(_instance(seed=3), 2, shard=shard)
+            assert set(client.status()["router"]["residents"]) == {
+                s for g in shards.values() for s in g
+            }
+            client.reset()
+            status = client.status()
+            assert status["router"]["residents"] == {}
+            assert status["router"]["shards"] == 0
+
+
+class TestDifferentialTrajectories:
+    """Two sync clients driving disjoint shards through the 2-worker
+    data plane must produce trajectories byte-identical to the
+    single-process router (the sharding is invisible to decisions)."""
+
+    EPOCHS = 5
+
+    def _drive(self, host: str, port: int, shards: list[str]):
+        """Interleave delta streams for ``shards``, one sync client
+        each; returns per-shard (mapping bytes, per-epoch mappings)."""
+        clients = [
+            ServiceClient(host, port, protocol="binary", delta=True,
+                          retries=4)
+            for _ in shards
+        ]
+        trajectories: dict[str, list[bytes]] = {s: [] for s in shards}
+        try:
+            for epoch in range(self.EPOCHS):
+                for shard, client in zip(shards, clients):
+                    rng = np.random.default_rng([hash(shard) % 2**32, epoch])
+                    base = _instance(seed=29, n=64)
+                    sizes = base.sizes.copy()
+                    touched = rng.choice(64, size=4, replace=False)
+                    sizes[touched] *= rng.uniform(0.5, 2.0, 4)
+                    instance = make_instance(
+                        sizes=sizes, initial=base.initial,
+                        num_processors=base.num_processors,
+                    )
+                    got = client.rebalance(instance, 3, shard=shard)
+                    trajectories[shard].append(
+                        np.asarray(got.assignment.mapping,
+                                   dtype=np.int64).tobytes()
+                    )
+        finally:
+            for client in clients:
+                client.close()
+        return trajectories
+
+    def test_sharded_matches_single_process_router(self):
+        shards_by_worker = _shards_by_worker(WORKERS, 1)
+        shards = [g[0] for g in shards_by_worker.values()]
+        assert {worker_for(s, WORKERS) for s in shards} == {0, 1}
+
+        def fresh_config():
+            b0 = start_background(ServerConfig())
+            b1 = start_background(ServerConfig())
+            return b0, b1, RouterConfig(backends=(
+                BackendSpec("backend-0", b0.host, b0.port),
+                BackendSpec("backend-1", b1.host, b1.port),
+            ))
+
+        b0, b1, config = fresh_config()
+        try:
+            with start_router_background(config) as router:
+                want = self._drive(router.host, router.port, shards)
+        finally:
+            b0.stop()
+            b1.stop()
+
+        b0, b1, config = fresh_config()
+        try:
+            with start_sharded_router(config, WORKERS) as sharded:
+                got = self._drive(sharded.host, sharded.port, shards)
+        finally:
+            b0.stop()
+            b1.stop()
+
+        assert got == want  # byte-identical, every shard, every epoch
+
+
+class TestWorkerKillRespawn:
+    def test_kill9_worker_respawns_and_stream_recovers(self, sharded_cluster):
+        """SIGKILL the worker that owns the driven shard: the control
+        plane respawns it, peers answer backpressure meanwhile, and the
+        client's retry budget rides out the gap — answers stay correct."""
+        sharded = sharded_cluster
+        shard = _shards_by_worker(WORKERS, 1)[0][0]
+        victim_index = worker_for(shard, WORKERS)
+        with ServiceClient(
+            sharded.host, sharded.port, protocol="binary", delta=True,
+            retries=8,
+        ) as client:
+            first = _instance(seed=2)
+            client.rebalance(first, 2, shard=shard)
+            victim_pid = sharded.worker_pids()[victim_index]
+            os.kill(victim_pid, signal.SIGKILL)
+            instance = _instance(seed=4)
+            want = m_partition_rebalance(instance, 2)
+            deadline = time.monotonic() + 30.0
+            while True:
+                try:
+                    got = client.rebalance(instance, 2, shard=shard)
+                    break
+                except (ServiceError, ProtocolError, OSError):
+                    assert time.monotonic() < deadline, \
+                        "stream never recovered from the worker kill"
+                    time.sleep(0.1)
+            np.testing.assert_array_equal(
+                got.assignment.mapping, want.assignment.mapping
+            )
+        deadline = time.monotonic() + 30.0
+        while sharded.worker_pids()[victim_index] in (None, victim_pid):
+            assert time.monotonic() < deadline, "worker never respawned"
+            time.sleep(0.05)
+        assert sharded.respawns == 1
+
+
+class TestInheritedFdFallback:
+    def test_reuse_port_disabled_still_serves(self):
+        """Without SO_REUSEPORT the parent binds once and workers
+        inherit the listening socket over the spawn pipe."""
+        with start_background(ServerConfig()) as b0:
+            config = RouterConfig(backends=(
+                BackendSpec("backend-0", b0.host, b0.port),
+            ))
+            with start_sharded_router(
+                config, WORKERS, reuse_port=False
+            ) as sharded:
+                instance = _instance(seed=21)
+                want = m_partition_rebalance(instance, 2)
+                with ServiceClient(
+                    sharded.host, sharded.port, protocol="binary",
+                    retries=4,
+                ) as client:
+                    got = client.rebalance(instance, 2, shard="fb")
+                np.testing.assert_array_equal(
+                    got.assignment.mapping, want.assignment.mapping
+                )

@@ -317,7 +317,7 @@ class TestTransport:
             # server answers it with an error frame and closes.  The
             # next call reads that stale error (ping -> False), and the
             # one after hits the closed socket and reconnects cleanly.
-            client._connection().sendall(b"\x00\x00\x00\x02{]")
+            client._connection(client.port).sendall(b"\x00\x00\x00\x02{]")
             assert not client.ping()
             assert client.ping()
 
